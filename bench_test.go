@@ -1,0 +1,184 @@
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Fig. 3 to Fig. 9) plus the ISP design-choice ablations. Each benchmark
+// runs the corresponding experiment sweep with a scaled-down "quick" profile
+// so that `go test -bench=. -benchmem` regenerates every series in minutes;
+// the full paper-scale sweeps are available through `cmd/nrbench -profile
+// paper` (see EXPERIMENTS.md for the recorded outputs and the comparison
+// against the paper's numbers).
+//
+// The regenerated tables are printed once per benchmark (on the first
+// iteration) so that a benchmark run doubles as a figure regeneration.
+package netrecovery_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"netrecovery/internal/experiments"
+)
+
+// benchConfig is the shared scaled-down profile used by the benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Runs = 1
+	return cfg
+}
+
+// printOnce renders the tables of a figure result the first time a benchmark
+// reaches it, so figure output is not repeated across b.N iterations.
+var printedFigures sync.Map
+
+func reportTables(b *testing.B, res *experiments.FigureResult) {
+	b.Helper()
+	if _, loaded := printedFigures.LoadOrStore(res.Figure+res.Tables[0].Title, true); loaded {
+		return
+	}
+	for _, table := range res.Tables {
+		if err := table.Render(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3_MulticommodityEnvelope regenerates Fig. 3: total repairs of
+// the best/worst multi-commodity optima (MCB/MCW) versus ALL as the demand
+// per pair grows on Bell-Canada with complete destruction.
+func BenchmarkFig3_MulticommodityEnvelope(b *testing.B) {
+	cfg := benchConfig()
+	cfg.IncludeOpt = false // OPT appears in Fig. 4-6 benches; keep Fig. 3 light
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3MulticommodityEnvelope(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkFig4_VaryDemandPairs regenerates Fig. 4(a)-(d): repairs and
+// satisfied demand versus the number of demand pairs on Bell-Canada with
+// complete destruction (10 units per pair).
+func BenchmarkFig4_VaryDemandPairs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4VaryDemandPairs(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkFig5_VaryDemandIntensity regenerates Fig. 5(a)-(b): repairs and
+// satisfied demand versus the per-pair demand intensity (4 pairs).
+func BenchmarkFig5_VaryDemandIntensity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5VaryDemandIntensity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkFig6_VaryDisruption regenerates Fig. 6(a)-(b): repairs and
+// satisfied demand versus the variance of the geographic disruption.
+func BenchmarkFig6_VaryDisruption(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6VaryDisruption(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkFig7_ErdosRenyiScalability regenerates Fig. 7(a)-(b): execution
+// time and total repairs of ISP, SRT and OPT on Erdős–Rényi instances of
+// increasing density (connectivity-only demands).
+func BenchmarkFig7_ErdosRenyiScalability(b *testing.B) {
+	cfg := benchConfig()
+	cfg.IncludeOpt = true
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7ErdosRenyiScalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkFig8_CAIDATopology regenerates Fig. 8: the statistics of the
+// CAIDA-like 825-node topology stand-in.
+func BenchmarkFig8_CAIDATopology(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8CAIDAStatistics(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkFig9_CAIDA regenerates Fig. 9(a)-(b): total repairs and satisfied
+// demand of ISP and SRT on the 825-node CAIDA-like topology under a
+// geographic disruption (22 units per pair).
+func BenchmarkFig9_CAIDA(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DemandPairs = []int{1, 3, 5}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9CAIDA(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkAblation_CentralityMetric compares the full ISP against its
+// ablated variants (classical betweenness ranking, static path metric, no
+// pruning) on the Fig. 4 scenarios.
+func BenchmarkAblation_CentralityMetric(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DemandPairs = []int{3}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCentrality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkAblation_PathMetric isolates the dynamic path metric on a denser
+// demand set (5 pairs), where concentrating flow on already-repaired
+// elements matters most.
+func BenchmarkAblation_PathMetric(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DemandPairs = []int{5}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCentrality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}
+
+// BenchmarkAblation_Pruning exercises the ablation sweep at the paper's
+// 4-pair setting; the "ISP-no-pruning" series quantifies the prune rule.
+func BenchmarkAblation_Pruning(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DemandPairs = []int{4}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCentrality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTables(b, res)
+	}
+}

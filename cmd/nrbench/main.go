@@ -1,0 +1,108 @@
+// Command nrbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	nrbench -figure 4                 # quick-profile reproduction of Fig. 4
+//	nrbench -figure 6 -profile paper  # full 20-run reproduction of Fig. 6
+//	nrbench -figure all -runs 5       # every figure, 5 runs per point
+//	nrbench -figure ablation          # ISP design-choice ablations
+//
+// Output is a fixed-width table per sub-figure (use -csv for CSV).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"netrecovery/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nrbench", flag.ContinueOnError)
+	var (
+		figure     = fs.String("figure", "4", "figure to regenerate: 3-9, 'ablation' or 'all'")
+		profile    = fs.String("profile", "quick", "parameter profile: quick | paper")
+		runs       = fs.Int("runs", 0, "override the number of runs per point")
+		seed       = fs.Int64("seed", 0, "override the base random seed")
+		includeOpt = fs.Bool("opt", false, "force-include the OPT baseline")
+		noOpt      = fs.Bool("no-opt", false, "exclude the OPT baseline")
+		optTime    = fs.Duration("opt-time", 0, "time limit per OPT invocation")
+		csv        = fs.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg experiments.Config
+	switch *profile {
+	case "quick":
+		cfg = experiments.Quick()
+	case "paper":
+		cfg = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown profile %q (quick | paper)", *profile)
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *includeOpt {
+		cfg.IncludeOpt = true
+	}
+	if *noOpt {
+		cfg.IncludeOpt = false
+	}
+	if *optTime > 0 {
+		cfg.OptTimeLimit = *optTime
+	}
+
+	figures := []string{*figure}
+	if *figure == "all" {
+		figures = experiments.Figures()
+	}
+
+	for _, fig := range figures {
+		start := time.Now()
+		var (
+			res *experiments.FigureResult
+			err error
+		)
+		if fig == "ablation" {
+			res, err = experiments.AblationCentrality(cfg)
+		} else {
+			res, err = experiments.Run(fig, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "== Figure %s (profile %s, %d runs, %s) ==\n\n", res.Figure, *profile, cfg.Runs, time.Since(start).Round(time.Millisecond))
+		for _, table := range res.Tables {
+			var renderErr error
+			if *csv {
+				fmt.Fprintf(stdout, "# %s\n", table.Title)
+				renderErr = table.CSV(stdout)
+				fmt.Fprintln(stdout)
+			} else {
+				renderErr = table.Render(stdout)
+			}
+			if renderErr != nil {
+				return renderErr
+			}
+		}
+		fmt.Fprintln(stdout, strings.Repeat("-", 60))
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-figure", "8", "-profile", "quick", "-runs", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== Figure 8") {
+		t.Errorf("missing figure header: %q", text)
+	}
+	if !strings.Contains(text, "CAIDA-like topology statistics") {
+		t.Errorf("missing table title: %q", text)
+	}
+}
+
+func TestRunFigure4NoOptCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-figure", "4", "-runs", "1", "-no-opt", "-csv", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "demand pairs,ISP") {
+		t.Errorf("missing CSV header: %q", text)
+	}
+	if strings.Contains(text, "OPT") {
+		t.Errorf("-no-opt should drop the OPT column: %q", text)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-figure", "ablation", "-runs", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ISP-no-pruning") {
+		t.Errorf("missing ablation series: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-figure", "17"}, &out); err == nil {
+		t.Error("expected error for unknown figure")
+	}
+	if err := run([]string{"-profile", "bogus"}, &out); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

@@ -1,0 +1,238 @@
+// Command nrecover runs a recovery algorithm on a topology file with a
+// synthetic disruption and demand set, printing the repair plan.
+//
+// Usage:
+//
+//	nrecover -topology bell.json -pairs 4 -flow 10 -variance 50 -solver ISP
+//	nrecover -topology er.json -destroy-all -pairs 5 -flow 1 -solver SRT
+//	nrecover -topology bell.json -pairs 3 -flow 10 -variance 40 -compare
+//
+// With -compare every available solver is run and a comparison table is
+// printed instead of a single plan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/experiments"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/progressive"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nrecover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nrecover", flag.ContinueOnError)
+	var (
+		topoPath   = fs.String("topology", "", "topology JSON file (default: built-in Bell-Canada)")
+		solverName = fs.String("solver", "ISP", "solver: ISP | OPT | SRT | GRD-COM | GRD-NC | ALL")
+		pairs      = fs.Int("pairs", 4, "number of far-apart demand pairs to generate")
+		flowUnits  = fs.Float64("flow", 10, "flow units per demand pair")
+		variance   = fs.Float64("variance", 50, "variance of the geographic disruption")
+		destroyAll = fs.Bool("destroy-all", false, "destroy the whole network instead of a geographic disruption")
+		seed       = fs.Int64("seed", 1, "random seed for demand and disruption generation")
+		fast       = fs.Bool("fast", false, "use ISP's greedy split mode (large topologies)")
+		compare    = fs.Bool("compare", false, "run every solver and print a comparison table")
+		optTime    = fs.Duration("opt-time", 60*time.Second, "time limit for the OPT solver")
+		routes     = fs.Bool("routes", false, "also print the per-demand routes of the plan")
+		stages     = fs.Float64("stage-budget", 0, "if positive, also print a progressive repair schedule with this per-stage budget")
+		graphml    = fs.Bool("graphml", false, "parse -topology as an Internet Topology Zoo GraphML file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pairs <= 0 || *flowUnits <= 0 {
+		return fmt.Errorf("need a positive number of demand pairs (-pairs) and flow units (-flow)")
+	}
+
+	g, name, err := loadTopology(*topoPath, *graphml)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	dg, err := demand.GenerateFarApartPairs(g, *pairs, *flowUnits, rng)
+	if err != nil {
+		return err
+	}
+	var d disruption.Disruption
+	if *destroyAll {
+		d = disruption.Complete(g)
+	} else {
+		d = disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: *variance, PeakProbability: 1}, rng)
+	}
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "topology %s: %d nodes, %d edges; disruption: %d nodes + %d edges broken; demand: %d pairs x %.0f units\n\n",
+		name, g.NumNodes(), g.NumEdges(), len(d.Nodes), len(d.Edges), *pairs, *flowUnits)
+
+	if *compare {
+		cfg := experiments.Quick()
+		cfg.IncludeOpt = g.NumNodes() <= 100
+		cfg.OptTimeLimit = *optTime
+		cfg.FastISP = *fast || g.NumNodes() > 100
+		table, err := experiments.CompareOnScenario(s, cfg)
+		if err != nil {
+			return err
+		}
+		legend := experiments.SeriesLegend(cfg)
+		for i, solver := range legend {
+			fmt.Fprintf(stdout, "row %d = %s\n", i+1, solver)
+		}
+		fmt.Fprintln(stdout)
+		return table.Render(stdout)
+	}
+
+	solver, err := buildSolver(*solverName, *fast, *optTime)
+	if err != nil {
+		return err
+	}
+	plan, err := solver.Solve(s)
+	if err != nil {
+		return err
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		return fmt.Errorf("produced plan failed verification: %w", err)
+	}
+	printPlan(stdout, s, plan)
+	if *routes {
+		printRoutes(stdout, s, plan)
+	}
+	if *stages > 0 {
+		if err := printStages(stdout, s, plan, *stages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printRoutes decomposes the plan's routing into explicit per-demand paths.
+func printRoutes(w io.Writer, s *scenario.Scenario, plan *scenario.Plan) {
+	fmt.Fprintln(w, "\nroutes:")
+	paths := flow.DecomposeRouting(s.Supply, plan.Routing)
+	if len(paths) == 0 {
+		fmt.Fprintln(w, "  (no routing recorded)")
+		return
+	}
+	for _, rp := range paths {
+		pair, _ := s.Demand.Pair(rp.Pair)
+		fmt.Fprintf(w, "  demand %d (%d -> %d): %.1f units via %s\n", rp.Pair, pair.Source, pair.Target, rp.Flow, rp.Path)
+	}
+}
+
+// printStages prints a progressive repair schedule for the plan.
+func printStages(w io.Writer, s *scenario.Scenario, plan *scenario.Plan, budget float64) error {
+	sched, err := progressive.Build(s, plan, progressive.Options{StageBudget: budget})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nprogressive schedule (budget %.1f per stage):\n", budget)
+	for _, stage := range sched.Stages {
+		fmt.Fprintf(w, "  stage %d: %d repairs (cost %.1f) -> %.1f%% of demand served\n",
+			stage.Index, len(stage.Repairs), stage.Cost, 100*stage.SatisfiedRatio)
+	}
+	return nil
+}
+
+func loadTopology(path string, graphml bool) (*graph.Graph, string, error) {
+	if path == "" {
+		return topology.BellCanada(), "bell-canada (built-in)", nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	if graphml {
+		g, gerr := topology.ReadGraphML(f, topology.GraphMLOptions{})
+		if gerr != nil {
+			return nil, "", gerr
+		}
+		return g, path, nil
+	}
+	return topologyRead(f, path)
+}
+
+func topologyRead(r io.Reader, path string) (*graph.Graph, string, error) {
+	g, name, err := topology.Read(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("read %s: %w", path, err)
+	}
+	if name == "" {
+		name = path
+	}
+	return g, name, nil
+}
+
+func buildSolver(name string, fast bool, optTime time.Duration) (heuristics.Solver, error) {
+	switch name {
+	case core.SolverName:
+		opts := core.Options{}
+		if fast {
+			opts.SplitMode = core.SplitGreedy
+			opts.Routability = flow.Options{Mode: flow.ModeAuto}
+		}
+		return &heuristics.ISPSolver{Options: opts}, nil
+	case heuristics.OptName:
+		return &heuristics.Opt{TimeLimit: optTime}, nil
+	default:
+		return heuristics.New(name)
+	}
+}
+
+func printPlan(w io.Writer, s *scenario.Scenario, plan *scenario.Plan) {
+	nodes, edges, total := plan.NumRepairs()
+	fmt.Fprintf(w, "%s plan: %d node repairs + %d edge repairs = %d total (cost %.1f)\n",
+		plan.Solver, nodes, edges, total, plan.RepairCost(s))
+	fmt.Fprintf(w, "satisfied demand: %.1f%% of %.1f units\n", 100*plan.SatisfactionRatio(), plan.TotalDemand)
+	fmt.Fprintf(w, "runtime: %v\n", plan.Runtime.Round(time.Millisecond))
+	if plan.Notes != "" {
+		fmt.Fprintf(w, "notes: %s\n", plan.Notes)
+	}
+
+	repairNodeIDs := make([]int, 0, len(plan.RepairedNodes))
+	for v := range plan.RepairedNodes {
+		repairNodeIDs = append(repairNodeIDs, int(v))
+	}
+	sort.Ints(repairNodeIDs)
+	fmt.Fprintf(w, "\nnodes to repair:")
+	for _, v := range repairNodeIDs {
+		node := s.Supply.Node(graph.NodeID(v))
+		label := node.Name
+		if label == "" {
+			label = fmt.Sprintf("#%d", v)
+		}
+		fmt.Fprintf(w, " %s", label)
+	}
+	repairEdgeIDs := make([]int, 0, len(plan.RepairedEdges))
+	for e := range plan.RepairedEdges {
+		repairEdgeIDs = append(repairEdgeIDs, int(e))
+	}
+	sort.Ints(repairEdgeIDs)
+	fmt.Fprintf(w, "\nlinks to repair:")
+	for _, e := range repairEdgeIDs {
+		edge := s.Supply.Edge(graph.EdgeID(e))
+		fmt.Fprintf(w, " (%d-%d)", edge.From, edge.To)
+	}
+	fmt.Fprintln(w)
+}

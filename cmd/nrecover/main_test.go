@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netrecovery/internal/topology"
+)
+
+func TestRunDefaultTopologyISP(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-pairs", "2", "-flow", "8", "-variance", "30", "-seed", "4", "-fast"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ISP plan:") {
+		t.Errorf("output missing plan header: %q", text)
+	}
+	if !strings.Contains(text, "satisfied demand: 100.0%") {
+		t.Errorf("ISP should serve the full demand: %q", text)
+	}
+	if !strings.Contains(text, "nodes to repair:") || !strings.Contains(text, "links to repair:") {
+		t.Errorf("output missing repair lists: %q", text)
+	}
+}
+
+func TestRunEverySolverName(t *testing.T) {
+	for _, solver := range []string{"ISP", "SRT", "GRD-COM", "GRD-NC", "ALL"} {
+		t.Run(solver, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run([]string{"-pairs", "2", "-flow", "5", "-variance", "20", "-seed", "9", "-solver", solver}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), solver+" plan:") {
+				t.Errorf("missing %s plan header: %q", solver, out.String())
+			}
+		})
+	}
+}
+
+func TestRunOptSolverSmall(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-pairs", "1", "-flow", "5", "-variance", "15", "-seed", "2", "-solver", "OPT", "-opt-time", "10s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OPT plan:") {
+		t.Errorf("missing OPT plan header: %q", out.String())
+	}
+}
+
+func TestRunCompareMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-pairs", "2", "-flow", "8", "-variance", "25", "-seed", "5", "-compare", "-fast"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solver comparison") {
+		t.Errorf("missing comparison table: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "row 1 = ISP") {
+		t.Errorf("missing legend: %q", out.String())
+	}
+}
+
+func TestRunWithTopologyFileAndDestroyAll(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.json")
+	g, err := topology.Grid(3, 3, topology.DefaultConfig(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.Write(f, "test-grid", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-topology", path, "-pairs", "1", "-flow", "10", "-destroy-all", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "test-grid") {
+		t.Errorf("topology name missing from output: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("expected error for missing topology file")
+	}
+	if err := run([]string{"-solver", "NOPE"}, &out); err == nil {
+		t.Error("expected error for unknown solver")
+	}
+	if err := run([]string{"-pairs", "0", "-flow", "0"}, &out); err == nil {
+		t.Error("expected error for empty demand (zero flow)")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestBuildSolverVariants(t *testing.T) {
+	if s, err := buildSolver("ISP", true, 0); err != nil || s.Name() != "ISP" {
+		t.Errorf("buildSolver ISP fast: %v, %v", s, err)
+	}
+	if s, err := buildSolver("OPT", false, 0); err != nil || s.Name() != "OPT" {
+		t.Errorf("buildSolver OPT: %v, %v", s, err)
+	}
+	if _, err := buildSolver("junk", false, 0); err == nil {
+		t.Error("expected error for unknown solver")
+	}
+}
+
+func TestRunRoutesAndStages(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-pairs", "2", "-flow", "8", "-variance", "30", "-seed", "4", "-routes", "-stage-budget", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "routes:") || !strings.Contains(text, "units via") {
+		t.Errorf("missing route decomposition: %q", text)
+	}
+	if !strings.Contains(text, "progressive schedule") || !strings.Contains(text, "stage 1:") {
+		t.Errorf("missing progressive schedule: %q", text)
+	}
+}
+
+func TestRunGraphMLTopology(t *testing.T) {
+	const sample = `<?xml version="1.0"?><graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+	<graph>
+	<node id="a"/><node id="b"/><node id="c"/><node id="d"/>
+	<edge source="a" target="b"/><edge source="b" target="c"/><edge source="c" target="d"/><edge source="a" target="d"/>
+	</graph></graphml>`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zoo.graphml")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-topology", path, "-graphml", "-pairs", "1", "-flow", "5", "-destroy-all"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4 nodes, 4 edges") {
+		t.Errorf("GraphML topology not loaded: %q", out.String())
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netrecovery/internal/topology"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	cases := map[string][]string{
+		"bell-canada": {"-kind", "bell-canada"},
+		"erdos-renyi": {"-kind", "erdos-renyi", "-nodes", "20", "-p", "0.3", "-seed", "2"},
+		"grid":        {"-kind", "grid", "-rows", "3", "-cols", "5", "-capacity", "7"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			g, topoName, err := topology.Read(&out)
+			if err != nil {
+				t.Fatalf("generated output is not a readable topology: %v", err)
+			}
+			if topoName != name {
+				t.Errorf("name = %q, want %q", topoName, name)
+			}
+			if g.NumNodes() == 0 || g.NumEdges() == 0 {
+				t.Error("generated topology is empty")
+			}
+		})
+	}
+}
+
+func TestGenerateCAIDAToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "caida.json")
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "caida", "-seed", "3", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := topology.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != topology.CAIDALikeNodes || g.NumEdges() != topology.CAIDALikeEdges {
+		t.Errorf("CAIDA topology size = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "unknown"}, &out); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if err := run([]string{"-kind", "grid", "-rows", "0"}, &out); err == nil {
+		t.Error("expected error for invalid grid dimensions")
+	}
+	if err := run([]string{"-kind", "erdos-renyi", "-p", "1.5"}, &out); err == nil {
+		t.Error("expected error for invalid edge probability")
+	}
+	if err := run([]string{"-out", filepath.Join("missing", "dir", "x.json")}, &out); err == nil {
+		t.Error("expected error for unwritable output path")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+	if !strings.Contains(out.String(), "") {
+		t.Log("no stdout expected for error cases")
+	}
+}

@@ -1,0 +1,64 @@
+// Progressive-disaster study: sweep the variance of the geographic failure
+// model on the Bell-Canada backbone (the x axis of Fig. 6) and report how
+// many repairs ISP needs versus repairing everything, together with the
+// demand served. This is the programmatic equivalent of
+// `nrbench -figure 6`, expressed against the public API.
+//
+// Run with:
+//
+//	go run ./examples/progressive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netrecovery"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	variances := []float64{10, 25, 50, 75, 100, 150}
+	const runsPerPoint = 3
+
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "variance", "broken", "ISP repairs", "ALL repairs", "served %")
+	for _, variance := range variances {
+		var brokenSum, ispSum, allSum, servedSum float64
+		for run := 0; run < runsPerPoint; run++ {
+			seed := int64(100*variance) + int64(run)
+			net := netrecovery.BellCanada()
+			if err := net.AddFarApartDemands(4, 10, seed); err != nil {
+				return err
+			}
+			net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: variance, Seed: seed})
+			broken := net.Broken()
+
+			plan, err := net.Recover(netrecovery.ISP)
+			if err != nil {
+				return err
+			}
+			if err := plan.Verify(); err != nil {
+				return fmt.Errorf("variance %.0f: %w", variance, err)
+			}
+			_, _, total := plan.Repairs()
+			brokenSum += float64(broken.BrokenNodes + broken.BrokenEdges)
+			ispSum += float64(total)
+			allSum += float64(broken.BrokenNodes + broken.BrokenEdges)
+			servedSum += 100 * plan.SatisfiedDemandRatio()
+		}
+		fmt.Printf("%-10.0f %12.1f %12.1f %12.1f %11.1f%%\n",
+			variance,
+			brokenSum/runsPerPoint,
+			ispSum/runsPerPoint,
+			allSum/runsPerPoint,
+			servedSum/runsPerPoint)
+	}
+	fmt.Println("\nAs the disaster widens, ISP's repair count grows far more slowly than the")
+	fmt.Println("number of destroyed elements: it only repairs what the critical flows need.")
+	return nil
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small grid network, destroy it completely, and ask ISP
+// which nodes and links to repair so a single mission-critical flow can be
+// restored.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netrecovery"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 4x4 grid of routers with 20-unit links.
+	net, err := netrecovery.Grid(4, 4, 20)
+	if err != nil {
+		return err
+	}
+
+	// One mission-critical flow of 15 units between opposite corners
+	// (node 0 is the top-left corner, node 15 the bottom-right one).
+	if err := net.AddDemandByID(0, 15, 15); err != nil {
+		return err
+	}
+
+	// A disaster takes down the whole network.
+	report := net.ApplyCompleteDestruction()
+	fmt.Printf("disaster: %d nodes and %d links destroyed\n", report.BrokenNodes, report.BrokenEdges)
+
+	// Ask ISP for the cheapest set of repairs that restores the flow.
+	plan, err := net.Recover(netrecovery.ISP)
+	if err != nil {
+		return err
+	}
+	if err := plan.Verify(); err != nil {
+		return fmt.Errorf("plan failed verification: %w", err)
+	}
+
+	fmt.Println(plan.Summary())
+	fmt.Println("nodes to repair:", plan.RepairedNodes())
+	fmt.Println("links to repair:", plan.RepairedLinks())
+
+	// Compare against repairing everything.
+	allPlan, err := net.Recover(netrecovery.All)
+	if err != nil {
+		return err
+	}
+	_, _, ispTotal := plan.Repairs()
+	_, _, allTotal := allPlan.Repairs()
+	fmt.Printf("ISP repairs %d of the %d destroyed elements (%.0f%% saved)\n",
+		ispTotal, allTotal, 100*(1-float64(ispTotal)/float64(allTotal)))
+	return nil
+}

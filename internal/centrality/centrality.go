@@ -1,0 +1,199 @@
+// Package centrality implements the demand-based centrality metric of
+// §IV-B (equation 3), the core ranking ingredient of ISP, together with
+// classical betweenness centrality used as an ablation baseline.
+package centrality
+
+import (
+	"math"
+	"sort"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+)
+
+// Result is the outcome of a demand-based centrality computation.
+type Result struct {
+	// Scores maps every node to its centrality c_d(v).
+	Scores map[graph.NodeID]float64
+	// Contributions[v] is C(v): the set of demand pairs whose shortest-path
+	// set traverses v (and therefore contributed to its score).
+	Contributions map[graph.NodeID]map[demand.PairID]bool
+	// PathSets[h] is the estimated shortest-path set P̂*(s_h, t_h) used for
+	// pair h, exposed so that ISP's split decision can reuse it without
+	// recomputation.
+	PathSets map[demand.PairID][]graph.WeightedPath
+}
+
+// Score returns the centrality of v (0 when unknown).
+func (r Result) Score(v graph.NodeID) float64 { return r.Scores[v] }
+
+// TopNode returns the node with the highest centrality, breaking ties by the
+// smallest node ID for determinism. ok is false when no node has positive
+// centrality.
+func (r Result) TopNode() (graph.NodeID, bool) {
+	best := graph.InvalidNode
+	bestScore := 0.0
+	ids := make([]graph.NodeID, 0, len(r.Scores))
+	for v := range r.Scores {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		if s := r.Scores[v]; s > bestScore+1e-12 {
+			best = v
+			bestScore = s
+		}
+	}
+	return best, best != graph.InvalidNode
+}
+
+// Ranking returns all nodes with positive centrality ordered by decreasing
+// score (ties broken by node ID).
+func (r Result) Ranking() []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(r.Scores))
+	for v, s := range r.Scores {
+		if s > 1e-12 {
+			ids = append(ids, v)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := r.Scores[ids[i]], r.Scores[ids[j]]
+		if math.Abs(si-sj) > 1e-12 {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// DemandBased computes the demand-based centrality of every node of g under
+// the given demands, edge-length metric and residual capacities (nil means
+// the capacities stored on the graph), following the runtime estimation
+// procedure of §IV-B: for each demand, the shortest-path set P̂* is built by
+// iterated Dijkstra on a residual copy until the accumulated path capacity
+// covers the demand, and each node v on a selected path receives a share of
+// the demand proportional to the capacity of the paths through v.
+//
+// The computation deliberately uses the complete graph (broken elements
+// included): per §IV-C the ranking measures the *potential* of a node to
+// contribute to an efficient routing, disruptions notwithstanding.
+func DemandBased(g *graph.Graph, demands []demand.Pair, length graph.EdgeLength, residual map[graph.EdgeID]float64) Result {
+	res := Result{
+		Scores:        make(map[graph.NodeID]float64, g.NumNodes()),
+		Contributions: make(map[graph.NodeID]map[demand.PairID]bool),
+		PathSets:      make(map[demand.PairID][]graph.WeightedPath, len(demands)),
+	}
+	for _, d := range demands {
+		if d.Flow <= 1e-9 {
+			continue
+		}
+		paths, _ := g.ShortestPathSet(d.Source, d.Target, d.Flow, length, residual)
+		res.PathSets[d.ID] = paths
+		total := graph.TotalCapacity(paths)
+		if total <= 1e-12 {
+			continue
+		}
+		// Per-node capacity share.
+		perNode := make(map[graph.NodeID]float64)
+		for _, wp := range paths {
+			for _, v := range wp.Path.Nodes {
+				perNode[v] += wp.Capacity
+			}
+		}
+		for v, share := range perNode {
+			res.Scores[v] += share / total * d.Flow
+			if res.Contributions[v] == nil {
+				res.Contributions[v] = make(map[demand.PairID]bool)
+			}
+			res.Contributions[v][d.ID] = true
+		}
+	}
+	return res
+}
+
+// Betweenness computes classical (unweighted, unnormalised) betweenness
+// centrality for every node using Brandes' algorithm. It ignores demands and
+// capacities and is provided as the ablation baseline for ISP's ranking.
+func Betweenness(g *graph.Graph) map[graph.NodeID]float64 {
+	n := g.NumNodes()
+	cb := make(map[graph.NodeID]float64, n)
+	for s := 0; s < n; s++ {
+		source := graph.NodeID(s)
+		// Brandes single-source shortest-path accumulation.
+		var stack []graph.NodeID
+		preds := make([][]graph.NodeID, n)
+		sigma := make([]float64, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		sigma[source] = 1
+		dist[source] = 0
+		queue := []graph.NodeID{source}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		delta := make([]float64, n)
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != source {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Undirected graph: every pair was counted twice.
+	for v := range cb {
+		cb[v] /= 2
+	}
+	return cb
+}
+
+// BetweennessAsResult adapts classical betweenness to the Result shape used
+// by ISP so it can be swapped in as an ablation: every active demand is
+// listed as a contributor of every node with positive score (the classical
+// metric has no per-demand attribution).
+func BetweennessAsResult(g *graph.Graph, demands []demand.Pair) Result {
+	scores := Betweenness(g)
+	res := Result{
+		Scores:        make(map[graph.NodeID]float64, len(scores)),
+		Contributions: make(map[graph.NodeID]map[demand.PairID]bool),
+		PathSets:      make(map[demand.PairID][]graph.WeightedPath),
+	}
+	for v, s := range scores {
+		if s <= 1e-12 {
+			continue
+		}
+		res.Scores[v] = s
+		res.Contributions[v] = make(map[demand.PairID]bool)
+		for _, d := range demands {
+			if d.Flow > 1e-9 {
+				res.Contributions[v][d.ID] = true
+			}
+		}
+	}
+	// Path sets are still demand-specific: reuse the shortest-path-set
+	// machinery with the hop metric so split decisions remain well-defined.
+	for _, d := range demands {
+		if d.Flow <= 1e-9 {
+			continue
+		}
+		paths, _ := g.ShortestPathSet(d.Source, d.Target, d.Flow, graph.UnitLength, nil)
+		res.PathSets[d.ID] = paths
+	}
+	return res
+}

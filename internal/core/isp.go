@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// SolverName is the name recorded on plans produced by this package.
+const SolverName = "ISP"
+
+// Solve runs ISP on the scenario and returns the repair plan, the routing of
+// the demand flows and per-run statistics.
+//
+// The algorithm follows Algorithm 1 of the paper:
+//
+//	while the routability test on the working network fails:
+//	    prune every demand that working "bubble" paths can carry
+//	    if a demand endpoint pair has a broken direct supply link and cannot
+//	       be served by working paths: repair that link
+//	    else: pick the node with the highest demand-based centrality,
+//	          repair it if broken, and split the best demand through it
+//
+// Upon termination the residual demand is routed through the working network
+// (final routability routing) and combined with the routing accumulated by
+// prune actions.
+func Solve(s *scenario.Scenario, opts Options) (*scenario.Plan, Stats, error) {
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("isp: %w", err)
+	}
+	opts = opts.withDefaults(s.Supply.NumNodes() + s.Supply.NumEdges() + s.Demand.NumPairs())
+	st := newState(s, opts)
+
+	// Mandatory repairs: a broken endpoint of an active demand must be
+	// repaired in every feasible solution (its demand cannot otherwise
+	// terminate there), so schedule those repairs up front.
+	for _, p := range st.working.Active() {
+		st.repairNode(p.Source)
+		st.repairNode(p.Target)
+	}
+
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	for iter := 0; ; iter++ {
+		st.stats.Iterations = iter
+		if iter >= opts.MaxIterations {
+			st.stats.HitIteration = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			st.stats.HitTimeout = true
+			break
+		}
+
+		// Prune whatever the working network can already carry.
+		st.pruneAll()
+		if st.working.Empty() {
+			st.stats.FinalRouted = true
+			break
+		}
+
+		// Termination test: is the residual demand routable through the
+		// working network?
+		res := flow.CheckRoutability(st.workingInstance(), opts.Routability)
+		if res.Routable {
+			st.commitFinalRouting(res)
+			st.stats.FinalRouted = true
+			break
+		}
+
+		// Repair broken supply links that directly join demand endpoints
+		// that working paths cannot serve (§IV-E).
+		if st.repairDirectLinks() {
+			continue
+		}
+
+		// Split step: centrality ranking, candidate selection, dx, split.
+		rank := st.computeCentrality()
+		cand, ok := st.selectSplit(rank)
+		if !ok {
+			if !st.fallbackRepair() {
+				break
+			}
+			continue
+		}
+		st.repairNode(cand.via)
+		dx := st.splitAmount(cand, rank)
+		if dx <= epsilon {
+			// The chosen node cannot carry any additional flow. Progress is
+			// still guaranteed if the node was just repaired; otherwise fall
+			// back to repairing the shortest broken path of the hardest
+			// demand so the algorithm cannot stall.
+			if st.repairedThisIteration(cand.via) {
+				continue
+			}
+			if !st.fallbackRepair() {
+				break
+			}
+			continue
+		}
+		st.applySplit(cand, dx)
+	}
+
+	if !st.stats.FinalRouted {
+		st.bestEffortRouting()
+	}
+	plan := st.buildPlan(start)
+	return plan, st.stats, nil
+}
+
+// bestEffortRouting routes as much of the still-unserved demand as possible
+// over the working network when the run terminated early (iteration or time
+// limit) or the demand is not fully routable even with every repair, so the
+// returned plan still carries a maximal feasible routing instead of dropping
+// the flows it could have served.
+//
+// Routing happens between the *original* demand endpoints (not the derived
+// split pairs) so that per-pair flow conservation always holds in the
+// resulting plan; the residual capacities already account for the flow
+// committed by prune actions.
+func (st *state) bestEffortRouting() {
+	caps := st.workingCapacityMap()
+	for _, p := range st.scen.Demand.Active() {
+		remaining := p.Flow - st.deliveredForPair(p)
+		if remaining <= epsilon {
+			continue
+		}
+		if st.brokenNodes[p.Source] || st.brokenNodes[p.Target] {
+			continue
+		}
+		value, assignment := st.scen.Supply.MaxFlowWithAssignment(p.Source, p.Target, caps)
+		routed := math.Min(value, remaining)
+		if routed <= epsilon {
+			continue
+		}
+		scale := routed / value
+		scaled := make(map[graph.EdgeID]float64, len(assignment))
+		for eid, f := range assignment {
+			if v := f * scale; math.Abs(v) > epsilon {
+				scaled[eid] = v
+				caps[eid] -= math.Abs(v)
+				if caps[eid] < 0 {
+					caps[eid] = 0
+				}
+			}
+		}
+		for eid, f := range scaled {
+			st.routing.AddFlow(p.ID, eid, f)
+		}
+	}
+}
+
+// deliveredForPair returns the net flow already delivered to the target of
+// the original pair p by the accumulated routing.
+func (st *state) deliveredForPair(p demand.Pair) float64 {
+	flows := st.routing[p.ID]
+	if len(flows) == 0 {
+		return 0
+	}
+	net := 0.0
+	for eid, f := range flows {
+		e := st.scen.Supply.Edge(eid)
+		if e.To == p.Target {
+			net += f
+		}
+		if e.From == p.Target {
+			net -= f
+		}
+	}
+	if net < 0 {
+		return 0
+	}
+	return net
+}
+
+// repairedThisIteration reports whether v is listed for repair (used to
+// decide whether a zero-dx split iteration still made progress).
+func (st *state) repairedThisIteration(v graph.NodeID) bool {
+	return st.repairedNodes[v]
+}
+
+// commitFinalRouting merges the routing produced by the final routability
+// test into the accumulated plan routing and clears the residual demand.
+func (st *state) commitFinalRouting(res flow.Result) {
+	if res.Routing != nil {
+		for pid, flows := range res.Routing {
+			st.addRouting(pid, flows)
+		}
+	} else {
+		// The exact test can return no routing only for an empty demand;
+		// the constructive test always returns one when routable. As a
+		// safeguard, recompute constructively.
+		routing, ok := flow.ConstructiveRouting(st.workingInstance())
+		if ok {
+			for pid, flows := range routing {
+				st.addRouting(pid, flows)
+			}
+		}
+	}
+	for _, p := range st.working.Active() {
+		_ = st.working.SetFlow(p.ID, 0)
+	}
+}
+
+// repairDirectLinks implements §IV-E: for every active demand whose
+// endpoints cannot be served by working paths (the single-commodity max flow
+// on the working network is short of the demand) and that has a broken
+// direct supply edge between its endpoints, repair that edge. It reports
+// whether any repair happened.
+func (st *state) repairDirectLinks() bool {
+	repaired := false
+	caps := st.workingCapacityMap()
+	pairs := st.working.Active()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ID < pairs[j].ID })
+	for _, p := range pairs {
+		direct := st.brokenDirectEdge(p)
+		if direct == graph.InvalidEdge {
+			continue
+		}
+		available := 0.0
+		if !st.brokenNodes[p.Source] && !st.brokenNodes[p.Target] {
+			available = st.scen.Supply.MaxFlow(p.Source, p.Target, caps)
+		}
+		if available+epsilon >= p.Flow {
+			continue
+		}
+		st.repairEdge(direct)
+		// Repairing changes the working graph; refresh the capacity view.
+		caps = st.workingCapacityMap()
+		repaired = true
+	}
+	return repaired
+}
+
+// brokenDirectEdge returns a broken supply edge joining the endpoints of p,
+// or InvalidEdge if none exists.
+func (st *state) brokenDirectEdge(p demand.Pair) graph.EdgeID {
+	best := graph.InvalidEdge
+	bestCap := math.Inf(-1)
+	for _, eid := range st.scen.Supply.IncidentEdges(p.Source) {
+		e := st.scen.Supply.Edge(eid)
+		if e.Other(p.Source) != p.Target || !st.brokenEdges[eid] {
+			continue
+		}
+		if c := st.residual[eid]; c > bestCap {
+			best = eid
+			bestCap = c
+		}
+	}
+	return best
+}
+
+// workingCapacityMap returns the residual capacity of every edge usable in
+// the working network (0 for unusable edges), for max-flow queries.
+func (st *state) workingCapacityMap() map[graph.EdgeID]float64 {
+	caps := make(map[graph.EdgeID]float64, st.scen.Supply.NumEdges())
+	for i := 0; i < st.scen.Supply.NumEdges(); i++ {
+		id := graph.EdgeID(i)
+		if st.edgeUsableWorking(id) {
+			caps[id] = st.residual[id]
+		} else {
+			caps[id] = 0
+		}
+	}
+	return caps
+}
+
+// fallbackRepair guarantees progress when no split candidate exists (for
+// example when every centrality path set has zero capacity): it repairs the
+// broken elements of the shortest (dynamic-metric) path of the largest
+// unserved demand. It reports whether it repaired anything; returning false
+// means the instance cannot be advanced further (the demand is unroutable
+// even on the full graph).
+func (st *state) fallbackRepair() bool {
+	st.stats.Fallbacks++
+	pairs := st.working.SortedByFlowDesc()
+	metric := st.pathMetric()
+	for _, p := range pairs {
+		path, dist := st.scen.Supply.ShortestPath(p.Source, p.Target, metric)
+		if path.Empty() || math.IsInf(dist, 1) {
+			continue
+		}
+		progressed := false
+		for _, v := range path.Nodes {
+			if st.brokenNodes[v] {
+				st.repairNode(v)
+				progressed = true
+			}
+		}
+		for _, eid := range path.Edges {
+			if st.brokenEdges[eid] {
+				st.repairEdge(eid)
+				progressed = true
+			}
+		}
+		if progressed {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPlan assembles the final plan from the run state.
+func (st *state) buildPlan(start time.Time) *scenario.Plan {
+	plan := scenario.NewPlan(SolverName)
+	for v := range st.repairedNodes {
+		plan.RepairedNodes[v] = true
+	}
+	for e := range st.repairedEdges {
+		plan.RepairedEdges[e] = true
+	}
+	plan.Routing = st.routing.Clone()
+	plan.TotalDemand = st.scen.Demand.TotalFlow()
+	plan.SatisfiedDemand = st.deliveredDemand()
+	plan.Runtime = time.Since(start)
+	if st.stats.HitIteration || st.stats.HitTimeout {
+		plan.Notes = "terminated early (iteration or time limit)"
+	}
+	return plan
+}
+
+// deliveredDemand computes, per original pair, the net flow delivered to the
+// pair's target by the accumulated routing (capped at the pair's demand).
+func (st *state) deliveredDemand() float64 {
+	total := 0.0
+	for _, p := range st.scen.Demand.Active() {
+		flows := st.routing[p.ID]
+		if len(flows) == 0 {
+			continue
+		}
+		net := 0.0
+		for eid, f := range flows {
+			e := st.scen.Supply.Edge(eid)
+			if e.To == p.Target {
+				net += f
+			}
+			if e.From == p.Target {
+				net -= f
+			}
+		}
+		if net > p.Flow {
+			net = p.Flow
+		}
+		if net > 0 {
+			total += net
+		}
+	}
+	return total
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+func TestISPDisconnectedDemandIsPartial(t *testing.T) {
+	// Two separate components; one demand inside the first component (fully
+	// servable after repairs), one across components (impossible).
+	g := graph.New(4, 2)
+	for i := 0; i < 4; i++ {
+		g.AddNode("", float64(i), 0, 1)
+	}
+	g.MustAddEdge(0, 1, 10, 1)
+	g.MustAddEdge(2, 3, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 1, 5) // servable
+	dg.MustAdd(0, 3, 5) // crosses components: impossible
+	d := disruption.Complete(g)
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+
+	plan, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() > 0.5+1e-9 || plan.SatisfactionRatio() < 0.5-1e-9 {
+		t.Errorf("satisfaction = %f, want exactly 0.5 (one of two demands)", plan.SatisfactionRatio())
+	}
+	if stats.FinalRouted {
+		t.Error("the run cannot terminate normally with an unroutable demand")
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestISPZeroDemandScenario(t *testing.T) {
+	g, err := topology.Grid(2, 2, topology.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := disruption.Complete(g)
+	s := &scenario.Scenario{Supply: g, Demand: demand.New(), BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	plan, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total := plan.NumRepairs(); total != 0 {
+		t.Errorf("repairs = %d, want 0 with no demand", total)
+	}
+	if !stats.FinalRouted {
+		t.Error("empty demand should terminate immediately")
+	}
+}
+
+func TestISPParallelEdgesBetweenEndpoints(t *testing.T) {
+	// Two parallel broken edges between the demand endpoints with different
+	// capacities: ISP must repair at least the capacity needed, and the
+	// direct-link rule must pick a usable edge.
+	g := graph.New(2, 2)
+	g.AddNode("", 0, 0, 1)
+	g.AddNode("", 1, 0, 1)
+	small := g.MustAddEdge(0, 1, 3, 1)
+	big := g.MustAddEdge(0, 1, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 1, 8)
+	s := &scenario.Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: map[graph.NodeID]bool{},
+		BrokenEdges: map[graph.EdgeID]bool{small: true, big: true},
+	}
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	if !plan.RepairedEdges[big] {
+		t.Error("the 10-unit edge must be repaired to carry 8 units")
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+// Property: on random partially-destroyed grids with feasible demand, ISP
+// always produces a verifiable plan, never loses demand, and never repairs
+// more than what was broken.
+func TestISPRandomGridProperty(t *testing.T) {
+	g, err := topology.Grid(4, 4, topology.DefaultConfig(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := disruption.Random(g, 0.35, 0.35, rng)
+		dg := demand.New()
+		dg.MustAdd(0, 15, 10)
+		dg.MustAdd(3, 12, 10)
+		s := &scenario.Scenario{Supply: g.Clone(), Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+		plan, _, err := Solve(s, Options{SplitMode: SplitGreedy})
+		if err != nil {
+			return false
+		}
+		if err := scenario.VerifyPlan(s, plan); err != nil {
+			t.Logf("seed %d: invalid plan: %v", seed, err)
+			return false
+		}
+		if plan.SatisfactionRatio() < 1-1e-9 {
+			t.Logf("seed %d: demand loss %f", seed, plan.SatisfactionRatio())
+			return false
+		}
+		nodes, edges, _ := plan.NumRepairs()
+		return nodes <= len(d.Nodes) && edges <= len(d.Edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ISP's repair cost is monotone non-decreasing in the demand
+// volume on a fixed disruption (more demand can never need fewer repairs on
+// the same instance, up to heuristic noise which this test tolerates by
+// comparing the extreme points only).
+func TestISPMonotoneInDemand(t *testing.T) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(3))
+	d := disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: 60, PeakProbability: 1}, rng)
+	run := func(flow float64) float64 {
+		dg, err := demand.GenerateFarApartPairs(g, 3, flow, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &scenario.Scenario{Supply: g.Clone(), Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+		plan, _, err := Solve(s, Options{SplitMode: SplitGreedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := scenario.VerifyPlan(s, plan); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+		return plan.RepairCost(s)
+	}
+	low := run(2)
+	high := run(18)
+	if high+1e-9 < low {
+		t.Errorf("repair cost decreased when demand grew: %f -> %f", low, high)
+	}
+}

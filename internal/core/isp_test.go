@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// pathScenario builds a line 0-1-2-3-4 (capacity 10, unit costs) with the
+// given broken elements and one demand 0->4 of the given flow.
+func pathScenario(t *testing.T, brokenNodes []graph.NodeID, brokenEdges []graph.EdgeID, flowUnits float64) *scenario.Scenario {
+	t.Helper()
+	g := graph.New(5, 4)
+	for i := 0; i < 5; i++ {
+		g.AddNode("", float64(i), 0, 1)
+	}
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), 10, 1)
+	}
+	dg := demand.New()
+	dg.MustAdd(0, 4, flowUnits)
+	s := &scenario.Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: map[graph.NodeID]bool{},
+		BrokenEdges: map[graph.EdgeID]bool{},
+	}
+	for _, v := range brokenNodes {
+		s.BrokenNodes[v] = true
+	}
+	for _, e := range brokenEdges {
+		s.BrokenEdges[e] = true
+	}
+	return s
+}
+
+// gridScenario builds an n x n grid with the given capacity, a geographic or
+// complete disruption and a set of corner-to-corner demands.
+func gridScenario(t *testing.T, n int, capacity float64, complete bool, pairsFlow []float64) *scenario.Scenario {
+	t.Helper()
+	g, err := topology.Grid(n, n, topology.DefaultConfig(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := demand.New()
+	for i, f := range pairsFlow {
+		switch i % 2 {
+		case 0:
+			dg.MustAdd(0, graph.NodeID(n*n-1), f)
+		default:
+			dg.MustAdd(graph.NodeID(n-1), graph.NodeID(n*n-n), f)
+		}
+	}
+	var d disruption.Disruption
+	if complete {
+		d = disruption.Complete(g)
+	} else {
+		d = disruption.Random(g, 0.3, 0.3, rand.New(rand.NewSource(1)))
+	}
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+}
+
+func verifyPlan(t *testing.T, s *scenario.Scenario, p *scenario.Plan) {
+	t.Helper()
+	if err := scenario.VerifyPlan(s, p); err != nil {
+		t.Fatalf("plan verification failed: %v", err)
+	}
+}
+
+func TestISPNoDamageNoRepairs(t *testing.T) {
+	s := pathScenario(t, nil, nil, 5)
+	plan, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total := plan.NumRepairs(); total != 0 {
+		t.Errorf("repairs = %d, want 0", total)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	if !stats.FinalRouted {
+		t.Error("expected normal termination")
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPSingleBrokenEdgeOnPath(t *testing.T) {
+	// Only edge 1-2 broken on the line: ISP must repair exactly that edge.
+	s := pathScenario(t, nil, []graph.EdgeID{1}, 5)
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.RepairedEdges[1] {
+		t.Error("edge 1 must be repaired")
+	}
+	if _, _, total := plan.NumRepairs(); total != 1 {
+		t.Errorf("repairs = %d, want 1", total)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f", plan.SatisfactionRatio())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPBrokenEndpointIsRepaired(t *testing.T) {
+	s := pathScenario(t, []graph.NodeID{0}, nil, 5)
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.RepairedNodes[0] {
+		t.Error("demand endpoint 0 must be repaired")
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPCompleteDestructionLine(t *testing.T) {
+	// Whole line destroyed: the only way to serve 0->4 is to repair all 5
+	// nodes and all 4 edges.
+	s := pathScenario(t, []graph.NodeID{0, 1, 2, 3, 4}, []graph.EdgeID{0, 1, 2, 3}, 5)
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges, _ := plan.NumRepairs()
+	if nodes != 5 || edges != 4 {
+		t.Errorf("repairs = %d nodes, %d edges; want 5 and 4", nodes, edges)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPAvoidsUnnecessaryRepairs(t *testing.T) {
+	// Diamond: top route 0-1-3 broken, bottom route 0-2-3 working with
+	// enough capacity. ISP should repair nothing.
+	g := graph.New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddNode("", float64(i), float64(i%2), 1)
+	}
+	g.MustAddEdge(0, 1, 10, 1) // 0 broken
+	g.MustAddEdge(1, 3, 10, 1) // 1 broken
+	g.MustAddEdge(0, 2, 10, 1)
+	g.MustAddEdge(2, 3, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 3, 8)
+	s := &scenario.Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: map[graph.NodeID]bool{1: true},
+		BrokenEdges: map[graph.EdgeID]bool{0: true, 1: true},
+	}
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total := plan.NumRepairs(); total != 0 {
+		t.Errorf("repairs = %d, want 0 (working route suffices)", total)
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPRepairsOnlyOneRouteOfDiamond(t *testing.T) {
+	// Fully destroyed diamond with demand that fits on a single route: ISP
+	// should not repair both routes.
+	g := graph.New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddNode("", float64(i), float64(i%2), 1)
+	}
+	g.MustAddEdge(0, 1, 10, 1)
+	g.MustAddEdge(1, 3, 10, 1)
+	g.MustAddEdge(0, 2, 10, 1)
+	g.MustAddEdge(2, 3, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 3, 8)
+	d := disruption.Complete(g)
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges, _ := plan.NumRepairs()
+	if nodes > 3 {
+		t.Errorf("node repairs = %d, want <= 3 (one route)", nodes)
+	}
+	if edges > 2 {
+		t.Errorf("edge repairs = %d, want <= 2 (one route)", edges)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPSharesRepairsAcrossDemands(t *testing.T) {
+	// Two demands between the same far-apart endpoints of a destroyed 3x3
+	// grid: the total demand fits on one shared route, so ISP should repair
+	// roughly one route, not two.
+	g, err := topology.Grid(3, 3, topology.DefaultConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := demand.New()
+	dg.MustAdd(0, 8, 6)
+	dg.MustAdd(0, 8, 6)
+	d := disruption.Complete(g)
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, edges, _ := plan.NumRepairs()
+	if edges > 5 {
+		t.Errorf("edge repairs = %d, expected a single shared route (about 4)", edges)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPGridCompleteDestruction(t *testing.T) {
+	s := gridScenario(t, 3, 20, true, []float64{10, 10})
+	plan, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FinalRouted {
+		t.Errorf("expected normal termination, stats = %+v", stats)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1 (ISP incurs no demand loss)", plan.SatisfactionRatio())
+	}
+	nodes, edges, total := plan.NumRepairs()
+	if total == 0 || total > s.Supply.NumNodes()+s.Supply.NumEdges() {
+		t.Errorf("repairs = %d nodes + %d edges", nodes, edges)
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPGridPartialDestruction(t *testing.T) {
+	s := gridScenario(t, 4, 20, false, []float64{8, 8})
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	broken := s.TotalRepairCost()
+	if cost := plan.RepairCost(s); cost > broken {
+		t.Errorf("repair cost %f exceeds cost of repairing everything %f", cost, broken)
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPGreedySplitMode(t *testing.T) {
+	s := gridScenario(t, 3, 20, true, []float64{10, 10})
+	plan, _, err := Solve(s, Options{SplitMode: SplitGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("greedy split satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPAblations(t *testing.T) {
+	s := gridScenario(t, 3, 20, true, []float64{10})
+	base, _, err := Solve(s.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, baseTotal := base.NumRepairs()
+
+	cases := map[string]Options{
+		"betweenness centrality": {Centrality: CentralityBetweenness},
+		"static path metric":     {DisableDynamicPathMetric: true},
+		"no pruning":             {DisablePruning: true},
+	}
+	for name, opts := range cases {
+		t.Run(name, func(t *testing.T) {
+			plan, _, err := Solve(s.Clone(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyPlan(t, s, plan)
+			if plan.SatisfactionRatio() < 1-1e-9 {
+				t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+			}
+			if _, _, total := plan.NumRepairs(); total < baseTotal {
+				// Ablations may repair more, never fewer than needed; a
+				// smaller count than the default configuration would be
+				// surprising but not incorrect, so only log it.
+				t.Logf("%s repaired %d < base %d", name, total, baseTotal)
+			}
+		})
+	}
+}
+
+func TestISPUnroutableDemandReportsPartial(t *testing.T) {
+	// Demand exceeds total capacity even with every repair: ISP must not
+	// claim full satisfaction and must terminate.
+	s := pathScenario(t, nil, []graph.EdgeID{1}, 50)
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() > 0.5 {
+		t.Errorf("satisfaction = %f, want <= 0.2 (10 of 50 units)", plan.SatisfactionRatio())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPInvalidScenario(t *testing.T) {
+	if _, _, err := Solve(&scenario.Scenario{}, Options{}); err == nil {
+		t.Error("expected error for invalid scenario")
+	}
+}
+
+func TestISPIterationLimit(t *testing.T) {
+	s := gridScenario(t, 3, 20, true, []float64{10, 10})
+	plan, stats, err := Solve(s, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.HitIteration {
+		t.Errorf("expected iteration limit to trigger, stats = %+v", stats)
+	}
+	if plan == nil {
+		t.Fatal("expected a (partial) plan")
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPMultipleDemandsBellCanadaSubset(t *testing.T) {
+	// A light Bell-Canada scenario exercising the real topology with a
+	// geographic disruption; kept small (2 pairs, moderate flow) so the test
+	// stays fast while covering the full pipeline end to end.
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(42))
+	d := disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: 20, PeakProbability: 1}, rng)
+	dg, err := demand.GenerateFarApartPairs(g, 2, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	plan, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1 (stats %+v)", plan.SatisfactionRatio(), stats)
+	}
+	if _, _, total := plan.NumRepairs(); total > d.Total() {
+		t.Errorf("repairs %d exceed number of broken elements %d", total, d.Total())
+	}
+	verifyPlan(t, s, plan)
+}
+
+func TestISPDeliveredDemandComputation(t *testing.T) {
+	s := pathScenario(t, nil, nil, 5)
+	plan, _, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.SatisfiedDemand-5) > 1e-6 {
+		t.Errorf("SatisfiedDemand = %f, want 5", plan.SatisfiedDemand)
+	}
+	if math.Abs(plan.TotalDemand-5) > 1e-6 {
+		t.Errorf("TotalDemand = %f, want 5", plan.TotalDemand)
+	}
+}
+
+func TestISPRoutabilityModesAgree(t *testing.T) {
+	s := gridScenario(t, 3, 20, true, []float64{10})
+	exact, _, err := Solve(s.Clone(), Options{Routability: flow.Options{Mode: flow.ModeExact}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constructive, _, err := Solve(s.Clone(), Options{Routability: flow.Options{Mode: flow.ModeConstructive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.SatisfactionRatio() < 1-1e-9 || constructive.SatisfactionRatio() < 1-1e-9 {
+		t.Error("both modes must fully satisfy the demand")
+	}
+	_, _, exactTotal := exact.NumRepairs()
+	_, _, consTotal := constructive.NumRepairs()
+	if consTotal < exactTotal {
+		t.Logf("constructive mode repaired fewer elements (%d < %d)", consTotal, exactTotal)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+)
+
+// pruneAll repeatedly applies the prune action (§IV-F) until no demand can
+// be pruned. It returns the number of prune actions performed.
+func (st *state) pruneAll() int {
+	if st.opts.DisablePruning {
+		return 0
+	}
+	count := 0
+	for {
+		pruned := false
+		// Deterministic order: by working pair ID.
+		pairs := st.working.Active()
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].ID < pairs[j].ID })
+		for _, p := range pairs {
+			if st.pruneOne(p) {
+				pruned = true
+				count++
+				st.stats.Prunes++
+			}
+		}
+		if !pruned {
+			return count
+		}
+	}
+}
+
+// pruneOne attempts to prune (part of) demand pair p over a bubble of
+// working paths (Theorem 3). It routes the pruned amount, consumes residual
+// capacity and reduces the working demand. It reports whether any amount was
+// pruned.
+func (st *state) pruneOne(p demand.Pair) bool {
+	if p.Flow <= epsilon {
+		return false
+	}
+	// Both endpoints must currently work.
+	if st.brokenNodes[p.Source] || st.brokenNodes[p.Target] {
+		return false
+	}
+	bubble := st.findBubble(p)
+	if bubble == nil || !bubble[p.Target] {
+		return false
+	}
+
+	// Max flow from source to target restricted to the bubble's working
+	// edges with residual capacities.
+	caps := make(map[graph.EdgeID]float64, st.scen.Supply.NumEdges())
+	for i := 0; i < st.scen.Supply.NumEdges(); i++ {
+		id := graph.EdgeID(i)
+		e := st.scen.Supply.Edge(id)
+		if !st.edgeUsableWorking(id) || !bubble[e.From] || !bubble[e.To] {
+			caps[id] = 0
+			continue
+		}
+		caps[id] = st.residual[id]
+	}
+	value, assignment := st.scen.Supply.MaxFlowWithAssignment(p.Source, p.Target, caps)
+	prunable := math.Min(value, p.Flow)
+	if prunable <= epsilon {
+		return false
+	}
+	// Scale the assignment to the pruned amount and commit it.
+	scale := prunable / value
+	scaled := make(map[graph.EdgeID]float64, len(assignment))
+	for eid, f := range assignment {
+		if v := f * scale; math.Abs(v) > epsilon {
+			scaled[eid] = v
+		}
+	}
+	st.addRouting(p.ID, scaled)
+	st.consumeCapacity(scaled)
+	if _, err := st.working.Reduce(p.ID, prunable); err != nil {
+		return false
+	}
+	return true
+}
+
+// findBubble returns the bubble S_h of demand pair p (Definition 2): the set
+// of nodes reachable from the source through working edges without entering
+// the endpoint of any other active demand. The target is allowed (and must
+// be reached for the bubble to be usable); other demand endpoints act as
+// barriers, which guarantees that no conflicting demand can need the
+// bubble's capacity without crossing s_h or t_h. It returns nil when the
+// source itself is unusable.
+func (st *state) findBubble(p demand.Pair) map[graph.NodeID]bool {
+	if st.brokenNodes[p.Source] {
+		return nil
+	}
+	// Endpoints of other active demands are barriers.
+	barrier := make(map[graph.NodeID]bool)
+	for _, other := range st.working.Active() {
+		if other.ID == p.ID {
+			continue
+		}
+		barrier[other.Source] = true
+		barrier[other.Target] = true
+	}
+	delete(barrier, p.Source)
+	delete(barrier, p.Target)
+
+	visited := map[graph.NodeID]bool{p.Source: true}
+	queue := []graph.NodeID{p.Source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if barrier[u] {
+			// Barrier nodes are not expanded (and not part of the bubble).
+			continue
+		}
+		for _, eid := range st.scen.Supply.IncidentEdges(u) {
+			if !st.edgeUsableWorking(eid) {
+				continue
+			}
+			v := st.scen.Supply.Edge(eid).Other(u)
+			if visited[v] || barrier[v] {
+				continue
+			}
+			visited[v] = true
+			queue = append(queue, v)
+		}
+	}
+	return visited
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"netrecovery/internal/centrality"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+)
+
+// computeCentrality runs the configured centrality metric on the complete
+// supply graph with residual capacities and the current demand (§IV-B).
+func (st *state) computeCentrality() centrality.Result {
+	demands := st.working.Active()
+	if st.opts.Centrality == CentralityBetweenness {
+		return centrality.BetweennessAsResult(st.scen.Supply, demands)
+	}
+	return centrality.DemandBased(st.scen.Supply, demands, st.pathMetric(), st.residual)
+}
+
+// splitCandidate is one (node, demand) option for a split action.
+type splitCandidate struct {
+	via   graph.NodeID
+	pair  demand.Pair
+	score float64
+}
+
+// selectSplit implements Decision (1) of §IV-C for a given centrality
+// ranking: walk the nodes in decreasing centrality order and, for the first
+// node with usable contributing demands, pick the demand maximising
+//
+//	min{d_h, sum of c(p) for p in P*(h)|v} / f*(s_h, t_h)
+//
+// where f* is the max flow between the endpoints on the complete supply
+// graph with residual capacities. Demands whose endpoint is the candidate
+// node itself are skipped (splitting through an endpoint is a no-op).
+// Returns false when no candidate exists.
+func (st *state) selectSplit(rank centrality.Result) (splitCandidate, bool) {
+	caps := make(map[graph.EdgeID]float64, len(st.residual))
+	for eid, c := range st.residual {
+		caps[eid] = c
+	}
+	for _, via := range rank.Ranking() {
+		contributors := rank.Contributions[via]
+		if len(contributors) == 0 {
+			continue
+		}
+		ids := make([]demand.PairID, 0, len(contributors))
+		for id := range contributors {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		best := splitCandidate{score: -1}
+		for _, id := range ids {
+			p, ok := st.working.Pair(id)
+			if !ok || p.Flow <= epsilon {
+				continue
+			}
+			if p.Source == via || p.Target == via {
+				continue
+			}
+			// Capacity of the shortest paths through via.
+			through := graph.PathsThrough(rank.PathSets[id], via)
+			capThrough := graph.TotalCapacity(through)
+			if capThrough <= epsilon {
+				continue
+			}
+			maxFlow := st.scen.Supply.MaxFlow(p.Source, p.Target, caps)
+			if maxFlow <= epsilon {
+				continue
+			}
+			score := math.Min(p.Flow, capThrough) / maxFlow
+			if score > best.score {
+				best = splitCandidate{via: via, pair: p, score: score}
+			}
+		}
+		if best.score >= 0 {
+			return best, true
+		}
+	}
+	return splitCandidate{}, false
+}
+
+// splitAmount implements Decision (2) of §IV-C: the maximum dx that can be
+// split through the candidate node while keeping the whole demand set
+// routable on the complete supply graph with residual capacities.
+func (st *state) splitAmount(cand splitCandidate, rank centrality.Result) float64 {
+	switch st.opts.SplitMode {
+	case SplitGreedy:
+		return st.greedySplitAmount(cand, rank)
+	default:
+		dx, err := flow.MaxSplit(st.potentialInstance(), cand.pair, cand.via)
+		if err != nil {
+			return 0
+		}
+		return dx
+	}
+}
+
+// greedySplitAmount estimates dx as the capacity of the centrality path set
+// through the split node (capped by the demand), then halves it until the
+// post-split demand set passes a constructive routability check on the
+// complete graph, giving up below a small fraction of the demand.
+func (st *state) greedySplitAmount(cand splitCandidate, rank centrality.Result) float64 {
+	through := graph.PathsThrough(rank.PathSets[cand.pair.ID], cand.via)
+	dx := math.Min(cand.pair.Flow, graph.TotalCapacity(through))
+	if dx <= epsilon {
+		return 0
+	}
+	minDx := cand.pair.Flow / 64
+	for dx > minDx {
+		if st.postSplitRoutable(cand, dx) {
+			return dx
+		}
+		dx /= 2
+	}
+	return 0
+}
+
+// postSplitRoutable checks (constructively) whether splitting dx of the
+// candidate demand through the candidate node keeps the demand set routable
+// on the complete supply graph with residual capacities.
+func (st *state) postSplitRoutable(cand splitCandidate, dx float64) bool {
+	demands := make([]demand.Pair, 0, len(st.working.Active())+2)
+	nextID := demand.PairID(1 << 20)
+	for _, p := range st.working.Active() {
+		if p.ID == cand.pair.ID {
+			if p.Flow-dx > epsilon {
+				demands = append(demands, demand.Pair{ID: p.ID, Source: p.Source, Target: p.Target, Flow: p.Flow - dx})
+			}
+			continue
+		}
+		demands = append(demands, p)
+	}
+	demands = append(demands,
+		demand.Pair{ID: nextID, Source: cand.pair.Source, Target: cand.via, Flow: dx},
+		demand.Pair{ID: nextID + 1, Source: cand.via, Target: cand.pair.Target, Flow: dx},
+	)
+	in := &flow.Instance{Graph: st.scen.Supply, Capacities: st.residual, Demands: demands}
+	_, ok := flow.ConstructiveRouting(in)
+	return ok
+}
+
+// applySplit performs the split action: reduces the split pair by dx and
+// adds the two derived pairs (s_h, via) and (via, t_h), both inheriting the
+// original pair's root for routing attribution.
+func (st *state) applySplit(cand splitCandidate, dx float64) {
+	root := st.rootOf[cand.pair.ID]
+	if _, err := st.working.Reduce(cand.pair.ID, dx); err != nil {
+		return
+	}
+	st.addWorkingDemand(cand.pair.Source, cand.via, dx, root)
+	st.addWorkingDemand(cand.via, cand.pair.Target, dx, root)
+	st.stats.Splits++
+}

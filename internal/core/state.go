@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// epsilon is the tolerance under which demands, capacities and flows are
+// treated as zero inside ISP.
+const epsilon = 1e-7
+
+// state is the mutable per-run state of ISP: the evolving demand graph
+// H^(n), residual capacities c^(n), the broken sets V_B^(n) / E_B^(n), the
+// repair list L^(n) and the routing accumulated by prune actions.
+type state struct {
+	scen *scenario.Scenario
+	opts Options
+
+	// working is the evolving demand graph H^(n); pair IDs here are local to
+	// the run and mapped back to the original pairs through rootOf.
+	working *demand.Graph
+	// rootOf maps working-pair IDs to the original scenario pair that the
+	// flow ultimately serves (splits create derived pairs that inherit the
+	// root).
+	rootOf map[demand.PairID]demand.PairID
+
+	// residual holds c^(n): the residual capacity of every edge, reduced by
+	// prune actions as demand is routed.
+	residual map[graph.EdgeID]float64
+
+	// brokenNodes / brokenEdges are V_B^(n) and E_B^(n): broken elements not
+	// yet scheduled for repair.
+	brokenNodes map[graph.NodeID]bool
+	brokenEdges map[graph.EdgeID]bool
+
+	// repairedNodes / repairedEdges are the repair list L^(n).
+	repairedNodes map[graph.NodeID]bool
+	repairedEdges map[graph.EdgeID]bool
+
+	// routing accumulates, per original pair, the signed edge flows decided
+	// by prune actions and by the final routability test.
+	routing scenario.Routing
+
+	// stats collects per-run counters for diagnostics and tests.
+	stats Stats
+}
+
+// Stats counts the actions ISP performed during a run.
+type Stats struct {
+	Iterations   int
+	Prunes       int
+	Splits       int
+	NodeRepairs  int
+	EdgeRepairs  int
+	Fallbacks    int
+	FinalRouted  bool
+	HitIteration bool
+	HitTimeout   bool
+}
+
+func newState(s *scenario.Scenario, opts Options) *state {
+	st := &state{
+		scen:          s,
+		opts:          opts,
+		working:       demand.New(),
+		rootOf:        make(map[demand.PairID]demand.PairID),
+		residual:      make(map[graph.EdgeID]float64, s.Supply.NumEdges()),
+		brokenNodes:   make(map[graph.NodeID]bool, len(s.BrokenNodes)),
+		brokenEdges:   make(map[graph.EdgeID]bool, len(s.BrokenEdges)),
+		repairedNodes: make(map[graph.NodeID]bool),
+		repairedEdges: make(map[graph.EdgeID]bool),
+		routing:       make(scenario.Routing),
+	}
+	for i := 0; i < s.Supply.NumEdges(); i++ {
+		id := graph.EdgeID(i)
+		st.residual[id] = s.Supply.Edge(id).Capacity
+	}
+	for v, b := range s.BrokenNodes {
+		if b {
+			st.brokenNodes[v] = true
+		}
+	}
+	for e, b := range s.BrokenEdges {
+		if b {
+			st.brokenEdges[e] = true
+		}
+	}
+	for _, p := range s.Demand.Active() {
+		id := st.working.MustAdd(p.Source, p.Target, p.Flow)
+		st.rootOf[id] = p.ID
+	}
+	return st
+}
+
+// repairNode moves v from the broken set to the repair list. It is a no-op
+// for working or already-repaired nodes.
+func (st *state) repairNode(v graph.NodeID) {
+	if st.brokenNodes[v] {
+		delete(st.brokenNodes, v)
+		st.repairedNodes[v] = true
+		st.stats.NodeRepairs++
+	}
+}
+
+// repairEdge moves e from the broken set to the repair list, and repairs its
+// endpoints as well: a repaired link is only usable if both endpoints work,
+// and the MinR constraint 1(c) forces delta_i >= delta_ij.
+func (st *state) repairEdge(e graph.EdgeID) {
+	if st.brokenEdges[e] {
+		delete(st.brokenEdges, e)
+		st.repairedEdges[e] = true
+		st.stats.EdgeRepairs++
+	}
+	edge := st.scen.Supply.Edge(e)
+	st.repairNode(edge.From)
+	st.repairNode(edge.To)
+}
+
+// workingInstance returns the flow instance of the currently working network
+// G^(n): broken-and-not-repaired elements excluded, residual capacities, and
+// the active working demands.
+func (st *state) workingInstance() *flow.Instance {
+	return &flow.Instance{
+		Graph:         st.scen.Supply,
+		Capacities:    st.residual,
+		ExcludedNodes: st.brokenNodes,
+		ExcludedEdges: st.brokenEdges,
+		Demands:       st.working.Active(),
+	}
+}
+
+// potentialInstance returns the flow instance of the complete supply graph
+// (broken elements usable) with residual capacities: the graph on which
+// centrality, max-flow f* and the split LP are computed, since any element
+// may still be repaired.
+func (st *state) potentialInstance() *flow.Instance {
+	return &flow.Instance{
+		Graph:      st.scen.Supply,
+		Capacities: st.residual,
+		Demands:    st.working.Active(),
+	}
+}
+
+// pathMetric returns the edge-length metric of §IV-D at the current
+// iteration: [const + k^e(n) + (k^v_i(n)+k^v_j(n))/2] / c^(n)_ij, where the
+// repair-cost terms vanish for elements already working or already listed
+// for repair, and edges with no residual capacity are unusable. With the
+// dynamic metric disabled (ablation) the metric is 1/c^(n)_ij.
+func (st *state) pathMetric() graph.EdgeLength {
+	constTerm := st.opts.PathMetricConstant
+	return func(e graph.Edge) float64 {
+		res := st.residual[e.ID]
+		if res <= epsilon {
+			return math.Inf(1)
+		}
+		if st.opts.DisableDynamicPathMetric {
+			return constTerm / res
+		}
+		length := constTerm
+		if st.brokenEdges[e.ID] {
+			length += e.RepairCost
+		}
+		if st.brokenNodes[e.From] {
+			length += st.scen.Supply.Node(e.From).RepairCost / 2
+		}
+		if st.brokenNodes[e.To] {
+			length += st.scen.Supply.Node(e.To).RepairCost / 2
+		}
+		return length / res
+	}
+}
+
+// edgeUsableWorking reports whether edge e is usable in G^(n) (not broken or
+// already repaired, both endpoints working) with positive residual capacity.
+func (st *state) edgeUsableWorking(e graph.EdgeID) bool {
+	if st.brokenEdges[e] {
+		return false
+	}
+	edge := st.scen.Supply.Edge(e)
+	if st.brokenNodes[edge.From] || st.brokenNodes[edge.To] {
+		return false
+	}
+	return st.residual[e] > epsilon
+}
+
+// addRouting accumulates signed edge flows for the original pair behind the
+// given working pair.
+func (st *state) addRouting(workingPair demand.PairID, flows map[graph.EdgeID]float64) {
+	root, ok := st.rootOf[workingPair]
+	if !ok {
+		root = workingPair
+	}
+	for eid, f := range flows {
+		if math.Abs(f) > epsilon {
+			st.routing.AddFlow(root, eid, f)
+		}
+	}
+}
+
+// consumeCapacity reduces residual capacities by the absolute flow of the
+// given assignment.
+func (st *state) consumeCapacity(flows map[graph.EdgeID]float64) {
+	for eid, f := range flows {
+		use := math.Abs(f)
+		if use <= epsilon {
+			continue
+		}
+		st.residual[eid] -= use
+		if st.residual[eid] < 0 {
+			st.residual[eid] = 0
+		}
+	}
+}
+
+// addWorkingDemand adds (or merges into) a working demand pair with the
+// given endpoints, flow and root. Merging only happens between pairs sharing
+// the same root so that per-original-pair routing stays well defined.
+func (st *state) addWorkingDemand(source, target graph.NodeID, flowAmount float64, root demand.PairID) {
+	if flowAmount <= epsilon {
+		return
+	}
+	for _, p := range st.working.Active() {
+		if st.rootOf[p.ID] != root {
+			continue
+		}
+		// Merge only pairs with the same orientation: merging a reversed
+		// pair would change the net demand vector of the root and break the
+		// routing-aggregation invariant.
+		if p.Source == source && p.Target == target {
+			_ = st.working.SetFlow(p.ID, p.Flow+flowAmount)
+			return
+		}
+	}
+	id := st.working.MustAdd(source, target, flowAmount)
+	st.rootOf[id] = root
+}

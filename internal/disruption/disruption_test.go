@@ -1,0 +1,153 @@
+package disruption
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netrecovery/internal/graph"
+	"netrecovery/internal/topology"
+)
+
+func TestComplete(t *testing.T) {
+	g := topology.BellCanada()
+	d := Complete(g)
+	nodes, edges := d.Counts()
+	if nodes != g.NumNodes() || edges != g.NumEdges() {
+		t.Errorf("Counts = %d, %d; want %d, %d", nodes, edges, g.NumNodes(), g.NumEdges())
+	}
+	if d.Total() != g.NumNodes()+g.NumEdges() {
+		t.Errorf("Total = %d", d.Total())
+	}
+}
+
+func TestEdgesOnly(t *testing.T) {
+	g := topology.BellCanada()
+	d := EdgesOnly(g)
+	nodes, edges := d.Counts()
+	if nodes != 0 || edges != g.NumEdges() {
+		t.Errorf("Counts = %d, %d; want 0, %d", nodes, edges, g.NumEdges())
+	}
+}
+
+func TestRandomExtremes(t *testing.T) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(1))
+	none := Random(g, 0, 0, rng)
+	if none.Total() != 0 {
+		t.Errorf("p=0 disruption should be empty, got %d", none.Total())
+	}
+	all := Random(g, 1, 1, rng)
+	if all.Total() != g.NumNodes()+g.NumEdges() {
+		t.Errorf("p=1 disruption should break everything, got %d", all.Total())
+	}
+}
+
+func TestGeographicVarianceMonotonicity(t *testing.T) {
+	g := topology.BellCanada()
+	// Average over several seeds: larger variance must break more elements.
+	avg := func(variance float64) float64 {
+		total := 0
+		const runs = 20
+		for seed := int64(0); seed < runs; seed++ {
+			d := Geographic(g, GeographicConfig{Auto: true, Variance: variance, PeakProbability: 1}, rand.New(rand.NewSource(seed)))
+			total += d.Total()
+		}
+		return float64(total) / runs
+	}
+	small := avg(10)
+	large := avg(150)
+	if small >= large {
+		t.Errorf("expected monotone destruction: variance 10 -> %.1f, variance 150 -> %.1f", small, large)
+	}
+	if large < float64(g.NumNodes()+g.NumEdges())/2 {
+		t.Errorf("variance 150 should destroy most of the network, got %.1f of %d", large, g.NumNodes()+g.NumEdges())
+	}
+}
+
+func TestGeographicEpicenterPlacement(t *testing.T) {
+	// Two clusters of nodes; an epicentre on the first cluster should break
+	// far more elements there than in the second cluster.
+	g := graph.New(20, 20)
+	for i := 0; i < 10; i++ {
+		g.AddNode("", float64(i%3), float64(i/3), 1) // cluster near origin
+	}
+	for i := 0; i < 10; i++ {
+		g.AddNode("", 1000+float64(i%3), float64(i/3), 1) // far cluster
+	}
+	rng := rand.New(rand.NewSource(7))
+	d := Geographic(g, GeographicConfig{EpicenterX: 1, EpicenterY: 1, Variance: 9, PeakProbability: 1}, rng)
+	nearBroken, farBroken := 0, 0
+	for id := range d.Nodes {
+		if id < 10 {
+			nearBroken++
+		} else {
+			farBroken++
+		}
+	}
+	if nearBroken == 0 {
+		t.Error("epicentre cluster should have failures")
+	}
+	if farBroken != 0 {
+		t.Errorf("far cluster should be untouched, got %d failures", farBroken)
+	}
+}
+
+func TestGeographicDegenerateInputs(t *testing.T) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(1))
+	if d := Geographic(g, GeographicConfig{Variance: 0}, rng); d.Total() != 0 {
+		t.Error("zero variance should break nothing")
+	}
+	empty := graph.New(0, 0)
+	if d := Geographic(empty, GeographicConfig{Variance: 10}, rng); d.Total() != 0 {
+		t.Error("empty graph should break nothing")
+	}
+}
+
+func TestGeographicDefaultPeak(t *testing.T) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(9))
+	d := Geographic(g, GeographicConfig{Auto: true, Variance: 100}, rng)
+	if d.Total() == 0 {
+		t.Error("default peak probability should produce failures at variance 100")
+	}
+}
+
+// Property: every broken element reported by any model exists in the graph,
+// and Random with a fixed seed is deterministic.
+func TestDisruptionProperties(t *testing.T) {
+	g := topology.BellCanada()
+	f := func(seed int64) bool {
+		a := Random(g, 0.3, 0.4, rand.New(rand.NewSource(seed)))
+		b := Random(g, 0.3, 0.4, rand.New(rand.NewSource(seed)))
+		if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+			return false
+		}
+		for id := range a.Nodes {
+			if !g.HasNode(id) || !b.Nodes[id] {
+				return false
+			}
+		}
+		for id := range a.Edges {
+			if !g.HasEdge(id) || !b.Edges[id] {
+				return false
+			}
+		}
+		geo := Geographic(g, GeographicConfig{Auto: true, Variance: 50}, rand.New(rand.NewSource(seed)))
+		for id := range geo.Nodes {
+			if !g.HasNode(id) {
+				return false
+			}
+		}
+		for id := range geo.Edges {
+			if !g.HasEdge(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

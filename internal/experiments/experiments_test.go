@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"netrecovery/internal/heuristics"
+)
+
+// tiny returns the smallest configuration that still exercises every code
+// path of the runners, so the test suite stays fast.
+func tiny() Config {
+	return Config{
+		Runs:          1,
+		Seed:          1,
+		IncludeOpt:    false,
+		IncludeGreedy: true,
+		FastISP:       true,
+		DemandPairs:   []int{1, 2},
+		DemandFlows:   []float64{4, 10},
+		Variances:     []float64{20, 60},
+		EdgeProbs:     []float64{0.2},
+		FlowPerPair:   10,
+		FixedPairs:    2,
+		ErdosNodes:    16,
+		ErdosDemands:  2,
+		ErdosCapacity: 1000,
+		OptMaxNodes:   30,
+		OptTimeLimit:  5 * time.Second,
+	}
+}
+
+func TestTableOperations(t *testing.T) {
+	table := NewTable("demo", "x", []string{"a", "b"})
+	table.AddRow(2, map[string]float64{"a": 1, "b": 2})
+	table.AddRow(1, map[string]float64{"a": 3})
+	if len(table.Rows) != 2 || table.Rows[0].X != 1 {
+		t.Fatalf("rows not sorted: %+v", table.Rows)
+	}
+	if v, ok := table.Value(2, "b"); !ok || v != 2 {
+		t.Errorf("Value(2, b) = %f, %v", v, ok)
+	}
+	if _, ok := table.Value(9, "a"); ok {
+		t.Error("Value for missing x should report false")
+	}
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "-") {
+		t.Errorf("render output missing pieces: %q", buf.String())
+	}
+	buf.Reset()
+	if err := table.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x,a,b\n") {
+		t.Errorf("csv header = %q", buf.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Runs <= 0 || cfg.FlowPerPair != 10 || cfg.FixedPairs != 4 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	paper := Paper()
+	if paper.Runs != 20 || len(paper.DemandPairs) != 7 {
+		t.Errorf("paper config = %+v", paper)
+	}
+	quick := Quick()
+	if quick.Runs >= paper.Runs {
+		t.Error("quick config should use fewer runs than the paper config")
+	}
+}
+
+func TestFig4QuickShape(t *testing.T) {
+	res, err := Fig4VaryDemandPairs(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 4 {
+		t.Fatalf("tables = %d, want 4", len(res.Tables))
+	}
+	total := res.Tables[2]
+	if len(total.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(total.Rows))
+	}
+	for _, row := range total.Rows {
+		isp := row.Values[seriesISP]
+		all := row.Values[seriesALL]
+		if isp <= 0 {
+			t.Errorf("x=%v: ISP repairs = %f, want > 0", row.X, isp)
+		}
+		if isp > all {
+			t.Errorf("x=%v: ISP repairs %f exceed ALL %f", row.X, isp, all)
+		}
+	}
+	// Repairs must not decrease when demand pairs increase.
+	if total.Rows[1].Values[seriesISP]+1e-9 < total.Rows[0].Values[seriesISP] {
+		t.Errorf("ISP repairs decreased with more demand pairs: %v", total.Rows)
+	}
+	// ISP never loses demand.
+	loss := res.Tables[3]
+	for _, row := range loss.Rows {
+		if row.Values[seriesISP] < 100-1e-6 {
+			t.Errorf("ISP satisfied %% = %f at x=%v, want 100", row.Values[seriesISP], row.X)
+		}
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	res, err := Fig5VaryDemandIntensity(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Tables[2]
+	if len(total.Rows) != 2 {
+		t.Fatalf("rows = %v", total.Rows)
+	}
+	if total.Rows[1].Values[seriesISP]+1e-9 < total.Rows[0].Values[seriesISP] {
+		t.Errorf("ISP repairs should not decrease with demand intensity: %v", total.Rows)
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	res, err := Fig6VaryDisruption(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Tables[2]
+	if len(total.Rows) != 2 {
+		t.Fatalf("rows = %v", total.Rows)
+	}
+	// Larger variance destroys more, so ALL grows; ISP stays below ALL.
+	if total.Rows[1].Values[seriesALL] <= total.Rows[0].Values[seriesALL] {
+		t.Errorf("ALL should grow with variance: %v", total.Rows)
+	}
+	for _, row := range total.Rows {
+		if row.Values[seriesISP] > row.Values[seriesALL] {
+			t.Errorf("ISP above ALL at x=%v", row.X)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	cfg := tiny()
+	res, err := Fig3MulticommodityEnvelope(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables[0]
+	if len(table.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range table.Rows {
+		mcb := row.Values[seriesMCB]
+		mcw := row.Values[seriesMCW]
+		all := row.Values[seriesALL]
+		if mcb > mcw+1e-9 {
+			t.Errorf("MCB %f exceeds MCW %f at x=%v", mcb, mcw, row.X)
+		}
+		if mcw > all+1e-9 {
+			t.Errorf("MCW %f exceeds ALL %f at x=%v", mcw, all, row.X)
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	res, err := Fig7ErdosRenyiScalability(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	repairs := res.Tables[1]
+	for _, row := range repairs.Rows {
+		if row.Values[seriesISP] <= 0 || row.Values[seriesSRT] <= 0 {
+			t.Errorf("expected positive repairs, got %v", row.Values)
+		}
+	}
+}
+
+func TestFig8Statistics(t *testing.T) {
+	res, err := Fig8CAIDAStatistics(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables[0]
+	if v, _ := table.Value(1, "value"); v != 825 {
+		t.Errorf("nodes = %f, want 825", v)
+	}
+	if v, _ := table.Value(2, "value"); v != 1018 {
+		t.Errorf("edges = %f, want 1018", v)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	cfg := tiny()
+	cfg.DemandPairs = []int{1, 2}
+	res, err := Fig9CAIDA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := res.Tables[1]
+	for _, row := range loss.Rows {
+		if row.Values[seriesISP] < 100-1e-6 {
+			t.Errorf("ISP satisfied %% = %f, want 100 (x=%v)", row.Values[seriesISP], row.X)
+		}
+	}
+	repairs := res.Tables[0]
+	if repairs.Rows[1].Values[seriesISP]+1e-9 < repairs.Rows[0].Values[seriesISP] {
+		t.Errorf("ISP repairs should not decrease with more pairs: %v", repairs.Rows)
+	}
+}
+
+func TestRunDispatcherAndFigures(t *testing.T) {
+	if len(Figures()) != 7 {
+		t.Errorf("Figures = %v", Figures())
+	}
+	if _, err := Run("8", tiny()); err != nil {
+		t.Errorf("Run(8): %v", err)
+	}
+	if _, err := Run("bogus", tiny()); err == nil {
+		t.Error("expected error for unknown figure")
+	}
+}
+
+func TestAblationCentrality(t *testing.T) {
+	cfg := tiny()
+	cfg.DemandPairs = []int{2}
+	res, err := AblationCentrality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	repairs := res.Tables[0]
+	for _, row := range repairs.Rows {
+		for _, name := range []string{VariantFull, VariantBetweenness, VariantStaticMetric, VariantNoPruning} {
+			if row.Values[name] <= 0 {
+				t.Errorf("variant %s has no repairs at x=%v", name, row.X)
+			}
+		}
+	}
+}
+
+func TestFig4WithOptQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping OPT-enabled sweep in short mode")
+	}
+	cfg := tiny()
+	cfg.IncludeOpt = true
+	cfg.DemandPairs = []int{2}
+	res, err := Fig4VaryDemandPairs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Tables[2]
+	for _, row := range total.Rows {
+		opt := row.Values[heuristics.OptName]
+		isp := row.Values[seriesISP]
+		if opt > isp+1e-9 {
+			t.Errorf("OPT repairs %f exceed ISP repairs %f (warm start guarantees <=)", opt, isp)
+		}
+	}
+}
+
+func TestCompareOnScenario(t *testing.T) {
+	cfg := tiny()
+	s, err := bellCanadaScenario(2, 10, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := CompareOnScenario(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legend := SeriesLegend(cfg)
+	if len(table.Rows) != len(legend) {
+		t.Errorf("rows = %d, legend = %d", len(table.Rows), len(legend))
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// Solver labels reused by several figures.
+const (
+	seriesISP  = core.SolverName
+	seriesOPT  = heuristics.OptName
+	seriesSRT  = heuristics.SRTName
+	seriesGCOM = heuristics.GreedyCommitName
+	seriesGNC  = heuristics.GreedyNoCommitName
+	seriesALL  = heuristics.AllName
+	seriesMCB  = "MCB"
+	seriesMCW  = "MCW"
+)
+
+// FigureResult bundles every table produced by one figure runner.
+type FigureResult struct {
+	Figure string
+	Tables []*Table
+}
+
+// measurement is the per-run outcome of one solver on one scenario.
+type measurement struct {
+	nodeRepairs float64
+	edgeRepairs float64
+	satisfied   float64 // percentage of satisfied demand
+	runtime     time.Duration
+}
+
+// runSolver executes a solver on (a clone of) the scenario and extracts the
+// figures' metrics.
+func runSolver(s *scenario.Scenario, solver heuristics.Solver) (measurement, error) {
+	plan, err := solver.Solve(s)
+	if err != nil {
+		return measurement{}, fmt.Errorf("%s: %w", solver.Name(), err)
+	}
+	nodes, edges, _ := plan.NumRepairs()
+	return measurement{
+		nodeRepairs: float64(nodes),
+		edgeRepairs: float64(edges),
+		satisfied:   100 * plan.SatisfactionRatio(),
+		runtime:     plan.Runtime,
+	}, nil
+}
+
+// bellCanadaScenario builds one Bell-Canada scenario: far-apart demand pairs
+// and either complete destruction or a geographic disruption of the given
+// variance (variance <= 0 means complete destruction).
+func bellCanadaScenario(pairs int, flowPerPair, variance float64, seed int64) (*scenario.Scenario, error) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(seed))
+	dg, err := demand.GenerateFarApartPairs(g, pairs, flowPerPair, rng)
+	if err != nil {
+		return nil, err
+	}
+	var d disruption.Disruption
+	if variance <= 0 {
+		d = disruption.Complete(g)
+	} else {
+		d = disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: variance, PeakProbability: 1}, rng)
+	}
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}, nil
+}
+
+// solverSet assembles the solvers participating in the Bell-Canada figures.
+func (c Config) solverSet(withGreedy bool) []heuristics.Solver {
+	solvers := []heuristics.Solver{c.ispSolver()}
+	if c.IncludeOpt {
+		solvers = append(solvers, c.optSolver())
+	}
+	solvers = append(solvers, &heuristics.SRT{})
+	if withGreedy && c.IncludeGreedy {
+		solvers = append(solvers, &heuristics.GreedyCommit{}, &heuristics.GreedyNoCommit{})
+	}
+	solvers = append(solvers, &heuristics.All{})
+	return solvers
+}
+
+// seriesNames extracts the display names of a solver set.
+func seriesNames(solvers []heuristics.Solver) []string {
+	names := make([]string, 0, len(solvers))
+	for _, s := range solvers {
+		names = append(names, s.Name())
+	}
+	return names
+}
+
+// Fig3MulticommodityEnvelope reproduces Fig. 3: the number of total repairs
+// of the best (MCB) and worst (MCW) optimal solutions of the multi-commodity
+// relaxation, versus OPT and ALL, as the demand flow per pair increases on
+// the Bell-Canada topology with complete destruction.
+func Fig3MulticommodityEnvelope(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	series := []string{seriesMCB, seriesMCW, seriesALL}
+	if cfg.IncludeOpt {
+		series = append([]string{seriesOPT}, series...)
+	}
+	table := NewTable("Fig. 3: total repairs of the multi-commodity envelope", "demand flow per pair", series)
+
+	for _, flowPerPair := range cfg.DemandFlows {
+		sums := make(map[string]float64, len(series))
+		counted := 0
+		for run := 0; run < cfg.Runs; run++ {
+			s, err := bellCanadaScenario(cfg.FixedPairs, flowPerPair, 0, cfg.Seed+int64(run))
+			if err != nil {
+				return nil, err
+			}
+			mc, err := flow.MulticommodityRelaxation(s)
+			if err != nil {
+				return nil, err
+			}
+			if !mc.Feasible {
+				continue
+			}
+			_, _, best := mc.Best.NumRepairs()
+			_, _, worst := mc.Worst.NumRepairs()
+			sums[seriesMCB] += float64(best)
+			sums[seriesMCW] += float64(worst)
+			nodes, edges := s.NumBroken()
+			sums[seriesALL] += float64(nodes + edges)
+			if cfg.IncludeOpt {
+				m, err := runSolver(s, cfg.optSolver())
+				if err != nil {
+					return nil, err
+				}
+				sums[seriesOPT] += m.nodeRepairs + m.edgeRepairs
+			}
+			counted++
+		}
+		if counted == 0 {
+			continue
+		}
+		row := make(map[string]float64, len(sums))
+		for k, v := range sums {
+			row[k] = v / float64(counted)
+		}
+		table.AddRow(flowPerPair, row)
+	}
+	return &FigureResult{Figure: "3", Tables: []*Table{table}}, nil
+}
+
+// Fig4VaryDemandPairs reproduces Fig. 4(a)-(d): Bell-Canada, complete
+// destruction, 10 flow units per pair, varying the number of demand pairs.
+// Four tables: edge repairs, node repairs, total repairs and percentage of
+// satisfied demand.
+func Fig4VaryDemandPairs(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	solvers := cfg.solverSet(true)
+	return bellCanadaSweep(cfg, solvers, "Fig. 4", "demand pairs", cfg.DemandPairs, func(pairs int, seed int64) (*scenario.Scenario, error) {
+		return bellCanadaScenario(pairs, cfg.FlowPerPair, 0, seed)
+	})
+}
+
+// Fig5VaryDemandIntensity reproduces Fig. 5(a)-(b): Bell-Canada, complete
+// destruction, 4 demand pairs, varying the flow per pair.
+func Fig5VaryDemandIntensity(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	solvers := cfg.solverSet(true)
+	xs := make([]int, len(cfg.DemandFlows))
+	for i, f := range cfg.DemandFlows {
+		xs[i] = int(f)
+	}
+	return bellCanadaSweep(cfg, solvers, "Fig. 5", "demand flow per pair", xs, func(flowPerPair int, seed int64) (*scenario.Scenario, error) {
+		return bellCanadaScenario(cfg.FixedPairs, float64(flowPerPair), 0, seed)
+	})
+}
+
+// Fig6VaryDisruption reproduces Fig. 6(a)-(b): Bell-Canada, 4 demand pairs
+// of 10 units, geographically-correlated destruction of increasing variance.
+func Fig6VaryDisruption(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	solvers := cfg.solverSet(true)
+	xs := make([]int, len(cfg.Variances))
+	for i, v := range cfg.Variances {
+		xs[i] = int(v)
+	}
+	return bellCanadaSweep(cfg, solvers, "Fig. 6", "variance of disruption", xs, func(variance int, seed int64) (*scenario.Scenario, error) {
+		return bellCanadaScenario(cfg.FixedPairs, cfg.FlowPerPair, float64(variance), seed)
+	})
+}
+
+// bellCanadaSweep runs a set of solvers over a one-dimensional sweep of
+// Bell-Canada scenarios and assembles the four standard tables.
+func bellCanadaSweep(cfg Config, solvers []heuristics.Solver, figure, xLabel string, xs []int, build func(x int, seed int64) (*scenario.Scenario, error)) (*FigureResult, error) {
+	names := seriesNames(solvers)
+	edgeTable := NewTable(figure+"(a): edge repairs", xLabel, names)
+	nodeTable := NewTable(figure+"(b): node repairs", xLabel, names)
+	totalTable := NewTable(figure+"(c): total repairs", xLabel, names)
+	lossTable := NewTable(figure+"(d): percentage of satisfied demand", xLabel, names)
+
+	for _, x := range xs {
+		edgeSums := make(map[string]float64)
+		nodeSums := make(map[string]float64)
+		totalSums := make(map[string]float64)
+		lossSums := make(map[string]float64)
+		allBrokenNodes, allBrokenEdges := 0.0, 0.0
+		for run := 0; run < cfg.Runs; run++ {
+			s, err := build(x, cfg.Seed+int64(run))
+			if err != nil {
+				return nil, err
+			}
+			bn, be := s.NumBroken()
+			allBrokenNodes += float64(bn)
+			allBrokenEdges += float64(be)
+			for _, solver := range solvers {
+				if solver.Name() == heuristics.AllName {
+					// ALL is deterministic from the disruption; avoid the
+					// (potentially expensive) routing pass.
+					continue
+				}
+				m, err := runSolver(s, solver)
+				if err != nil {
+					return nil, err
+				}
+				edgeSums[solver.Name()] += m.edgeRepairs
+				nodeSums[solver.Name()] += m.nodeRepairs
+				totalSums[solver.Name()] += m.nodeRepairs + m.edgeRepairs
+				lossSums[solver.Name()] += m.satisfied
+			}
+		}
+		runs := float64(cfg.Runs)
+		edgeRow := map[string]float64{heuristics.AllName: allBrokenEdges / runs}
+		nodeRow := map[string]float64{heuristics.AllName: allBrokenNodes / runs}
+		totalRow := map[string]float64{heuristics.AllName: (allBrokenNodes + allBrokenEdges) / runs}
+		lossRow := map[string]float64{heuristics.AllName: 100}
+		for _, name := range names {
+			if name == heuristics.AllName {
+				continue
+			}
+			edgeRow[name] = edgeSums[name] / runs
+			nodeRow[name] = nodeSums[name] / runs
+			totalRow[name] = totalSums[name] / runs
+			lossRow[name] = lossSums[name] / runs
+		}
+		xf := float64(x)
+		edgeTable.AddRow(xf, edgeRow)
+		nodeTable.AddRow(xf, nodeRow)
+		totalTable.AddRow(xf, totalRow)
+		lossTable.AddRow(xf, lossRow)
+	}
+	return &FigureResult{
+		Figure: figure,
+		Tables: []*Table{edgeTable, nodeTable, totalTable, lossTable},
+	}, nil
+}

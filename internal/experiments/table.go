@@ -1,0 +1,124 @@
+// Package experiments reproduces the paper's evaluation (§VII): every figure
+// has a runner that builds the corresponding scenarios, executes the
+// configured solvers over multiple seeds and returns the averaged series as
+// a Table whose rows match the points plotted in the paper.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one chart of the evaluation: an x axis, a set of named series and
+// one row per x value with the average value of every series.
+type Table struct {
+	// Title identifies the figure (e.g. "Fig. 4(c) total repairs").
+	Title string
+	// XLabel describes the x axis (e.g. "demand pairs").
+	XLabel string
+	// Series lists the column names in presentation order.
+	Series []string
+	// Rows holds one entry per x value.
+	Rows []Row
+}
+
+// Row is one x value with the value of every series at that x.
+type Row struct {
+	X      float64
+	Values map[string]float64
+}
+
+// NewTable returns an empty table with the given metadata.
+func NewTable(title, xLabel string, series []string) *Table {
+	return &Table{Title: title, XLabel: xLabel, Series: append([]string(nil), series...)}
+}
+
+// AddRow appends a row (values are copied).
+func (t *Table) AddRow(x float64, values map[string]float64) {
+	row := Row{X: x, Values: make(map[string]float64, len(values))}
+	for k, v := range values {
+		row.Values[k] = v
+	}
+	t.Rows = append(t.Rows, row)
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].X < t.Rows[j].X })
+}
+
+// Value returns the value of a series at the given x (false when absent).
+func (t *Table) Value(x float64, series string) (float64, bool) {
+	for _, r := range t.Rows {
+		if r.X == x {
+			v, ok := r.Values[series]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// Render writes a human-readable fixed-width table.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, pad(t.XLabel, 14))
+	for _, s := range t.Series {
+		header = append(header, pad(s, 10))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, " ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(t.Series)+1)
+		cells = append(cells, pad(trimFloat(r.X), 14))
+		for _, s := range t.Series {
+			v, ok := r.Values[s]
+			if !ok {
+				cells = append(cells, pad("-", 10))
+				continue
+			}
+			cells = append(cells, pad(trimFloat(v), 10))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t *Table) CSV(w io.Writer) error {
+	cols := append([]string{t.XLabel}, t.Series...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := []string{trimFloat(r.X)}
+		for _, s := range t.Series {
+			cells = append(cells, trimFloat(r.Values[s]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

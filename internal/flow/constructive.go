@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"math"
+	"sort"
+
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// ConstructiveRouting attempts to build a feasible routing greedily: demands
+// are processed in decreasing order of flow, each routed with a
+// single-commodity max-flow computation on the residual usable capacities
+// (so one demand may use several paths), and the used capacity is removed
+// before the next demand is considered.
+//
+// Success (true) proves the instance routable and returns the routing.
+// Failure is inconclusive: a smarter joint routing may still exist, which is
+// why the exact LP test is preferred whenever it is affordable. The
+// constructive test exists for instances whose LP would be too large for the
+// dense simplex substrate (very large topologies).
+func ConstructiveRouting(in *Instance) (scenario.Routing, bool) {
+	residual := usableCapacityMap(in)
+	routing := make(scenario.Routing)
+
+	demands := in.ActiveDemands()
+	sort.Slice(demands, func(i, j int) bool {
+		if demands[i].Flow != demands[j].Flow {
+			return demands[i].Flow > demands[j].Flow
+		}
+		return demands[i].ID < demands[j].ID
+	})
+
+	for _, d := range demands {
+		value, assignment := in.Graph.MaxFlowWithAssignment(d.Source, d.Target, residual)
+		if value+capacityEpsilon < d.Flow {
+			return nil, false
+		}
+		// Scale the assignment down when the max flow exceeds the demand so
+		// that only the needed share of capacity is consumed. Scaling a
+		// feasible flow by a factor in (0, 1] keeps it feasible and
+		// conserves flow, delivering exactly the demand.
+		scale := 1.0
+		if value > d.Flow {
+			scale = d.Flow / value
+		}
+		for eid, f := range assignment {
+			used := f * scale
+			if math.Abs(used) <= capacityEpsilon {
+				continue
+			}
+			routing.AddFlow(d.ID, eid, used)
+			residual[eid] -= math.Abs(used)
+			if residual[eid] < 0 {
+				residual[eid] = 0
+			}
+		}
+	}
+	return routing, true
+}
+
+// RouteSingleDemand routes one demand on the usable residual capacities and
+// returns the per-edge signed flow and the amount actually routable (up to
+// the requested flow). It does not mutate the instance.
+func RouteSingleDemand(in *Instance, source, target graph.NodeID, flowWanted float64) (map[graph.EdgeID]float64, float64) {
+	residual := usableCapacityMap(in)
+	value, assignment := in.Graph.MaxFlowWithAssignment(source, target, residual)
+	routed := math.Min(value, flowWanted)
+	if routed <= capacityEpsilon {
+		return nil, 0
+	}
+	scale := 1.0
+	if value > routed {
+		scale = routed / value
+	}
+	out := make(map[graph.EdgeID]float64, len(assignment))
+	for eid, f := range assignment {
+		scaled := f * scale
+		if math.Abs(scaled) > capacityEpsilon {
+			out[eid] = scaled
+		}
+	}
+	return out, routed
+}

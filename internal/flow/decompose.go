@@ -1,0 +1,191 @@
+package flow
+
+import (
+	"math"
+	"sort"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// RoutePath is one path of a decomposed routing, carrying Flow units for one
+// demand pair.
+type RoutePath struct {
+	Pair demand.PairID
+	Path graph.Path
+	Flow float64
+}
+
+// DecomposeRouting converts a per-edge routing into explicit per-demand
+// paths using standard flow decomposition: for each pair, repeatedly walk
+// from a flow source along edges with positive remaining flow, peel off the
+// bottleneck, and stop when (numerically) no flow remains. Flow circulating
+// on cycles — which can appear in LP solutions without affecting
+// feasibility — is discarded.
+//
+// The result is deterministic (edges are scanned in ID order) and useful for
+// presenting a repair/routing plan to an operator: "route 10 units of the
+// Victoria->Halifax flow over Victoria-Calgary-Toronto-Halifax".
+func DecomposeRouting(g *graph.Graph, routing scenario.Routing) []RoutePath {
+	var out []RoutePath
+	pairIDs := make([]demand.PairID, 0, len(routing))
+	for pid := range routing {
+		pairIDs = append(pairIDs, pid)
+	}
+	sort.Slice(pairIDs, func(i, j int) bool { return pairIDs[i] < pairIDs[j] })
+
+	for _, pid := range pairIDs {
+		flows := routing[pid]
+		residual := make(map[graph.EdgeID]float64, len(flows))
+		net := make(map[graph.NodeID]float64)
+		for eid, f := range flows {
+			if math.Abs(f) <= capacityEpsilon {
+				continue
+			}
+			residual[eid] = f
+			e := g.Edge(eid)
+			net[e.From] -= f
+			net[e.To] += f
+		}
+		var sources []graph.NodeID
+		for v, imbalance := range net {
+			if imbalance < -capacityEpsilon {
+				sources = append(sources, v)
+			}
+		}
+		sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+
+		for _, source := range sources {
+			// Each successful peel removes at least one edge's worth of
+			// flow, and each failed peel removes a cycle edge, so the loop
+			// is bounded by the number of routed edges.
+			for guard := 0; guard <= 2*len(flows); guard++ {
+				path, flowOnPath := peelPath(g, residual, source)
+				if flowOnPath <= capacityEpsilon || path.Empty() {
+					break
+				}
+				out = append(out, RoutePath{Pair: pid, Path: path, Flow: flowOnPath})
+			}
+		}
+	}
+	return out
+}
+
+// peelPath extracts one simple path of positive flow starting at source and
+// subtracts its bottleneck from the residual map. When the walk runs into a
+// cycle, the edge closing the cycle is dropped from the residual (cycle flow
+// carries no source-to-sink traffic) and the walk restarts. It returns an
+// empty path when the source has no outgoing flow.
+func peelPath(g *graph.Graph, residual map[graph.EdgeID]float64, source graph.NodeID) (graph.Path, float64) {
+	for attempt := 0; attempt <= g.NumEdges(); attempt++ {
+		nodes := []graph.NodeID{source}
+		var edges []graph.EdgeID
+		visited := map[graph.NodeID]bool{source: true}
+		bottleneck := math.Inf(1)
+		cur := source
+		cycle := false
+		for {
+			next, eid, amount := nextFlowEdge(g, residual, cur)
+			if eid == graph.InvalidEdge {
+				break
+			}
+			if visited[next] {
+				// Cycle: cancel the circulating flow around the whole cycle
+				// (it carries no source-to-sink traffic) and retry.
+				cancelCycle(g, residual, nodes, edges, next, eid)
+				cycle = true
+				break
+			}
+			visited[next] = true
+			nodes = append(nodes, next)
+			edges = append(edges, eid)
+			if amount < bottleneck {
+				bottleneck = amount
+			}
+			cur = next
+		}
+		if cycle {
+			continue
+		}
+		if len(edges) == 0 || math.IsInf(bottleneck, 1) {
+			return graph.Path{}, 0
+		}
+		for i, eid := range edges {
+			e := g.Edge(eid)
+			if e.From == nodes[i] {
+				residual[eid] -= bottleneck
+			} else {
+				residual[eid] += bottleneck
+			}
+			if math.Abs(residual[eid]) <= capacityEpsilon {
+				delete(residual, eid)
+			}
+		}
+		return graph.Path{Nodes: nodes, Edges: edges}, bottleneck
+	}
+	return graph.Path{}, 0
+}
+
+// cancelCycle removes the circulating flow of the cycle that the walk just
+// closed: the cycle consists of the walked edges from the first occurrence
+// of repeat onwards plus the closing edge. The cycle bottleneck is
+// subtracted from every cycle edge in the direction of travel.
+func cancelCycle(g *graph.Graph, residual map[graph.EdgeID]float64, nodes []graph.NodeID, edges []graph.EdgeID, repeat graph.NodeID, closing graph.EdgeID) {
+	start := 0
+	for i, v := range nodes {
+		if v == repeat {
+			start = i
+			break
+		}
+	}
+	cycleNodes := append([]graph.NodeID(nil), nodes[start:]...)
+	cycleEdges := append(append([]graph.EdgeID(nil), edges[start:]...), closing)
+
+	bottleneck := math.Inf(1)
+	for _, eid := range cycleEdges {
+		if f := math.Abs(residual[eid]); f < bottleneck {
+			bottleneck = f
+		}
+	}
+	if bottleneck <= capacityEpsilon || math.IsInf(bottleneck, 1) {
+		// Degenerate; drop the closing edge to guarantee progress.
+		delete(residual, closing)
+		return
+	}
+	for i, eid := range cycleEdges {
+		from := cycleNodes[i%len(cycleNodes)]
+		e := g.Edge(eid)
+		if e.From == from {
+			residual[eid] -= bottleneck
+		} else {
+			residual[eid] += bottleneck
+		}
+		if math.Abs(residual[eid]) <= capacityEpsilon {
+			delete(residual, eid)
+		}
+	}
+}
+
+// nextFlowEdge finds an edge with positive residual flow leaving node cur
+// (smallest edge ID first, for determinism).
+func nextFlowEdge(g *graph.Graph, residual map[graph.EdgeID]float64, cur graph.NodeID) (graph.NodeID, graph.EdgeID, float64) {
+	incident := g.IncidentEdges(cur)
+	sort.Slice(incident, func(i, j int) bool { return incident[i] < incident[j] })
+	for _, eid := range incident {
+		f, ok := residual[eid]
+		if !ok {
+			continue
+		}
+		e := g.Edge(eid)
+		// Positive f means From->To; the flow leaves cur if cur is on the
+		// sending side.
+		if e.From == cur && f > capacityEpsilon {
+			return e.To, eid, f
+		}
+		if e.To == cur && f < -capacityEpsilon {
+			return e.From, eid, -f
+		}
+	}
+	return graph.InvalidNode, graph.InvalidEdge, 0
+}

@@ -1,0 +1,153 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+func TestDecomposeSinglePath(t *testing.T) {
+	// Line 0-1-2 carrying 5 units for pair 0.
+	g := graph.New(3, 2)
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0, 1)
+	}
+	e0 := g.MustAddEdge(0, 1, 10, 1)
+	e1 := g.MustAddEdge(1, 2, 10, 1)
+	routing := scenario.Routing{}
+	routing.AddFlow(0, e0, 5)
+	routing.AddFlow(0, e1, 5)
+
+	paths := DecomposeRouting(g, routing)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v, want 1", paths)
+	}
+	if paths[0].Flow != 5 || paths[0].Path.Len() != 2 {
+		t.Errorf("path = %+v", paths[0])
+	}
+	if paths[0].Path.Source() != 0 || paths[0].Path.Target() != 2 {
+		t.Errorf("endpoints = %d -> %d", paths[0].Path.Source(), paths[0].Path.Target())
+	}
+	if err := paths[0].Path.Validate(g); err != nil {
+		t.Errorf("invalid path: %v", err)
+	}
+}
+
+func TestDecomposeSplitsAcrossTwoPaths(t *testing.T) {
+	// Diamond carrying 10 through node 1 and 5 through node 2.
+	g := diamond([4]float64{10, 10, 5, 5})
+	routing := scenario.Routing{}
+	routing.AddFlow(3, 0, 10) // 0->1
+	routing.AddFlow(3, 1, 10) // 1->3
+	routing.AddFlow(3, 2, 5)  // 0->2
+	routing.AddFlow(3, 3, 5)  // 2->3
+
+	paths := DecomposeRouting(g, routing)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	total := 0.0
+	for _, p := range paths {
+		total += p.Flow
+		if p.Pair != 3 {
+			t.Errorf("pair = %d, want 3", p.Pair)
+		}
+		if err := p.Path.Validate(g); err != nil {
+			t.Errorf("invalid path: %v", err)
+		}
+	}
+	if math.Abs(total-15) > 1e-9 {
+		t.Errorf("total decomposed flow = %f, want 15", total)
+	}
+}
+
+func TestDecomposeReverseOrientedFlow(t *testing.T) {
+	// Flow recorded against the edge orientation: edge built 1->0 but the
+	// demand goes 0->1 (negative sign).
+	g := graph.New(2, 1)
+	g.AddNode("", 0, 0, 1)
+	g.AddNode("", 0, 0, 1)
+	e := g.MustAddEdge(1, 0, 10, 1)
+	routing := scenario.Routing{}
+	routing.AddFlow(0, e, -4) // 4 units from node 0 to node 1
+	paths := DecomposeRouting(g, routing)
+	if len(paths) != 1 || paths[0].Flow != 4 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	if paths[0].Path.Source() != 0 || paths[0].Path.Target() != 1 {
+		t.Errorf("endpoints = %d -> %d, want 0 -> 1", paths[0].Path.Source(), paths[0].Path.Target())
+	}
+}
+
+func TestDecomposeIgnoresCycles(t *testing.T) {
+	// A triangle of circulating flow plus a real 0->3 path: the cycle must
+	// not produce a path.
+	g := graph.New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, 0, 1)
+	}
+	e01 := g.MustAddEdge(0, 1, 10, 1)
+	e12 := g.MustAddEdge(1, 2, 10, 1)
+	e20 := g.MustAddEdge(2, 0, 10, 1)
+	e03 := g.MustAddEdge(0, 3, 10, 1)
+	routing := scenario.Routing{}
+	routing.AddFlow(0, e01, 2)
+	routing.AddFlow(0, e12, 2)
+	routing.AddFlow(0, e20, 2)
+	routing.AddFlow(0, e03, 7)
+
+	paths := DecomposeRouting(g, routing)
+	total := 0.0
+	for _, p := range paths {
+		if p.Path.ContainsEdge(e01) && p.Path.ContainsEdge(e12) && p.Path.ContainsEdge(e20) {
+			t.Errorf("cycle reported as a path: %+v", p)
+		}
+		total += p.Flow
+	}
+	if math.Abs(total-7) > 1e-9 {
+		t.Errorf("decomposed flow = %f, want 7 (cycle discarded)", total)
+	}
+}
+
+func TestDecomposeRealRouting(t *testing.T) {
+	// End to end: decompose the routing produced by the exact routability
+	// test and check that per-pair path flows sum to the demand.
+	g := diamond([4]float64{10, 10, 5, 5})
+	demands := []demand.Pair{
+		{ID: 0, Source: 0, Target: 3, Flow: 12},
+		{ID: 1, Source: 1, Target: 2, Flow: 2},
+	}
+	in := &Instance{Graph: g, Demands: demands}
+	res := CheckRoutability(in, Options{Mode: ModeExact})
+	if !res.Routable {
+		t.Fatal("instance should be routable")
+	}
+	paths := DecomposeRouting(g, res.Routing)
+	perPair := make(map[demand.PairID]float64)
+	for _, p := range paths {
+		if err := p.Path.Validate(g); err != nil {
+			t.Errorf("invalid path: %v", err)
+		}
+		perPair[p.Pair] += p.Flow
+	}
+	for _, d := range demands {
+		if math.Abs(perPair[d.ID]-d.Flow) > 1e-6 {
+			t.Errorf("pair %d decomposed to %f units, want %f", d.ID, perPair[d.ID], d.Flow)
+		}
+	}
+}
+
+func TestDecomposeEmptyRouting(t *testing.T) {
+	g := diamond([4]float64{1, 1, 1, 1})
+	if paths := DecomposeRouting(g, scenario.Routing{}); len(paths) != 0 {
+		t.Errorf("paths = %v, want none", paths)
+	}
+	routing := scenario.Routing{}
+	routing.AddFlow(0, 0, 1e-15) // below tolerance
+	if paths := DecomposeRouting(g, routing); len(paths) != 0 {
+		t.Errorf("paths = %v, want none for sub-tolerance flow", paths)
+	}
+}

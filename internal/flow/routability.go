@@ -1,0 +1,85 @@
+package flow
+
+import (
+	"netrecovery/internal/graph"
+	"netrecovery/internal/lp"
+)
+
+// CheckRoutability answers the routability question of §IV-A: can the
+// demands of the instance be routed simultaneously through the usable edges
+// within the residual capacities?
+//
+// In ModeExact (or ModeAuto on small instances) it solves the LP feasibility
+// system (2), which is a necessary and sufficient test, and returns a
+// feasible routing when one exists. In ModeConstructive (or ModeAuto on
+// large instances) it uses a greedy constructive test that is sufficient but
+// not necessary.
+func CheckRoutability(in *Instance, opts Options) Result {
+	opts = opts.withDefaults()
+	if len(in.ActiveDemands()) == 0 {
+		return Result{Routable: true, Exact: true, Routing: nil}
+	}
+	if err := in.Validate(); err != nil {
+		return Result{Routable: false, Exact: true}
+	}
+
+	// Cheap necessary filter: every active demand's endpoints must be
+	// connected in the usable sub-graph with enough single-commodity max
+	// flow to cover the demand when considered in isolation.
+	if !passesSingleCommodityFilter(in) {
+		return Result{Routable: false, Exact: true}
+	}
+
+	useExact := opts.Mode == ModeExact
+	if opts.Mode == ModeAuto {
+		numVars := 2 * len(in.UsableEdges()) * len(in.ActiveDemands())
+		useExact = numVars <= opts.MaxLPVariables
+	}
+	if useExact {
+		return checkRoutabilityLP(in)
+	}
+	routing, ok := ConstructiveRouting(in)
+	return Result{Routable: ok, Exact: false, Routing: routing}
+}
+
+// passesSingleCommodityFilter runs the per-demand max-flow necessary
+// condition: if any single demand cannot be routed alone, the joint problem
+// is certainly infeasible.
+func passesSingleCommodityFilter(in *Instance) bool {
+	caps := usableCapacityMap(in)
+	for _, d := range in.ActiveDemands() {
+		if in.ExcludedNodes[d.Source] || in.ExcludedNodes[d.Target] {
+			return false
+		}
+		maxFlow := in.Graph.MaxFlow(d.Source, d.Target, caps)
+		if maxFlow+capacityEpsilon < d.Flow {
+			return false
+		}
+	}
+	return true
+}
+
+// usableCapacityMap materialises the usable capacity of every edge (0 for
+// excluded edges/endpoints) for use with graph.MaxFlow.
+func usableCapacityMap(in *Instance) map[graph.EdgeID]float64 {
+	caps := make(map[graph.EdgeID]float64, in.Graph.NumEdges())
+	for i := 0; i < in.Graph.NumEdges(); i++ {
+		id := graph.EdgeID(i)
+		caps[id] = in.Capacity(id)
+	}
+	return caps
+}
+
+// checkRoutabilityLP solves the exact feasibility LP of system (2).
+func checkRoutabilityLP(in *Instance) Result {
+	prob, vars, usable := buildRoutabilityLP(in)
+	sol := prob.Solve()
+	if sol.Status != lp.StatusOptimal {
+		return Result{Routable: false, Exact: true}
+	}
+	return Result{
+		Routable: true,
+		Exact:    true,
+		Routing:  extractRouting(in, sol, vars, usable),
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+// SupplyCut returns delta_G(U): the IDs of the edges with exactly one
+// endpoint inside the node set U.
+func (g *Graph) SupplyCut(set map[NodeID]bool) []EdgeID {
+	var cut []EdgeID
+	for _, e := range g.edges {
+		inFrom := set[e.From]
+		inTo := set[e.To]
+		if inFrom != inTo {
+			cut = append(cut, e.ID)
+		}
+	}
+	return cut
+}
+
+// CutCapacity returns the total capacity of the supply cut of U, honouring
+// optional capacity overrides (nil means use stored capacities).
+func (g *Graph) CutCapacity(set map[NodeID]bool, capOverride map[EdgeID]float64) float64 {
+	total := 0.0
+	for _, eid := range g.SupplyCut(set) {
+		c := g.edges[eid].Capacity
+		if capOverride != nil {
+			if oc, ok := capOverride[eid]; ok {
+				c = oc
+			}
+		}
+		total += c
+	}
+	return total
+}
+
+// DemandPair is an endpoint pair with an associated demand flow, used by the
+// surplus computation; the full demand-graph machinery lives in the demand
+// package, which converts to this lightweight form.
+type DemandPair struct {
+	Source, Target NodeID
+	Flow           float64
+}
+
+// DemandCut returns the total demand with exactly one endpoint inside U
+// (the delta_H(U) term of the surplus definition).
+func DemandCut(set map[NodeID]bool, demands []DemandPair) float64 {
+	total := 0.0
+	for _, d := range demands {
+		inS := set[d.Source]
+		inT := set[d.Target]
+		if inS != inT {
+			total += d.Flow
+		}
+	}
+	return total
+}
+
+// Surplus returns sigma(U) = capacity(delta_G(U)) - demand(delta_H(U)), the
+// quantity used in the termination proof of ISP (Theorem 4). A negative
+// surplus for any U certifies that the demand is not routable (cut
+// condition violated).
+func (g *Graph) Surplus(set map[NodeID]bool, demands []DemandPair, capOverride map[EdgeID]float64) float64 {
+	return g.CutCapacity(set, capOverride) - DemandCut(set, demands)
+}
+
+// VertexSurplus returns the surplus of the singleton set {v}.
+func (g *Graph) VertexSurplus(v NodeID, demands []DemandPair, capOverride map[EdgeID]float64) float64 {
+	return g.Surplus(map[NodeID]bool{v: true}, demands, capOverride)
+}
+
+// CutConditionHolds checks the cut condition on all singleton vertex sets.
+// The cut condition over every subset is necessary for routability; checking
+// singletons is a cheap necessary filter used by tests and heuristics
+// (sufficiency requires the full routability LP in the flow package).
+func (g *Graph) CutConditionHolds(demands []DemandPair, capOverride map[EdgeID]float64) bool {
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.VertexSurplus(NodeID(v), demands, capOverride) < -flowEpsilon {
+			return false
+		}
+	}
+	return true
+}

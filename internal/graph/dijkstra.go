@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// EdgeLength is a pluggable edge-length metric used by shortest-path
+// computations. Returning math.Inf(1) excludes the edge from consideration.
+// The network-recovery core uses the dynamic metric of §IV-D; simpler callers
+// can use UnitLength or CapacityLength.
+type EdgeLength func(e Edge) float64
+
+// UnitLength assigns length 1 to every edge (hop-count metric).
+func UnitLength(Edge) float64 { return 1 }
+
+// CapacityLength assigns length 1/capacity so that shortest paths prefer
+// high-capacity edges. Zero-capacity edges are excluded.
+func CapacityLength(e Edge) float64 {
+	if e.Capacity <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / e.Capacity
+}
+
+// ExcludeNodes wraps a length metric so that edges incident to any node in
+// the excluded set become unusable. It is used by the bubble search and by
+// shortest-path computations on the working sub-graph.
+func ExcludeNodes(base EdgeLength, excluded map[NodeID]bool) EdgeLength {
+	return func(e Edge) float64 {
+		if excluded[e.From] || excluded[e.To] {
+			return math.Inf(1)
+		}
+		return base(e)
+	}
+}
+
+// ExcludeEdges wraps a length metric so that edges in the excluded set become
+// unusable.
+func ExcludeEdges(base EdgeLength, excluded map[EdgeID]bool) EdgeLength {
+	return func(e Edge) float64 {
+		if excluded[e.ID] {
+			return math.Inf(1)
+		}
+		return base(e)
+	}
+}
+
+// pqItem is an entry of the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (pq priorityQueue) Len() int            { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool  { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)       { pq[i], pq[j] = pq[j], pq[i] }
+func (pq *priorityQueue) Push(x interface{}) { *pq = append(*pq, x.(pqItem)) }
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	item := old[n-1]
+	*pq = old[:n-1]
+	return item
+}
+
+// ShortestPath returns the shortest path from s to t under the given length
+// metric using Dijkstra's algorithm, together with its total length. If t is
+// unreachable, the returned path is empty and the length is +Inf. Lengths
+// must be non-negative; edges of infinite length are skipped.
+func (g *Graph) ShortestPath(s, t NodeID, length EdgeLength) (Path, float64) {
+	dist, prevEdge := g.dijkstra(s, length, t)
+	if math.IsInf(dist[t], 1) {
+		return Path{}, math.Inf(1)
+	}
+	return g.reconstructPath(s, t, prevEdge), dist[t]
+}
+
+// ShortestDistances returns the shortest-path distance from s to every node
+// under the given length metric. Unreachable nodes have distance +Inf.
+func (g *Graph) ShortestDistances(s NodeID, length EdgeLength) []float64 {
+	dist, _ := g.dijkstra(s, length, InvalidNode)
+	return dist
+}
+
+// dijkstra runs Dijkstra from s; if target is a valid node the search stops
+// early once the target is settled. It returns the distance array and, for
+// each node, the edge used to reach it on a shortest path.
+func (g *Graph) dijkstra(s NodeID, length EdgeLength, target NodeID) ([]float64, []EdgeID) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = InvalidEdge
+	}
+	if !g.HasNode(s) {
+		return dist, prevEdge
+	}
+	dist[s] = 0
+
+	pq := &priorityQueue{{node: s, dist: 0}}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pqItem)
+		u := item.node
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == target {
+			break
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			w := length(e)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			v := e.Other(u)
+			if settled[v] {
+				continue
+			}
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prevEdge[v] = eid
+				heap.Push(pq, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return dist, prevEdge
+}
+
+// reconstructPath rebuilds the s->t path from the predecessor-edge array.
+func (g *Graph) reconstructPath(s, t NodeID, prevEdge []EdgeID) Path {
+	if s == t {
+		return Path{Nodes: []NodeID{s}}
+	}
+	var revEdges []EdgeID
+	var revNodes []NodeID
+	cur := t
+	for cur != s {
+		eid := prevEdge[cur]
+		if eid == InvalidEdge {
+			return Path{}
+		}
+		revEdges = append(revEdges, eid)
+		revNodes = append(revNodes, cur)
+		cur = g.edges[eid].Other(cur)
+	}
+	revNodes = append(revNodes, s)
+
+	p := Path{
+		Edges: make([]EdgeID, len(revEdges)),
+		Nodes: make([]NodeID, len(revNodes)),
+	}
+	for i := range revEdges {
+		p.Edges[i] = revEdges[len(revEdges)-1-i]
+	}
+	for i := range revNodes {
+		p.Nodes[i] = revNodes[len(revNodes)-1-i]
+	}
+	return p
+}
+
+// HopDistance returns the minimum number of edges between s and t, or -1 if t
+// is unreachable from s. It uses breadth-first search.
+func (g *Graph) HopDistance(s, t NodeID) int {
+	if s == t {
+		return 0
+	}
+	dist := g.BFSDistances(s, nil)
+	if dist[t] < 0 {
+		return -1
+	}
+	return dist[t]
+}
+
+// BFSDistances returns hop distances from s to every node, restricted to
+// edges for which allowed returns true (a nil predicate allows every edge).
+// Unreachable nodes have distance -1.
+func (g *Graph) BFSDistances(s NodeID, allowed func(Edge) bool) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.HasNode(s) {
+		return dist
+	}
+	dist[s] = 0
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			if allowed != nil && !allowed(e) {
+				continue
+			}
+			v := e.Other(u)
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximum finite hop distance between any pair of nodes
+// (the hop diameter of the largest connected component). It returns 0 for
+// graphs with fewer than two nodes.
+func (g *Graph) Diameter() int {
+	diameter := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		dist := g.BFSDistances(NodeID(v), nil)
+		for _, d := range dist {
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	return diameter
+}

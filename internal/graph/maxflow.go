@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math"
+)
+
+// MaxFlow computes the maximum flow between s and t on the undirected graph,
+// treating each undirected edge as a pair of anti-parallel directed arcs that
+// share the edge capacity (the standard undirected max-flow model). It uses
+// the Edmonds–Karp algorithm (BFS augmenting paths) and runs in
+// O(V * E^2) time, which is ample for the topology sizes of the paper.
+//
+// capOverride, when non-nil, supplies per-edge capacities that replace the
+// capacities stored on the graph (used by callers that maintain residual
+// capacities without mutating the shared graph). Edges absent from the map
+// use their stored capacity.
+func (g *Graph) MaxFlow(s, t NodeID, capOverride map[EdgeID]float64) float64 {
+	value, _ := g.MaxFlowWithAssignment(s, t, capOverride)
+	return value
+}
+
+// FlowAssignment records, for each edge, the signed net flow pushed along it
+// by a max-flow computation. The sign is positive when flow travels from
+// Edge.From to Edge.To and negative otherwise.
+type FlowAssignment map[EdgeID]float64
+
+// MaxFlowWithAssignment is MaxFlow but additionally returns the per-edge net
+// flow assignment realising the maximum flow.
+func (g *Graph) MaxFlowWithAssignment(s, t NodeID, capOverride map[EdgeID]float64) (float64, FlowAssignment) {
+	assignment := make(FlowAssignment)
+	if !g.HasNode(s) || !g.HasNode(t) || s == t {
+		return 0, assignment
+	}
+
+	// Residual capacities per direction. forward[e] is residual capacity in
+	// the From->To direction, backward[e] in the To->From direction. For an
+	// undirected edge both start at the edge capacity, but the *total* net
+	// usage may not exceed the capacity; modelling each direction with full
+	// capacity plus flow cancellation yields exactly the undirected max-flow.
+	m := g.NumEdges()
+	forward := make([]float64, m)
+	backward := make([]float64, m)
+	for i := 0; i < m; i++ {
+		c := g.edges[i].Capacity
+		if capOverride != nil {
+			if oc, ok := capOverride[EdgeID(i)]; ok {
+				c = oc
+			}
+		}
+		if c < 0 {
+			c = 0
+		}
+		forward[i] = c
+		backward[i] = c
+	}
+
+	residual := func(eid EdgeID, from NodeID) float64 {
+		if g.edges[eid].From == from {
+			return forward[eid]
+		}
+		return backward[eid]
+	}
+	push := func(eid EdgeID, from NodeID, amount float64) {
+		if g.edges[eid].From == from {
+			forward[eid] -= amount
+			backward[eid] += amount
+			assignment[eid] += amount
+		} else {
+			backward[eid] -= amount
+			forward[eid] += amount
+			assignment[eid] -= amount
+		}
+	}
+
+	total := 0.0
+	prevEdge := make([]EdgeID, g.NumNodes())
+	prevNode := make([]NodeID, g.NumNodes())
+	for {
+		// BFS over residual arcs.
+		for i := range prevEdge {
+			prevEdge[i] = InvalidEdge
+			prevNode[i] = InvalidNode
+		}
+		prevNode[s] = s
+		queue := []NodeID{s}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for _, eid := range g.adj[u] {
+				if residual(eid, u) <= flowEpsilon {
+					continue
+				}
+				v := g.edges[eid].Other(u)
+				if prevNode[v] != InvalidNode {
+					continue
+				}
+				prevNode[v] = u
+				prevEdge[v] = eid
+				if v == t {
+					found = true
+					break
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			break
+		}
+		// Bottleneck along the augmenting path.
+		bottleneck := math.Inf(1)
+		for v := t; v != s; v = prevNode[v] {
+			if r := residual(prevEdge[v], prevNode[v]); r < bottleneck {
+				bottleneck = r
+			}
+		}
+		if bottleneck <= flowEpsilon || math.IsInf(bottleneck, 1) {
+			break
+		}
+		for v := t; v != s; v = prevNode[v] {
+			push(prevEdge[v], prevNode[v], bottleneck)
+		}
+		total += bottleneck
+	}
+
+	// Clean tiny numerical noise from the assignment.
+	for eid, f := range assignment {
+		if math.Abs(f) <= flowEpsilon {
+			delete(assignment, eid)
+		}
+	}
+	return total, assignment
+}
+
+// flowEpsilon is the tolerance under which residual capacities and flows are
+// treated as zero.
+const flowEpsilon = 1e-9

@@ -1,0 +1,255 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// bruteForceMinR computes the true MinR optimum of a small scenario by
+// enumerating every subset of broken elements and keeping the cheapest one
+// whose induced network can route the whole demand (exact LP test). It is
+// exponential and only usable on tiny instances, which is exactly what makes
+// it a trustworthy oracle for the OPT solver and a lower bound for ISP.
+func bruteForceMinR(t *testing.T, s *scenario.Scenario) (float64, bool) {
+	t.Helper()
+	var brokenNodes []graph.NodeID
+	for v := range s.BrokenNodes {
+		brokenNodes = append(brokenNodes, v)
+	}
+	var brokenEdges []graph.EdgeID
+	for e := range s.BrokenEdges {
+		brokenEdges = append(brokenEdges, e)
+	}
+	n := len(brokenNodes) + len(brokenEdges)
+	if n > 16 {
+		t.Fatalf("brute force limited to 16 broken elements, got %d", n)
+	}
+	bestCost := math.Inf(1)
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		repairedNodes := make(map[graph.NodeID]bool)
+		repairedEdges := make(map[graph.EdgeID]bool)
+		cost := 0.0
+		for i, v := range brokenNodes {
+			if mask&(1<<i) != 0 {
+				repairedNodes[v] = true
+				cost += s.Supply.Node(v).RepairCost
+			}
+		}
+		for j, e := range brokenEdges {
+			if mask&(1<<(len(brokenNodes)+j)) != 0 {
+				repairedEdges[e] = true
+				cost += s.Supply.Edge(e).RepairCost
+			}
+		}
+		if cost >= bestCost {
+			continue
+		}
+		excludedNodes := make(map[graph.NodeID]bool)
+		for v := range s.BrokenNodes {
+			if !repairedNodes[v] {
+				excludedNodes[v] = true
+			}
+		}
+		excludedEdges := make(map[graph.EdgeID]bool)
+		for e := range s.BrokenEdges {
+			if !repairedEdges[e] {
+				excludedEdges[e] = true
+			}
+		}
+		in := &flow.Instance{
+			Graph:         s.Supply,
+			ExcludedNodes: excludedNodes,
+			ExcludedEdges: excludedEdges,
+			Demands:       s.Demand.Active(),
+		}
+		if in.Validate() != nil {
+			continue
+		}
+		if flow.CheckRoutability(in, flow.Options{Mode: flow.ModeExact}).Routable {
+			bestCost = cost
+			found = true
+		}
+	}
+	return bestCost, found
+}
+
+// tinyScenarios returns a handful of small MinR instances with at most 12
+// broken elements and known-feasible demand.
+func tinyScenarios(t *testing.T) map[string]*scenario.Scenario {
+	t.Helper()
+	out := make(map[string]*scenario.Scenario)
+
+	// Destroyed diamond, demand fits on one route.
+	{
+		g := graph.New(4, 4)
+		for i := 0; i < 4; i++ {
+			g.AddNode("", float64(i), float64(i%2), 1)
+		}
+		g.MustAddEdge(0, 1, 10, 1)
+		g.MustAddEdge(1, 3, 10, 1)
+		g.MustAddEdge(0, 2, 10, 1)
+		g.MustAddEdge(2, 3, 10, 1)
+		dg := demand.New()
+		dg.MustAdd(0, 3, 7)
+		d := disruption.Complete(g)
+		out["destroyed diamond"] = &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	}
+
+	// Heterogeneous costs: the short route is expensive, the long one cheap.
+	{
+		g := graph.New(5, 5)
+		for i := 0; i < 5; i++ {
+			g.AddNode("", float64(i), 0, 1)
+		}
+		expensive := g.MustAddEdge(0, 4, 10, 10) // direct but costly
+		g.MustAddEdge(0, 1, 10, 1)
+		g.MustAddEdge(1, 2, 10, 1)
+		g.MustAddEdge(2, 3, 10, 1)
+		g.MustAddEdge(3, 4, 10, 1)
+		dg := demand.New()
+		dg.MustAdd(0, 4, 5)
+		s := &scenario.Scenario{
+			Supply:      g,
+			Demand:      dg,
+			BrokenNodes: map[graph.NodeID]bool{},
+			BrokenEdges: map[graph.EdgeID]bool{expensive: true, 1: true, 2: true, 3: true, 4: true},
+		}
+		out["heterogeneous costs"] = s
+	}
+
+	// Two demands sharing a middle link, partial destruction.
+	{
+		g := graph.New(6, 7)
+		for i := 0; i < 6; i++ {
+			g.AddNode("", float64(i%3), float64(i/3), 1)
+		}
+		g.MustAddEdge(0, 1, 20, 1)
+		g.MustAddEdge(1, 2, 20, 1)
+		g.MustAddEdge(3, 4, 20, 1)
+		g.MustAddEdge(4, 5, 20, 1)
+		g.MustAddEdge(0, 3, 20, 1)
+		g.MustAddEdge(1, 4, 20, 1)
+		g.MustAddEdge(2, 5, 20, 1)
+		dg := demand.New()
+		dg.MustAdd(0, 5, 8)
+		dg.MustAdd(2, 3, 8)
+		s := &scenario.Scenario{
+			Supply:      g,
+			Demand:      dg,
+			BrokenNodes: map[graph.NodeID]bool{1: true, 4: true},
+			BrokenEdges: map[graph.EdgeID]bool{1: true, 5: true, 6: true},
+		}
+		out["shared middle"] = s
+	}
+	return out
+}
+
+// TestOptMatchesBruteForce verifies that the OPT solver finds the true
+// optimum on every tiny scenario, and that ISP's cost is never below it (it
+// is a heuristic upper bound).
+func TestOptMatchesBruteForce(t *testing.T) {
+	for name, s := range tinyScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			want, feasible := bruteForceMinR(t, s)
+			if !feasible {
+				t.Fatal("oracle says the scenario is infeasible; fix the test inputs")
+			}
+			optPlan, err := (&Opt{MaxNodes: 20000, TimeLimit: 60 * time.Second}).Solve(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := optPlan.RepairCost(s); math.Abs(got-want) > 1e-6 {
+				t.Errorf("OPT cost = %f, brute force optimum = %f", got, want)
+			}
+			if err := scenario.VerifyPlan(s, optPlan); err != nil {
+				t.Errorf("OPT plan invalid: %v", err)
+			}
+
+			ispPlan, err := (&ISPSolver{}).Solve(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ispPlan.RepairCost(s); got < want-1e-6 {
+				t.Errorf("ISP cost %f is below the optimum %f: its plan cannot be feasible", got, want)
+			}
+			if ispPlan.SatisfactionRatio() < 1-1e-9 {
+				t.Errorf("ISP lost demand on a feasible instance")
+			}
+			if err := scenario.VerifyPlan(s, ispPlan); err != nil {
+				t.Errorf("ISP plan invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestISPDirectLinkRuleIgnoresCost documents a fidelity point: the paper's
+// §IV-E rule repairs a broken supply edge that directly joins unservable
+// demand endpoints regardless of its cost, so on the heterogeneous-cost
+// scenario ISP restores the expensive direct link (cost 10) while OPT finds
+// the cheap 4-edge detour (cost 4). With the paper's unit costs the two
+// coincide.
+func TestISPDirectLinkRuleIgnoresCost(t *testing.T) {
+	s := tinyScenarios(t)["heterogeneous costs"]
+	plan, err := (&ISPSolver{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.RepairedEdges[0] {
+		t.Errorf("expected the direct-link rule to repair edge 0; repairs: %v", plan.RepairedEdges)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+}
+
+// TestISPPrefersCheapRoute checks the dynamic path metric's cost awareness
+// when the direct-link rule does not apply: a 2-hop route with expensive
+// repairs competes with a 4-hop route with cheap repairs, and ISP should
+// restore the cheap one (as OPT does).
+func TestISPPrefersCheapRoute(t *testing.T) {
+	g := graph.New(6, 6)
+	for i := 0; i < 6; i++ {
+		g.AddNode("", float64(i), 0, 1)
+	}
+	// Expensive 2-hop route 0-5-4 (repair cost 10 per edge).
+	exp1 := g.MustAddEdge(0, 5, 10, 10)
+	exp2 := g.MustAddEdge(5, 4, 10, 10)
+	// Cheap 4-hop route 0-1-2-3-4 (repair cost 1 per edge).
+	g.MustAddEdge(0, 1, 10, 1)
+	g.MustAddEdge(1, 2, 10, 1)
+	g.MustAddEdge(2, 3, 10, 1)
+	g.MustAddEdge(3, 4, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 4, 5)
+	s := &scenario.Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: map[graph.NodeID]bool{},
+		BrokenEdges: map[graph.EdgeID]bool{exp1: true, exp2: true, 2: true, 3: true, 4: true, 5: true},
+	}
+	plan, err := (&ISPSolver{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.RepairedEdges[exp1] || plan.RepairedEdges[exp2] {
+		t.Errorf("ISP repaired the expensive route; plan cost %f", plan.RepairCost(s))
+	}
+	if cost := plan.RepairCost(s); cost > 4+1e-9 {
+		t.Errorf("ISP cost = %f, want 4 (the four cheap edges)", cost)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Error("ISP must serve the demand")
+	}
+	want, feasible := bruteForceMinR(t, s)
+	if !feasible || math.Abs(want-4) > 1e-9 {
+		t.Fatalf("oracle optimum = %f feasible=%v, expected 4", want, feasible)
+	}
+}

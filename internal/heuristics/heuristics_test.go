@@ -1,0 +1,342 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// diamondScenario returns a fully destroyed 4-node diamond with a single
+// demand 0->3 of the given flow. Each route has capacity 10.
+func diamondScenario(t *testing.T, flowUnits float64) *scenario.Scenario {
+	t.Helper()
+	g := graph.New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddNode("", float64(i), float64(i%2), 1)
+	}
+	g.MustAddEdge(0, 1, 10, 1)
+	g.MustAddEdge(1, 3, 10, 1)
+	g.MustAddEdge(0, 2, 10, 1)
+	g.MustAddEdge(2, 3, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 3, flowUnits)
+	d := disruption.Complete(g)
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+}
+
+// gridScenario returns a destroyed 3x3 grid with two corner demands.
+func gridScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	g, err := topology.Grid(3, 3, topology.DefaultConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := demand.New()
+	dg.MustAdd(0, 8, 10)
+	dg.MustAdd(2, 6, 10)
+	d := disruption.Complete(g)
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+}
+
+func TestNewAndNames(t *testing.T) {
+	for _, name := range Names() {
+		solver, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if solver.Name() != name {
+			t.Errorf("Name() = %q, want %q", solver.Name(), name)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("expected error for unknown solver")
+	}
+}
+
+func TestAllRepairsEverything(t *testing.T) {
+	s := diamondScenario(t, 8)
+	plan, err := (&All{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges, _ := plan.NumRepairs()
+	if nodes != 4 || edges != 4 {
+		t.Errorf("ALL repaired %d nodes %d edges, want 4 and 4", nodes, edges)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("ALL satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestSRTRepairsOneRoute(t *testing.T) {
+	s := diamondScenario(t, 8)
+	plan, err := (&SRT{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, edges, _ := plan.NumRepairs()
+	if edges != 2 {
+		t.Errorf("SRT repaired %d edges, want 2 (one route)", edges)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("SRT satisfaction = %f, want 1 on a single demand", plan.SatisfactionRatio())
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestSRTDemandLossUnderSharing(t *testing.T) {
+	// Two demands of 15 each between the same endpoints of the diamond
+	// (total 30 > 20 network capacity, but each fits alone on... actually
+	// each needs 15 > 10 per route so SRT repairs both routes per demand).
+	// Build instead a path topology where sharing causes loss: two demands
+	// (0->2 and 1->2) of 8 units share edge 1-2 of capacity 10.
+	g := graph.New(3, 2)
+	for i := 0; i < 3; i++ {
+		g.AddNode("", float64(i), 0, 1)
+	}
+	g.MustAddEdge(0, 1, 10, 1)
+	g.MustAddEdge(1, 2, 10, 1)
+	dg := demand.New()
+	dg.MustAdd(0, 2, 8)
+	dg.MustAdd(1, 2, 8)
+	d := disruption.Complete(g)
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+	plan, err := (&SRT{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() >= 1 {
+		t.Errorf("SRT should lose demand when shared paths saturate, got ratio %f", plan.SatisfactionRatio())
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestGreedyCommitDiamond(t *testing.T) {
+	s := diamondScenario(t, 8)
+	plan, err := (&GreedyCommit{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("GRD-COM satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	_, edges, _ := plan.NumRepairs()
+	if edges > 4 {
+		t.Errorf("GRD-COM repaired %d edges, want <= 4", edges)
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestGreedyNoCommitDiamond(t *testing.T) {
+	s := diamondScenario(t, 8)
+	plan, err := (&GreedyNoCommit{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("GRD-NC satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestGreedyNoCommitNoRepairsWhenIntact(t *testing.T) {
+	g, err := topology.Grid(3, 3, topology.DefaultConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := demand.New()
+	dg.MustAdd(0, 8, 10)
+	s := &scenario.Scenario{
+		Supply: g, Demand: dg,
+		BrokenNodes: map[graph.NodeID]bool{},
+		BrokenEdges: map[graph.EdgeID]bool{},
+	}
+	plan, err := (&GreedyNoCommit{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total := plan.NumRepairs(); total != 0 {
+		t.Errorf("repairs = %d, want 0 on an intact network", total)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Error("intact network must satisfy the demand")
+	}
+}
+
+func TestOptDiamondIsOptimal(t *testing.T) {
+	// The optimum for 8 units over the destroyed diamond is one route:
+	// 3 nodes + 2 edges = cost 5.
+	s := diamondScenario(t, 8)
+	plan, err := (&Opt{MaxNodes: 2000, TimeLimit: 30 * time.Second}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := plan.RepairCost(s); cost > 5+1e-6 {
+		t.Errorf("OPT cost = %f, want 5", cost)
+	}
+	if plan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("OPT satisfaction = %f, want 1", plan.SatisfactionRatio())
+	}
+	if err := scenario.VerifyPlan(s, plan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestOptNeverWorseThanISP(t *testing.T) {
+	s := gridScenario(t)
+	ispPlan, err := (&ISPSolver{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optPlan, err := (&Opt{MaxNodes: 300, TimeLimit: 20 * time.Second}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optPlan.RepairCost(s) > ispPlan.RepairCost(s)+1e-6 {
+		t.Errorf("OPT cost %f exceeds ISP cost %f", optPlan.RepairCost(s), ispPlan.RepairCost(s))
+	}
+	if err := scenario.VerifyPlan(s, optPlan); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestOptInfeasibleDemand(t *testing.T) {
+	s := diamondScenario(t, 100) // exceeds total capacity 20
+	plan, err := (&Opt{MaxNodes: 50, TimeLimit: 10 * time.Second}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfactionRatio() >= 1 {
+		t.Error("demand 100 cannot be fully satisfied")
+	}
+	if _, _, total := plan.NumRepairs(); total == 0 {
+		t.Error("infeasible fallback should still repair elements")
+	}
+}
+
+func TestOptEmptyDemand(t *testing.T) {
+	g, err := topology.Grid(2, 2, topology.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scenario.Scenario{
+		Supply: g, Demand: demand.New(),
+		BrokenNodes: map[graph.NodeID]bool{0: true},
+		BrokenEdges: map[graph.EdgeID]bool{},
+	}
+	plan, err := (&Opt{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total := plan.NumRepairs(); total != 0 {
+		t.Errorf("no demand means no repairs, got %d", total)
+	}
+	if !plan.Optimal {
+		t.Error("empty problem is trivially optimal")
+	}
+}
+
+func TestOptColdStart(t *testing.T) {
+	s := diamondScenario(t, 8)
+	plan, err := (&Opt{MaxNodes: 2000, TimeLimit: 30 * time.Second, DisableWarmStart: true}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := plan.RepairCost(s); cost > 5+1e-6 {
+		t.Errorf("cold-start OPT cost = %f, want 5", cost)
+	}
+}
+
+func TestSolverOrderingOnGrid(t *testing.T) {
+	// The qualitative ordering the paper reports: OPT <= ISP <= greedy
+	// heuristics <= ALL in number of repairs, with ISP and GRD-NC at 100%
+	// satisfaction.
+	s := gridScenario(t)
+	results := make(map[string]*scenario.Plan)
+	solvers := []Solver{
+		&ISPSolver{},
+		&SRT{},
+		&GreedyCommit{},
+		&GreedyNoCommit{},
+		&All{},
+		&Opt{MaxNodes: 300, TimeLimit: 20 * time.Second},
+	}
+	for _, solver := range solvers {
+		plan, err := solver.Solve(s)
+		if err != nil {
+			t.Fatalf("%s: %v", solver.Name(), err)
+		}
+		if err := scenario.VerifyPlan(s, plan); err != nil {
+			t.Fatalf("%s produced an invalid plan: %v", solver.Name(), err)
+		}
+		results[solver.Name()] = plan
+	}
+	_, _, ispTotal := results[core.SolverName].NumRepairs()
+	_, _, optTotal := results[OptName].NumRepairs()
+	_, _, allTotal := results[AllName].NumRepairs()
+	if optTotal > ispTotal {
+		t.Errorf("OPT repairs %d > ISP repairs %d", optTotal, ispTotal)
+	}
+	if ispTotal > allTotal {
+		t.Errorf("ISP repairs %d > ALL repairs %d", ispTotal, allTotal)
+	}
+	if results[core.SolverName].SatisfactionRatio() < 1-1e-9 {
+		t.Error("ISP must not lose demand")
+	}
+	if results[GreedyNoCommitName].SatisfactionRatio() < 1-1e-9 {
+		t.Error("GRD-NC must not lose demand when the intact network could route it")
+	}
+}
+
+func TestBellCanadaGeographicAllSolvers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Bell-Canada end-to-end comparison in short mode")
+	}
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(11))
+	d := disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: 30, PeakProbability: 1}, rng)
+	dg, err := demand.GenerateFarApartPairs(g, 3, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+
+	ispPlan, err := (&ISPSolver{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ispPlan.SatisfactionRatio() < 1-1e-9 {
+		t.Errorf("ISP satisfaction = %f, want 1", ispPlan.SatisfactionRatio())
+	}
+	srtPlan, err := (&SRT{}).Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ispTotal := ispPlan.NumRepairs()
+	if ispTotal > d.Total() {
+		t.Errorf("ISP repairs %d exceed broken elements %d", ispTotal, d.Total())
+	}
+	for name, plan := range map[string]*scenario.Plan{"ISP": ispPlan, "SRT": srtPlan} {
+		if err := scenario.VerifyPlan(s, plan); err != nil {
+			t.Errorf("%s verify: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/lp"
+	"netrecovery/internal/milp"
+	"netrecovery/internal/scenario"
+)
+
+// OptName is the figure label of the exact MILP solution.
+const OptName = "OPT"
+
+// Opt solves the MinR MILP (problem (1)) with branch and bound: binary
+// repair decisions for every broken node and edge, continuous per-demand
+// flow variables, capacity/activation/conservation constraints, minimising
+// total repair cost.
+//
+// The paper solves this model with Gurobi and reports runtimes up to ~27
+// hours (Fig. 7a); this implementation uses the repository's own
+// branch-and-bound solver with configurable node and time limits, warm
+// started with ISP's solution so that the incumbent is never worse than ISP.
+// When the limits are hit before the gap closes, the plan carries
+// Optimal=false and the best lower bound in Bound.
+type Opt struct {
+	// MaxNodes / TimeLimit bound the branch-and-bound search. Zeroes mean
+	// 4000 nodes and 120 seconds.
+	MaxNodes  int
+	TimeLimit time.Duration
+	// DisableWarmStart turns off the ISP warm start (used by tests to
+	// exercise the cold-start path).
+	DisableWarmStart bool
+}
+
+var _ Solver = (*Opt)(nil)
+
+// Name implements Solver.
+func (Opt) Name() string { return OptName }
+
+// optModel carries the variable layout of the MILP so the solution can be
+// decoded back into a plan.
+type optModel struct {
+	problem   *lp.Problem
+	binaries  []int
+	nodeVar   map[graph.NodeID]int
+	edgeVar   map[graph.EdgeID]int
+	flowVar   map[optArc]int
+	demands   []demand.Pair
+	totalCost float64
+}
+
+type optArc struct {
+	pair    int
+	edge    graph.EdgeID
+	forward bool
+}
+
+// Solve implements Solver.
+func (o *Opt) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := o.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 4000
+	}
+	timeLimit := o.TimeLimit
+	if timeLimit == 0 {
+		timeLimit = 120 * time.Second
+	}
+
+	plan := scenario.NewPlan(OptName)
+	plan.TotalDemand = s.Demand.TotalFlow()
+	if len(s.Demand.Active()) == 0 {
+		plan.SatisfiedDemand = 0
+		plan.Optimal = true
+		plan.Runtime = time.Since(start)
+		return plan, nil
+	}
+
+	model := buildOptModel(s)
+
+	opts := milp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit}
+	var warmPlan *scenario.Plan
+	if !o.DisableWarmStart {
+		// The warm start only needs a feasible incumbent quickly, so ISP runs
+		// in its greedy split mode here regardless of how the caller
+		// configures the stand-alone ISP solver.
+		warmSolver := &ISPSolver{Options: core.Options{
+			SplitMode:   core.SplitGreedy,
+			Routability: flow.Options{Mode: flow.ModeAuto},
+		}}
+		if wp, werr := warmSolver.Solve(s); werr == nil && wp.SatisfactionRatio() >= 1-1e-9 {
+			// Only the warm-start objective participates in pruning; the
+			// binary assignment itself is recovered from warmPlan if the
+			// search never improves on it.
+			warmPlan = wp
+			opts.WarmStart = make([]float64, len(model.binaries))
+			opts.WarmStartObjective = wp.RepairCost(s)
+		}
+	}
+
+	sol := milp.Solve(milp.Problem{LP: model.problem, Binary: model.binaries}, opts)
+	plan.Runtime = time.Since(start)
+
+	switch sol.Status {
+	case milp.StatusOptimal, milp.StatusFeasible:
+		if sol.Values == nil {
+			// The warm start was never improved upon: fall back to the warm
+			// plan itself (relabelled), which is feasible by construction.
+			if warmPlan == nil {
+				return nil, fmt.Errorf("opt: solver returned no assignment")
+			}
+			plan.RepairedNodes = warmPlan.RepairedNodes
+			plan.RepairedEdges = warmPlan.RepairedEdges
+			plan.Routing = warmPlan.Routing
+			plan.SatisfiedDemand = warmPlan.SatisfiedDemand
+			plan.Optimal = sol.Status == milp.StatusOptimal
+			plan.Bound = sol.Bound
+			plan.Notes = "incumbent provided by ISP warm start"
+			return plan, nil
+		}
+		decodeOptSolution(s, model, sol.Values, plan)
+		plan.Optimal = sol.Status == milp.StatusOptimal
+		plan.Bound = sol.Bound
+		return plan, nil
+	case milp.StatusInfeasible:
+		// The demand cannot be carried even by the fully repaired network:
+		// repair everything and route what fits, mirroring how the paper
+		// treats over-subscribed instances.
+		for v := range s.BrokenNodes {
+			plan.RepairedNodes[v] = true
+		}
+		for e := range s.BrokenEdges {
+			plan.RepairedEdges[e] = true
+		}
+		fillRoutedDemand(s, plan)
+		plan.Notes = "demand exceeds full network capacity; repaired everything"
+		plan.Runtime = time.Since(start)
+		return plan, nil
+	default:
+		if warmPlan != nil {
+			plan.RepairedNodes = warmPlan.RepairedNodes
+			plan.RepairedEdges = warmPlan.RepairedEdges
+			plan.Routing = warmPlan.Routing
+			plan.SatisfiedDemand = warmPlan.SatisfiedDemand
+			plan.Bound = sol.Bound
+			plan.Notes = "search limit hit before any incumbent; using ISP warm start"
+			return plan, nil
+		}
+		return nil, fmt.Errorf("opt: branch and bound ended with status %v", sol.Status)
+	}
+}
+
+// buildOptModel constructs the MILP of problem (1). Binary variables exist
+// only for broken elements; intact elements are implicitly usable. Broken
+// elements are activated by their flow through big-M rows whose M is the
+// exact capacity bound, so the formulation is equivalent to (1).
+func buildOptModel(s *scenario.Scenario) *optModel {
+	prob := lp.New(lp.Minimize)
+	model := &optModel{
+		problem: prob,
+		nodeVar: make(map[graph.NodeID]int),
+		edgeVar: make(map[graph.EdgeID]int),
+		flowVar: make(map[optArc]int),
+		demands: s.Demand.Active(),
+	}
+
+	for v := range s.BrokenNodes {
+		idx := prob.AddBoundedVariable(s.Supply.Node(v).RepairCost, 1, fmt.Sprintf("delta_v_%d", v))
+		model.nodeVar[v] = idx
+		model.binaries = append(model.binaries, idx)
+		model.totalCost += s.Supply.Node(v).RepairCost
+	}
+	for e := range s.BrokenEdges {
+		idx := prob.AddBoundedVariable(s.Supply.Edge(e).RepairCost, 1, fmt.Sprintf("delta_e_%d", e))
+		model.edgeVar[e] = idx
+		model.binaries = append(model.binaries, idx)
+		model.totalCost += s.Supply.Edge(e).RepairCost
+	}
+	for pi := range model.demands {
+		for i := 0; i < s.Supply.NumEdges(); i++ {
+			eid := graph.EdgeID(i)
+			fwd := prob.AddVariable(0, "")
+			bwd := prob.AddVariable(0, "")
+			model.flowVar[optArc{pi, eid, true}] = fwd
+			model.flowVar[optArc{pi, eid, false}] = bwd
+		}
+	}
+
+	// Capacity / edge-activation rows (constraint 1(b)).
+	for i := 0; i < s.Supply.NumEdges(); i++ {
+		eid := graph.EdgeID(i)
+		e := s.Supply.Edge(eid)
+		terms := make([]lp.Term, 0, 2*len(model.demands)+1)
+		for pi := range model.demands {
+			terms = append(terms,
+				lp.Term{Var: model.flowVar[optArc{pi, eid, true}], Coef: 1},
+				lp.Term{Var: model.flowVar[optArc{pi, eid, false}], Coef: 1},
+			)
+		}
+		if dv, broken := model.edgeVar[eid]; broken {
+			terms = append(terms, lp.Term{Var: dv, Coef: -e.Capacity})
+			_ = prob.AddConstraint(terms, lp.LessEq, 0, fmt.Sprintf("capb_%d", eid))
+		} else {
+			_ = prob.AddConstraint(terms, lp.LessEq, e.Capacity, fmt.Sprintf("cap_%d", eid))
+		}
+	}
+
+	// Node-activation rows (constraint 1(c), expressed through flow): the
+	// total flow incident to a broken node cannot exceed its incident
+	// capacity unless the node is repaired.
+	for v := range s.BrokenNodes {
+		dv := model.nodeVar[v]
+		incident := s.Supply.IncidentEdges(v)
+		bigM := 0.0
+		terms := make([]lp.Term, 0, 2*len(model.demands)*len(incident)+1)
+		for _, eid := range incident {
+			bigM += s.Supply.Edge(eid).Capacity
+			for pi := range model.demands {
+				terms = append(terms,
+					lp.Term{Var: model.flowVar[optArc{pi, eid, true}], Coef: 1},
+					lp.Term{Var: model.flowVar[optArc{pi, eid, false}], Coef: 1},
+				)
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		terms = append(terms, lp.Term{Var: dv, Coef: -bigM})
+		_ = prob.AddConstraint(terms, lp.LessEq, 0, fmt.Sprintf("act_%d", v))
+	}
+
+	// Flow-conservation rows (constraint 1(d)).
+	for pi, d := range model.demands {
+		for v := 0; v < s.Supply.NumNodes(); v++ {
+			node := graph.NodeID(v)
+			incident := s.Supply.IncidentEdges(node)
+			terms := make([]lp.Term, 0, 2*len(incident))
+			for _, eid := range incident {
+				e := s.Supply.Edge(eid)
+				outVar := model.flowVar[optArc{pi, eid, e.From == node}]
+				inVar := model.flowVar[optArc{pi, eid, e.From != node}]
+				terms = append(terms,
+					lp.Term{Var: outVar, Coef: 1},
+					lp.Term{Var: inVar, Coef: -1},
+				)
+			}
+			rhs := 0.0
+			switch node {
+			case d.Source:
+				rhs = d.Flow
+			case d.Target:
+				rhs = -d.Flow
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			_ = prob.AddConstraint(terms, lp.Equal, rhs, fmt.Sprintf("cons_%d_%d", pi, v))
+		}
+	}
+	return model
+}
+
+// decodeOptSolution converts a MILP assignment into the plan's repaired sets
+// and routing.
+func decodeOptSolution(s *scenario.Scenario, model *optModel, values []float64, plan *scenario.Plan) {
+	value := func(idx int) float64 {
+		if idx < 0 || idx >= len(values) {
+			return 0
+		}
+		return values[idx]
+	}
+	for v, idx := range model.nodeVar {
+		if value(idx) > 0.5 {
+			plan.RepairedNodes[v] = true
+		}
+	}
+	for e, idx := range model.edgeVar {
+		if value(idx) > 0.5 {
+			plan.RepairedEdges[e] = true
+		}
+	}
+	satisfiedPerPair := make(map[demand.PairID]float64)
+	for pi, d := range model.demands {
+		for i := 0; i < s.Supply.NumEdges(); i++ {
+			eid := graph.EdgeID(i)
+			fwd := value(model.flowVar[optArc{pi, eid, true}])
+			bwd := value(model.flowVar[optArc{pi, eid, false}])
+			net := fwd - bwd
+			if math.Abs(net) > 1e-9 {
+				plan.Routing.AddFlow(d.ID, eid, net)
+				e := s.Supply.Edge(eid)
+				if e.To == d.Target {
+					satisfiedPerPair[d.ID] += net
+				}
+				if e.From == d.Target {
+					satisfiedPerPair[d.ID] -= net
+				}
+			}
+		}
+	}
+	total := 0.0
+	for _, d := range model.demands {
+		delivered := satisfiedPerPair[d.ID]
+		if delivered > d.Flow {
+			delivered = d.Flow
+		}
+		if delivered > 0 {
+			total += delivered
+		}
+	}
+	plan.SatisfiedDemand = total
+	// The demand endpoints that are broken must be repaired for the routing
+	// to be physically meaningful even if no explicit constraint forces it
+	// (a node with zero incident flow can remain unrepaired in the model).
+	for _, d := range model.demands {
+		if s.BrokenNodes[d.Source] && satisfiedPerPair[d.ID] > 1e-9 {
+			plan.RepairedNodes[d.Source] = true
+		}
+		if s.BrokenNodes[d.Target] && satisfiedPerPair[d.ID] > 1e-9 {
+			plan.RepairedNodes[d.Target] = true
+		}
+	}
+}

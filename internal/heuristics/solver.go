@@ -1,0 +1,65 @@
+// Package heuristics implements the baseline recovery algorithms the paper
+// compares ISP against (§VI): the shortest-path repair heuristic SRT, the
+// knapsack-inspired greedy heuristics GRD-COM and GRD-NC, the trivial
+// repair-everything baseline ALL, the exact MILP OPT (problem (1)) solved by
+// branch and bound, and a wrapper around the multi-commodity relaxation.
+package heuristics
+
+import (
+	"fmt"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/scenario"
+)
+
+// Solver is the common interface of every recovery algorithm in the
+// repository: it consumes a scenario and produces a plan. Implementations
+// must not mutate the scenario (they clone what they need).
+type Solver interface {
+	// Name returns the algorithm's short name as used in the paper's figures.
+	Name() string
+	// Solve computes a repair plan for the scenario.
+	Solve(s *scenario.Scenario) (*scenario.Plan, error)
+}
+
+// ISPSolver adapts the core ISP implementation to the Solver interface.
+type ISPSolver struct {
+	Options core.Options
+}
+
+var _ Solver = (*ISPSolver)(nil)
+
+// Name implements Solver.
+func (ISPSolver) Name() string { return core.SolverName }
+
+// Solve implements Solver.
+func (s *ISPSolver) Solve(sc *scenario.Scenario) (*scenario.Plan, error) {
+	plan, _, err := core.Solve(sc.Clone(), s.Options)
+	return plan, err
+}
+
+// New returns the solver with the given name configured with defaults.
+// Recognised names: ISP, SRT, GRD-COM, GRD-NC, ALL, OPT.
+func New(name string) (Solver, error) {
+	switch name {
+	case core.SolverName:
+		return &ISPSolver{}, nil
+	case SRTName:
+		return &SRT{}, nil
+	case GreedyCommitName:
+		return &GreedyCommit{}, nil
+	case GreedyNoCommitName:
+		return &GreedyNoCommit{}, nil
+	case AllName:
+		return &All{}, nil
+	case OptName:
+		return &Opt{}, nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown solver %q", name)
+	}
+}
+
+// Names returns the list of recognised solver names in presentation order.
+func Names() []string {
+	return []string{core.SolverName, OptName, SRTName, GreedyCommitName, GreedyNoCommitName, AllName}
+}

@@ -1,0 +1,137 @@
+package heuristics
+
+import (
+	"math"
+	"time"
+
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// SRTName is the figure label of the shortest-path heuristic.
+const SRTName = "SRT"
+
+// SRT is the Shortest Path Heuristic of §VI-B: demands are processed in
+// decreasing order of flow, and for each demand the first shortest paths are
+// repaired until the sub-graph they form can carry the demand *considered in
+// isolation*. Because demands are treated independently, the repaired links
+// may be insufficient to carry every flow simultaneously and SRT can lose
+// demand (Fig. 4(d), 5(b), 9(b)); it is however very cheap and repairs few
+// elements.
+type SRT struct{}
+
+var _ Solver = (*SRT)(nil)
+
+// Name implements Solver.
+func (SRT) Name() string { return SRTName }
+
+// Solve implements Solver.
+func (SRT) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan := scenario.NewPlan(SRTName)
+	plan.TotalDemand = s.Demand.TotalFlow()
+
+	// Length metric: repair-cost-aware, as for ISP's static variant, so that
+	// "shortest" prefers cheap working capacity.
+	length := func(e graph.Edge) float64 {
+		if e.Capacity <= 0 {
+			return math.Inf(1)
+		}
+		l := 1.0
+		if s.BrokenEdges[e.ID] {
+			l += e.RepairCost
+		}
+		if s.BrokenNodes[e.From] {
+			l += s.Supply.Node(e.From).RepairCost / 2
+		}
+		if s.BrokenNodes[e.To] {
+			l += s.Supply.Node(e.To).RepairCost / 2
+		}
+		return l / e.Capacity
+	}
+
+	// Repair the shortest-path set S_i of each demand, in decreasing flow
+	// order, so that max flow over S_i covers d_i in isolation.
+	for _, p := range s.Demand.SortedByFlowDesc() {
+		paths, _ := s.Supply.ShortestPathSet(p.Source, p.Target, p.Flow, length, nil)
+		for _, wp := range paths {
+			for _, v := range wp.Path.Nodes {
+				if s.BrokenNodes[v] {
+					plan.RepairedNodes[v] = true
+				}
+			}
+			for _, eid := range wp.Path.Edges {
+				if s.BrokenEdges[eid] {
+					plan.RepairedEdges[eid] = true
+				}
+			}
+		}
+		if s.BrokenNodes[p.Source] {
+			plan.RepairedNodes[p.Source] = true
+		}
+		if s.BrokenNodes[p.Target] {
+			plan.RepairedNodes[p.Target] = true
+		}
+	}
+
+	// Measure the demand the repaired network can actually carry, jointly.
+	fillRoutedDemand(s, plan)
+	plan.Runtime = time.Since(start)
+	return plan, nil
+}
+
+// fillRoutedDemand routes as much of the scenario demand as possible on the
+// network formed by working plus repaired elements, filling the plan's
+// Routing and SatisfiedDemand. It routes greedily demand by demand (largest
+// first), which matches how SRT and GRD-COM commit capacity.
+func fillRoutedDemand(s *scenario.Scenario, plan *scenario.Plan) {
+	excludedNodes := make(map[graph.NodeID]bool)
+	for v := range s.BrokenNodes {
+		if !plan.RepairedNodes[v] {
+			excludedNodes[v] = true
+		}
+	}
+	excludedEdges := make(map[graph.EdgeID]bool)
+	for e := range s.BrokenEdges {
+		if !plan.RepairedEdges[e] {
+			excludedEdges[e] = true
+		}
+	}
+	in := &flow.Instance{
+		Graph:         s.Supply,
+		ExcludedNodes: excludedNodes,
+		ExcludedEdges: excludedEdges,
+	}
+	residual := make(map[graph.EdgeID]float64, s.Supply.NumEdges())
+	for i := 0; i < s.Supply.NumEdges(); i++ {
+		id := graph.EdgeID(i)
+		residual[id] = in.Capacity(id)
+	}
+
+	satisfied := 0.0
+	for _, p := range s.Demand.SortedByFlowDesc() {
+		value, assignment := s.Supply.MaxFlowWithAssignment(p.Source, p.Target, residual)
+		routed := math.Min(value, p.Flow)
+		if routed <= 1e-9 {
+			continue
+		}
+		scale := routed / value
+		for eid, f := range assignment {
+			used := f * scale
+			if math.Abs(used) <= 1e-9 {
+				continue
+			}
+			plan.Routing.AddFlow(p.ID, eid, used)
+			residual[eid] -= math.Abs(used)
+			if residual[eid] < 0 {
+				residual[eid] = 0
+			}
+		}
+		satisfied += routed
+	}
+	plan.SatisfiedDemand = satisfied
+}

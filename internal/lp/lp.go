@@ -1,0 +1,214 @@
+// Package lp implements a self-contained dense two-phase primal simplex
+// solver for linear programs in the form
+//
+//	optimise   c^T x
+//	subject to a_i^T x {<=, =, >=} b_i   for every constraint i
+//	           0 <= x_j <= u_j           for every variable j
+//
+// It is the optimisation substrate of the network-recovery library: the
+// routability test of §IV-A, the maximum-split LP of §IV-C, the
+// multi-commodity relaxation of §VI-A and the branch-and-bound MILP used for
+// the OPT baseline are all built on top of it.
+//
+// The solver is deliberately simple (dense tableau, Bland's anti-cycling
+// rule after a Dantzig warm-up) but entirely dependency-free. Problem sizes
+// in this repository stay within a few thousand rows and columns; callers
+// that may exceed that (the routability test on very large topologies) use a
+// constructive fallback in the flow package.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of optimisation.
+type Sense int
+
+// Optimisation senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// ConstraintOp is the relational operator of a constraint row.
+type ConstraintOp int
+
+// Constraint operators.
+const (
+	LessEq ConstraintOp = iota + 1
+	Equal
+	GreaterEq
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solver outcomes.
+const (
+	StatusOptimal Status = iota + 1
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrNoSolution is returned by helpers that require an optimal solution when
+// the problem is infeasible or unbounded.
+var ErrNoSolution = errors.New("lp: no optimal solution")
+
+// Term is a single coefficient of a constraint row: Coef * x_{Var}.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a single row a^T x op RHS.
+type Constraint struct {
+	Terms []Term
+	Op    ConstraintOp
+	RHS   float64
+	Name  string
+}
+
+// Problem is a linear program under construction. Create one with New, add
+// variables and constraints, then call Solve.
+type Problem struct {
+	sense     Sense
+	objective []float64
+	upper     []float64 // +Inf when unbounded above
+	names     []string
+	rows      []Constraint
+}
+
+// New returns an empty problem with the given optimisation sense.
+func New(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVariable adds a variable with the given objective coefficient, an
+// implicit lower bound of zero and no upper bound. It returns the variable
+// index.
+func (p *Problem) AddVariable(objCoef float64, name string) int {
+	return p.AddBoundedVariable(objCoef, math.Inf(1), name)
+}
+
+// AddBoundedVariable adds a variable with objective coefficient objCoef and
+// bounds 0 <= x <= upper. It returns the variable index.
+func (p *Problem) AddBoundedVariable(objCoef, upper float64, name string) int {
+	idx := len(p.objective)
+	p.objective = append(p.objective, objCoef)
+	p.upper = append(p.upper, upper)
+	p.names = append(p.names, name)
+	return idx
+}
+
+// SetObjectiveCoef overwrites the objective coefficient of variable v.
+func (p *Problem) SetObjectiveCoef(v int, coef float64) error {
+	if v < 0 || v >= len(p.objective) {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	p.objective[v] = coef
+	return nil
+}
+
+// SetUpperBound overwrites the upper bound of variable v.
+func (p *Problem) SetUpperBound(v int, upper float64) error {
+	if v < 0 || v >= len(p.objective) {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	p.upper[v] = upper
+	return nil
+}
+
+// UpperBound returns the upper bound of variable v (+Inf if unbounded).
+func (p *Problem) UpperBound(v int) float64 { return p.upper[v] }
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.objective) }
+
+// NumConstraints returns the number of constraint rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// AddConstraint adds a constraint row. Terms referencing unknown variables
+// cause an error. Duplicate variables within a row are summed.
+func (p *Problem) AddConstraint(terms []Term, op ConstraintOp, rhs float64, name string) error {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.objective) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
+		}
+	}
+	row := Constraint{
+		Terms: append([]Term(nil), terms...),
+		Op:    op,
+		RHS:   rhs,
+		Name:  name,
+	}
+	p.rows = append(p.rows, row)
+	return nil
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	Objective  float64
+	Values     []float64
+	Iterations int
+}
+
+// Value returns the value of variable v in the solution (0 when the solution
+// has no value array, e.g. for infeasible problems).
+func (s Solution) Value(v int) float64 {
+	if v < 0 || v >= len(s.Values) {
+		return 0
+	}
+	return s.Values[v]
+}
+
+// Options tune the solver.
+type Options struct {
+	// MaxIterations bounds the total number of pivots across both phases.
+	// Zero means a generous default proportional to the problem size.
+	MaxIterations int
+	// Tolerance is the numerical tolerance for optimality and feasibility
+	// tests. Zero means 1e-9.
+	Tolerance float64
+}
+
+func (o Options) withDefaults(rows, cols int) Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200 * (rows + cols + 10)
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// Solve solves the problem with default options.
+func (p *Problem) Solve() Solution {
+	return p.SolveWithOptions(Options{})
+}
+
+// SolveWithOptions solves the problem with the given options.
+func (p *Problem) SolveWithOptions(opts Options) Solution {
+	t := newTableau(p)
+	opts = opts.withDefaults(t.m, t.n)
+	return t.solve(opts)
+}

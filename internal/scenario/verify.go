@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"netrecovery/internal/graph"
+)
+
+// verifyTolerance is the numerical slack allowed when checking capacity and
+// conservation constraints of a plan's routing.
+const verifyTolerance = 1e-6
+
+// VerifyPlan checks that a plan is a valid solution of the scenario:
+//
+//  1. every repaired element was actually broken,
+//  2. the routing only uses working or repaired elements,
+//  3. no edge carries more total flow than its capacity,
+//  4. flow is conserved at every node for every demand pair, delivering at
+//     most the pair's demand from source to target,
+//  5. SatisfiedDemand does not exceed the routed amount (up to tolerance).
+//
+// Plans with a nil/empty routing skip checks 2-5 (solvers such as GRD-NC
+// certify routability without materialising a routing).
+func VerifyPlan(s *Scenario, p *Plan) error {
+	for v := range p.RepairedNodes {
+		if !s.BrokenNodes[v] {
+			return fmt.Errorf("plan repairs node %d which is not broken", v)
+		}
+	}
+	for e := range p.RepairedEdges {
+		if !s.BrokenEdges[e] {
+			return fmt.Errorf("plan repairs edge %d which is not broken", e)
+		}
+	}
+	if len(p.Routing) == 0 {
+		return nil
+	}
+
+	// Capacity constraints over the summed per-pair flows.
+	for eid, load := range p.Routing.EdgeLoad() {
+		if !s.Supply.HasEdge(eid) {
+			return fmt.Errorf("routing uses unknown edge %d", eid)
+		}
+		e := s.Supply.Edge(eid)
+		if load > e.Capacity+verifyTolerance {
+			return fmt.Errorf("edge %d carries %.4f > capacity %.4f", eid, load, e.Capacity)
+		}
+		if load > verifyTolerance && !s.EdgeUsable(eid, p.RepairedNodes, p.RepairedEdges) {
+			return fmt.Errorf("routing uses edge %d which is broken and not repaired", eid)
+		}
+	}
+
+	// Per-pair conservation.
+	routedTotal := 0.0
+	for pid, flows := range p.Routing {
+		pair, ok := s.Demand.Pair(pid)
+		if !ok {
+			return fmt.Errorf("routing references unknown demand pair %d", pid)
+		}
+		net := make(map[graph.NodeID]float64)
+		for eid, f := range flows {
+			if !s.Supply.HasEdge(eid) {
+				return fmt.Errorf("pair %d routed on unknown edge %d", pid, eid)
+			}
+			e := s.Supply.Edge(eid)
+			net[e.From] -= f
+			net[e.To] += f
+		}
+		delivered := net[pair.Target]
+		if delivered < -verifyTolerance {
+			return fmt.Errorf("pair %d delivers negative flow %.4f", pid, delivered)
+		}
+		if delivered > pair.Flow+verifyTolerance {
+			return fmt.Errorf("pair %d delivers %.4f > demand %.4f", pid, delivered, pair.Flow)
+		}
+		if math.Abs(net[pair.Source]+delivered) > verifyTolerance {
+			return fmt.Errorf("pair %d source imbalance: %.4f vs delivered %.4f", pid, net[pair.Source], delivered)
+		}
+		for v, imbalance := range net {
+			if v == pair.Source || v == pair.Target {
+				continue
+			}
+			if math.Abs(imbalance) > verifyTolerance {
+				return fmt.Errorf("pair %d violates conservation at node %d by %.4f", pid, v, imbalance)
+			}
+		}
+		routedTotal += delivered
+	}
+	if p.SatisfiedDemand > routedTotal+verifyTolerance {
+		return fmt.Errorf("plan claims %.4f satisfied demand but routes only %.4f", p.SatisfiedDemand, routedTotal)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package topology provides the supply-network topologies used by the
+// paper's evaluation: a Bell-Canada-like backbone (Internet Topology Zoo),
+// Erdős–Rényi random graphs, a CAIDA-like AS router-level topology, a grid
+// topology for examples, and JSON import/export for user-supplied networks.
+//
+// The Bell-Canada and CAIDA instances are synthetic stand-ins with the same
+// size, sparsity, capacity structure and geographic embedding as the data
+// sets the paper uses (see DESIGN.md, "Substitutions"): the original GraphML
+// / ITDK files are not redistributable, and the experiments only depend on
+// those aggregate properties.
+package topology
+
+import (
+	"math"
+
+	"netrecovery/internal/graph"
+)
+
+// Capacity classes of the Bell-Canada-like topology, following §VII-A: two
+// backbones with capacities 30 and 50, access links with capacity 20.
+const (
+	BellCanadaAccessCapacity    = 20.0
+	BellCanadaBackbone1Capacity = 30.0
+	BellCanadaBackbone2Capacity = 50.0
+)
+
+// BellCanada returns a 48-node, 64-edge national backbone topology shaped
+// like the Internet Topology Zoo's Bell-Canada network: a west-east chain of
+// regional rings attached to two long-haul backbones. Every node and edge
+// has unit repair cost (the paper's setting); capacities follow the three
+// classes above. Coordinates span a 100 x 40 plane (west to east) so that
+// the geographic disruption model can be applied directly.
+func BellCanada() *graph.Graph {
+	g := graph.New(48, 64)
+
+	// 12 core nodes laid out west to east form the two backbones.
+	// Core node i sits at x = i * 36/11, y ~ 8 with a slight arc. The
+	// 36 x 16 extent is chosen so that the disruption variances swept in
+	// Fig. 6 (10 to 150) range from a local outage to near-complete
+	// destruction, as in the paper.
+	const cores = 12
+	for i := 0; i < cores; i++ {
+		x := float64(i) * 36 / (cores - 1)
+		y := 8 + 4*math.Sin(float64(i)*math.Pi/(cores-1))
+		g.AddNode(coreName(i), x, y, 1)
+	}
+	// 36 access nodes: three per core, clustered around it.
+	const accessPerCore = 3
+	for i := 0; i < cores; i++ {
+		core := g.Node(graph.NodeID(i))
+		for j := 0; j < accessPerCore; j++ {
+			angle := float64(j) * 2 * math.Pi / accessPerCore
+			x := core.X + 1.5*math.Cos(angle)
+			y := core.Y + 1.5*math.Sin(angle)
+			g.AddNode(accessName(i, j), x, y, 1)
+		}
+	}
+
+	// Backbone 1 (capacity 50): the full west-east chain over the cores.
+	for i := 0; i < cores-1; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), BellCanadaBackbone2Capacity, 1)
+	}
+	// Backbone 2 (capacity 30): express links skipping one core.
+	for i := 0; i+2 < cores; i += 2 {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+2), BellCanadaBackbone1Capacity, 1)
+	}
+	// Access links (capacity 20): each access node to its core, plus a ring
+	// link between the first two access nodes of every core. This yields
+	// 12*(3+1) = 48 access edges, for 64 edges in total.
+	for i := 0; i < cores; i++ {
+		base := graph.NodeID(cores + i*accessPerCore)
+		for j := 0; j < accessPerCore; j++ {
+			g.MustAddEdge(graph.NodeID(i), base+graph.NodeID(j), BellCanadaAccessCapacity, 1)
+		}
+		g.MustAddEdge(base, base+1, BellCanadaAccessCapacity, 1)
+	}
+	return g
+}
+
+func coreName(i int) string {
+	names := []string{
+		"Victoria", "Vancouver", "Calgary", "Edmonton", "Regina", "Winnipeg",
+		"Thunder Bay", "Toronto", "Ottawa", "Montreal", "Quebec", "Halifax",
+	}
+	if i < len(names) {
+		return names[i]
+	}
+	return "Core" + itoa(i)
+}
+
+func accessName(core, j int) string {
+	return coreName(core) + "-access-" + itoa(j)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netrecovery/internal/graph"
+)
+
+// Config carries the per-element attributes applied by the generators.
+type Config struct {
+	// EdgeCapacity is the capacity assigned to every generated edge.
+	EdgeCapacity float64
+	// NodeRepairCost and EdgeRepairCost are the homogeneous repair costs
+	// (the paper uses unit costs).
+	NodeRepairCost float64
+	EdgeRepairCost float64
+}
+
+// DefaultConfig returns unit repair costs and the given capacity.
+func DefaultConfig(capacity float64) Config {
+	return Config{EdgeCapacity: capacity, NodeRepairCost: 1, EdgeRepairCost: 1}
+}
+
+// ErdosRenyi generates a G(n, p) random graph: every unordered node pair is
+// connected independently with probability p (§VII-B). Nodes are placed
+// uniformly at random on a 100 x 100 plane so geographic disruptions apply.
+func ErdosRenyi(n int, p float64, cfg Config, rng *rand.Rand) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: ErdosRenyi needs n > 0, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: edge probability %f out of [0,1]", p)
+	}
+	g := graph.New(n, int(p*float64(n*n)/2))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("er-%d", i), rng.Float64()*100, rng.Float64()*100, cfg.NodeRepairCost)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(graph.NodeID(u), graph.NodeID(v), cfg.EdgeCapacity, cfg.EdgeRepairCost)
+			}
+		}
+	}
+	return g, nil
+}
+
+// CAIDALikeNodes and CAIDALikeEdges are the size of the CAIDA AS28717 giant
+// component used in §VII-C.
+const (
+	CAIDALikeNodes = 825
+	CAIDALikeEdges = 1018
+)
+
+// CAIDALike generates a router-level topology with exactly CAIDALikeNodes
+// nodes and CAIDALikeEdges edges, mimicking the giant connected component of
+// CAIDA AS28717: a preferential-attachment tree (heavy-tailed degrees,
+// guaranteed connectivity) plus extra preferential chords up to the edge
+// budget. Node positions follow a clustered geographic layout so that the
+// geographically-correlated disruption model produces localized damage.
+func CAIDALike(cfg Config, rng *rand.Rand) *graph.Graph {
+	return PreferentialAttachment(CAIDALikeNodes, CAIDALikeEdges, cfg, rng)
+}
+
+// PreferentialAttachment generates a connected graph with the given number
+// of nodes and edges (edges >= nodes-1) whose degree distribution is heavy
+// tailed, in the style of router-level AS maps.
+func PreferentialAttachment(nodes, edges int, cfg Config, rng *rand.Rand) *graph.Graph {
+	if nodes < 2 {
+		nodes = 2
+	}
+	if edges < nodes-1 {
+		edges = nodes - 1
+	}
+	g := graph.New(nodes, edges)
+
+	// Clustered layout: sqrt(n) cluster centres on a 100x100 plane.
+	numClusters := int(math.Sqrt(float64(nodes)))
+	if numClusters < 1 {
+		numClusters = 1
+	}
+	centres := make([][2]float64, numClusters)
+	for i := range centres {
+		centres[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	for i := 0; i < nodes; i++ {
+		c := centres[i%numClusters]
+		x := c[0] + rng.NormFloat64()*3
+		y := c[1] + rng.NormFloat64()*3
+		g.AddNode(fmt.Sprintf("as-%d", i), x, y, cfg.NodeRepairCost)
+	}
+
+	// Preferential-attachment tree: node i attaches to an endpoint chosen
+	// proportionally to degree (endpoint list trick).
+	endpoints := make([]graph.NodeID, 0, 2*edges)
+	g.MustAddEdge(0, 1, cfg.EdgeCapacity, cfg.EdgeRepairCost)
+	endpoints = append(endpoints, 0, 1)
+	for i := 2; i < nodes; i++ {
+		target := endpoints[rng.Intn(len(endpoints))]
+		g.MustAddEdge(graph.NodeID(i), target, cfg.EdgeCapacity, cfg.EdgeRepairCost)
+		endpoints = append(endpoints, graph.NodeID(i), target)
+	}
+	// Extra chords, preferentially attached on both sides, skipping
+	// duplicates and self loops.
+	for g.NumEdges() < edges {
+		u := endpoints[rng.Intn(len(endpoints))]
+		v := endpoints[rng.Intn(len(endpoints))]
+		if u == v || g.EdgeBetween(u, v) != graph.InvalidEdge {
+			// Fall back to a uniform pair to guarantee progress on dense
+			// hubs.
+			u = graph.NodeID(rng.Intn(nodes))
+			v = graph.NodeID(rng.Intn(nodes))
+			if u == v || g.EdgeBetween(u, v) != graph.InvalidEdge {
+				continue
+			}
+		}
+		g.MustAddEdge(u, v, cfg.EdgeCapacity, cfg.EdgeRepairCost)
+		endpoints = append(endpoints, u, v)
+	}
+	return g
+}
+
+// Grid generates a rows x cols grid topology with the given configuration,
+// used by the examples. Node (r, c) is placed at coordinates (c*10, r*10).
+func Grid(rows, cols int, cfg Config) (*graph.Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("topology: grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	g := graph.New(rows*cols, 2*rows*cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(fmt.Sprintf("g-%d-%d", r, c), float64(c)*10, float64(r)*10, cfg.NodeRepairCost)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), cfg.EdgeCapacity, cfg.EdgeRepairCost)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), cfg.EdgeCapacity, cfg.EdgeRepairCost)
+			}
+		}
+	}
+	return g, nil
+}

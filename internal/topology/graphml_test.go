@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleGraphML is a minimal Internet-Topology-Zoo-flavoured file: three
+// nodes with coordinates and labels, two edges (one with a raw link speed),
+// plus a self-loop that must be skipped.
+const sampleGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="d0"/>
+  <key attr.name="Latitude" attr.type="double" for="node" id="d1"/>
+  <key attr.name="Longitude" attr.type="double" for="node" id="d2"/>
+  <key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d3"/>
+  <graph edgedefault="undirected">
+    <node id="n0">
+      <data key="d0">Victoria</data>
+      <data key="d1">48.43</data>
+      <data key="d2">-123.37</data>
+    </node>
+    <node id="n1">
+      <data key="d0">Vancouver</data>
+      <data key="d1">49.25</data>
+      <data key="d2">-123.10</data>
+    </node>
+    <node id="n2">
+      <data key="d0">Calgary</data>
+      <data key="d1">51.05</data>
+      <data key="d2">-114.06</data>
+    </node>
+    <edge source="n0" target="n1">
+      <data key="d3">10000000000</data>
+    </edge>
+    <edge source="n1" target="n2"/>
+    <edge source="n2" target="n2"/>
+  </graph>
+</graphml>`
+
+func TestReadGraphML(t *testing.T) {
+	g, err := ReadGraphML(strings.NewReader(sampleGraphML), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (self-loop skipped)", g.NumEdges())
+	}
+	victoria := g.Node(0)
+	if victoria.Name != "Victoria" {
+		t.Errorf("node 0 name = %q", victoria.Name)
+	}
+	if victoria.X > -123 || victoria.Y < 48 {
+		t.Errorf("node 0 coordinates = (%f, %f)", victoria.X, victoria.Y)
+	}
+	// Edge n0-n1 has 10 Gbit/s raw speed -> capacity 10.
+	if c := g.Edge(0).Capacity; c != 10 {
+		t.Errorf("edge 0 capacity = %f, want 10", c)
+	}
+	// Edge n1-n2 has no speed -> default access capacity.
+	if c := g.Edge(1).Capacity; c != BellCanadaAccessCapacity {
+		t.Errorf("edge 1 capacity = %f, want %f", c, BellCanadaAccessCapacity)
+	}
+	if g.Node(0).RepairCost != 1 || g.Edge(0).RepairCost != 1 {
+		t.Error("default repair costs should be 1")
+	}
+}
+
+func TestReadGraphMLCustomOptions(t *testing.T) {
+	g, err := ReadGraphML(strings.NewReader(sampleGraphML), GraphMLOptions{
+		DefaultCapacity: 55,
+		NodeRepairCost:  2,
+		EdgeRepairCost:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Edge(1).Capacity; c != 55 {
+		t.Errorf("edge 1 capacity = %f, want 55", c)
+	}
+	if g.Node(0).RepairCost != 2 || g.Edge(0).RepairCost != 3 {
+		t.Error("custom repair costs not applied")
+	}
+}
+
+func TestReadGraphMLErrors(t *testing.T) {
+	if _, err := ReadGraphML(strings.NewReader("not xml at all"), GraphMLOptions{}); err == nil {
+		t.Error("expected parse error")
+	}
+	empty := `<?xml version="1.0"?><graphml xmlns="http://graphml.graphdrawing.org/xmlns"></graphml>`
+	if _, err := ReadGraphML(strings.NewReader(empty), GraphMLOptions{}); err == nil {
+		t.Error("expected error for file without a graph")
+	}
+	badEdge := `<?xml version="1.0"?><graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+	<graph><node id="a"/><edge source="a" target="missing"/></graph></graphml>`
+	if _, err := ReadGraphML(strings.NewReader(badEdge), GraphMLOptions{}); err == nil {
+		t.Error("expected error for edge referencing an unknown node")
+	}
+}
+
+func TestReadGraphMLMinimalWithoutKeys(t *testing.T) {
+	minimal := `<?xml version="1.0"?><graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+	<graph><node id="a"/><node id="b"/><edge source="a" target="b"/></graph></graphml>`
+	g, err := ReadGraphML(strings.NewReader(minimal), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("size = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Node(0).Name != "a" {
+		t.Errorf("node name should fall back to the GraphML id, got %q", g.Node(0).Name)
+	}
+}

@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netrecovery/internal/graph"
+)
+
+// JSONNode is the serialised form of a supply-graph node.
+type JSONNode struct {
+	Name       string  `json:"name"`
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	RepairCost float64 `json:"repairCost"`
+}
+
+// JSONEdge is the serialised form of a supply-graph edge; From and To are
+// node indices in the Nodes array.
+type JSONEdge struct {
+	From       int     `json:"from"`
+	To         int     `json:"to"`
+	Capacity   float64 `json:"capacity"`
+	RepairCost float64 `json:"repairCost"`
+}
+
+// JSONTopology is the on-disk topology format used by cmd/topogen and
+// cmd/nrecover: a plain node list plus an edge list over node indices. Users
+// with the original Topology Zoo or CAIDA data can convert it to this format
+// and load it with Read.
+type JSONTopology struct {
+	Name  string     `json:"name"`
+	Nodes []JSONNode `json:"nodes"`
+	Edges []JSONEdge `json:"edges"`
+}
+
+// ToJSON converts a graph into its serialisable form.
+func ToJSON(name string, g *graph.Graph) JSONTopology {
+	t := JSONTopology{
+		Name:  name,
+		Nodes: make([]JSONNode, 0, g.NumNodes()),
+		Edges: make([]JSONEdge, 0, g.NumEdges()),
+	}
+	for _, n := range g.Nodes() {
+		t.Nodes = append(t.Nodes, JSONNode{Name: n.Name, X: n.X, Y: n.Y, RepairCost: n.RepairCost})
+	}
+	for _, e := range g.Edges() {
+		t.Edges = append(t.Edges, JSONEdge{
+			From: int(e.From), To: int(e.To), Capacity: e.Capacity, RepairCost: e.RepairCost,
+		})
+	}
+	return t
+}
+
+// ToGraph converts the serialised topology back into a graph.
+func (t JSONTopology) ToGraph() (*graph.Graph, error) {
+	g := graph.New(len(t.Nodes), len(t.Edges))
+	for _, n := range t.Nodes {
+		g.AddNode(n.Name, n.X, n.Y, n.RepairCost)
+	}
+	for i, e := range t.Edges {
+		if _, err := g.AddEdge(graph.NodeID(e.From), graph.NodeID(e.To), e.Capacity, e.RepairCost); err != nil {
+			return nil, fmt.Errorf("topology: edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// Write serialises the topology as indented JSON.
+func Write(w io.Writer, name string, g *graph.Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ToJSON(name, g)); err != nil {
+		return fmt.Errorf("topology: encode: %w", err)
+	}
+	return nil
+}
+
+// Read parses a JSON topology and returns the graph.
+func Read(r io.Reader) (*graph.Graph, string, error) {
+	var t JSONTopology
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, "", fmt.Errorf("topology: decode: %w", err)
+	}
+	g, err := t.ToGraph()
+	if err != nil {
+		return nil, "", err
+	}
+	return g, t.Name, nil
+}

@@ -1,0 +1,208 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"netrecovery/internal/graph"
+)
+
+func TestBellCanadaShape(t *testing.T) {
+	g := BellCanada()
+	if g.NumNodes() != 48 {
+		t.Errorf("nodes = %d, want 48", g.NumNodes())
+	}
+	if g.NumEdges() != 64 {
+		t.Errorf("edges = %d, want 64", g.NumEdges())
+	}
+	// Connected.
+	if giant := g.GiantComponent(); len(giant) != 48 {
+		t.Errorf("giant component = %d nodes, want 48", len(giant))
+	}
+	// Capacity classes: only 20, 30, 50.
+	counts := map[float64]int{}
+	for _, e := range g.Edges() {
+		counts[e.Capacity]++
+		if e.RepairCost != 1 {
+			t.Errorf("edge %d repair cost %f, want 1", e.ID, e.RepairCost)
+		}
+	}
+	if len(counts) != 3 || counts[BellCanadaAccessCapacity] == 0 ||
+		counts[BellCanadaBackbone1Capacity] == 0 || counts[BellCanadaBackbone2Capacity] == 0 {
+		t.Errorf("capacity classes = %v", counts)
+	}
+	for _, n := range g.Nodes() {
+		if n.RepairCost != 1 {
+			t.Errorf("node %d repair cost %f, want 1", n.ID, n.RepairCost)
+		}
+		if n.Name == "" {
+			t.Errorf("node %d has empty name", n.ID)
+		}
+	}
+	if g.Diameter() < 4 {
+		t.Errorf("diameter = %d, suspiciously small for a national backbone", g.Diameter())
+	}
+}
+
+func TestBellCanadaDeterministic(t *testing.T) {
+	a, b := BellCanada(), BellCanada()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("BellCanada is not deterministic")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(graph.EdgeID(i)) != b.Edge(graph.EdgeID(i)) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ErdosRenyi(50, 0.2, DefaultConfig(1000), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	// Expected edges ~ p * n(n-1)/2 = 245; allow a broad band.
+	if g.NumEdges() < 150 || g.NumEdges() > 350 {
+		t.Errorf("edges = %d, expected around 245", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.Capacity != 1000 {
+			t.Errorf("capacity = %f, want 1000", e.Capacity)
+		}
+	}
+	if _, err := ErdosRenyi(0, 0.5, DefaultConfig(1), rng); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := ErdosRenyi(5, 1.5, DefaultConfig(1), rng); err == nil {
+		t.Error("expected error for p>1")
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	empty, err := ErdosRenyi(10, 0, DefaultConfig(1), rng)
+	if err != nil || empty.NumEdges() != 0 {
+		t.Errorf("p=0 should yield no edges, got %d (%v)", empty.NumEdges(), err)
+	}
+	full, err := ErdosRenyi(10, 1, DefaultConfig(1), rng)
+	if err != nil || full.NumEdges() != 45 {
+		t.Errorf("p=1 should yield a clique of 45 edges, got %d (%v)", full.NumEdges(), err)
+	}
+}
+
+func TestCAIDALike(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := CAIDALike(DefaultConfig(100), rng)
+	if g.NumNodes() != CAIDALikeNodes {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), CAIDALikeNodes)
+	}
+	if g.NumEdges() != CAIDALikeEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), CAIDALikeEdges)
+	}
+	if giant := g.GiantComponent(); len(giant) != CAIDALikeNodes {
+		t.Errorf("giant component = %d, want connected graph", len(giant))
+	}
+	// Heavy-tailed degrees: the maximum degree should far exceed the mean
+	// (~2.5) on a preferential-attachment graph.
+	if g.MaxDegree() < 10 {
+		t.Errorf("max degree = %d, expected a hub of degree >= 10", g.MaxDegree())
+	}
+}
+
+func TestPreferentialAttachmentSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := PreferentialAttachment(1, 0, DefaultConfig(1), rng)
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("minimum graph = %d nodes %d edges, want 2 and 1", g.NumNodes(), g.NumEdges())
+	}
+	g2 := PreferentialAttachment(10, 20, DefaultConfig(1), rng)
+	if g2.NumNodes() != 10 || g2.NumEdges() != 20 {
+		t.Errorf("graph = %d nodes %d edges, want 10 and 20", g2.NumNodes(), g2.NumEdges())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4, DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", g.NumNodes())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.NumEdges() != 17 {
+		t.Errorf("edges = %d, want 17", g.NumEdges())
+	}
+	if _, err := Grid(0, 3, DefaultConfig(1)); err == nil {
+		t.Error("expected error for zero rows")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := BellCanada()
+	var buf bytes.Buffer
+	if err := Write(&buf, "bell-canada", g); err != nil {
+		t.Fatal(err)
+	}
+	back, name, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bell-canada" {
+		t.Errorf("name = %q", name)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip size mismatch: %v vs %v", back, g)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if back.Edge(graph.EdgeID(i)).Capacity != g.Edge(graph.EdgeID(i)).Capacity {
+			t.Errorf("edge %d capacity mismatch", i)
+		}
+	}
+}
+
+func TestJSONReadErrors(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	bad := JSONTopology{
+		Nodes: []JSONNode{{Name: "a"}},
+		Edges: []JSONEdge{{From: 0, To: 5, Capacity: 1}},
+	}
+	if _, err := bad.ToGraph(); err == nil {
+		t.Error("expected error for out-of-range edge endpoint")
+	}
+}
+
+// Property: Erdős–Rényi generation with the same seed is deterministic and
+// never produces self-loops or out-of-range endpoints.
+func TestErdosRenyiProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20
+		p := 0.3
+		a, err1 := ErdosRenyi(n, p, DefaultConfig(7), rand.New(rand.NewSource(seed)))
+		b, err2 := ErdosRenyi(n, p, DefaultConfig(7), rand.New(rand.NewSource(seed)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		for _, e := range a.Edges() {
+			if e.From == e.To || !a.HasNode(e.From) || !a.HasNode(e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

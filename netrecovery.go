@@ -1,0 +1,391 @@
+// Package netrecovery is the public facade of the network-recovery library,
+// a reproduction of "Network recovery after massive failures" (Bartolini,
+// Ciavarella, La Porta, Silvestri — DSN 2016).
+//
+// The library answers one question: after a large-scale disruption of a
+// communication network, which broken nodes and links should be repaired so
+// that a set of mission-critical demand flows can be routed, at minimum
+// repair cost? The primary algorithm is ISP (Iterative Split and Prune); the
+// package also exposes the paper's baselines (SRT, GRD-COM, GRD-NC, OPT,
+// ALL) behind a uniform interface.
+//
+// Typical usage:
+//
+//	net := netrecovery.BellCanada()
+//	net.AddDemand("Victoria", "Halifax", 10)
+//	net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 40, Seed: 1})
+//	plan, err := net.Recover(netrecovery.ISP)
+//	if err != nil { ... }
+//	fmt.Println(plan.Summary())
+//
+// The heavy lifting lives in the internal packages; this package only wires
+// them together behind a stable API.
+package netrecovery
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// Algorithm selects a recovery algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// ISP is the paper's Iterative Split and Prune heuristic (recommended).
+	ISP Algorithm = "ISP"
+	// OPT is the exact MILP solved by branch and bound (small instances).
+	OPT Algorithm = "OPT"
+	// SRT is the shortest-path repair heuristic.
+	SRT Algorithm = "SRT"
+	// GreedyCommit and GreedyNoCommit are the knapsack-style heuristics.
+	GreedyCommit   Algorithm = "GRD-COM"
+	GreedyNoCommit Algorithm = "GRD-NC"
+	// All repairs every broken element.
+	All Algorithm = "ALL"
+)
+
+// Algorithms lists every available algorithm in presentation order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(heuristics.Names()))
+	for _, n := range heuristics.Names() {
+		out = append(out, Algorithm(n))
+	}
+	return out
+}
+
+// Network is a supply network together with its demand and disruption state.
+// Build one with New or one of the topology constructors, add demands,
+// apply a disruption and call Recover.
+type Network struct {
+	graph     *graph.Graph
+	demands   *demand.Graph
+	broken    disruption.Disruption
+	nodeNames map[string]graph.NodeID
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		graph:     graph.New(0, 0),
+		demands:   demand.New(),
+		broken:    disruption.NewDisruption(),
+		nodeNames: make(map[string]graph.NodeID),
+	}
+}
+
+// wrap builds a Network around an existing supply graph.
+func wrap(g *graph.Graph) *Network {
+	n := &Network{
+		graph:     g,
+		demands:   demand.New(),
+		broken:    disruption.NewDisruption(),
+		nodeNames: make(map[string]graph.NodeID, g.NumNodes()),
+	}
+	for _, node := range g.Nodes() {
+		if node.Name != "" {
+			n.nodeNames[node.Name] = node.ID
+		}
+	}
+	return n
+}
+
+// BellCanada returns the 48-node Bell-Canada-like topology used in the
+// paper's first evaluation scenario.
+func BellCanada() *Network { return wrap(topology.BellCanada()) }
+
+// Grid returns a rows x cols grid network with the given uniform link
+// capacity and unit repair costs.
+func Grid(rows, cols int, capacity float64) (*Network, error) {
+	g, err := topology.Grid(rows, cols, topology.DefaultConfig(capacity))
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// ErdosRenyi returns a random G(n, p) network with the given uniform link
+// capacity and unit repair costs.
+func ErdosRenyi(n int, p float64, capacity float64, seed int64) (*Network, error) {
+	g, err := topology.ErdosRenyi(n, p, topology.DefaultConfig(capacity), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// CAIDALike returns an 825-node router-level topology mimicking the CAIDA
+// AS28717 giant component used in the paper's third scenario.
+func CAIDALike(capacity float64, seed int64) *Network {
+	return wrap(topology.CAIDALike(topology.DefaultConfig(capacity), rand.New(rand.NewSource(seed))))
+}
+
+// AddNode adds a node and returns its ID. Names must be unique when used
+// with the name-based helpers.
+func (n *Network) AddNode(name string, x, y, repairCost float64) int {
+	id := n.graph.AddNode(name, x, y, repairCost)
+	if name != "" {
+		n.nodeNames[name] = id
+	}
+	return int(id)
+}
+
+// AddLink adds an undirected link between two node IDs.
+func (n *Network) AddLink(from, to int, capacity, repairCost float64) error {
+	_, err := n.graph.AddEdge(graph.NodeID(from), graph.NodeID(to), capacity, repairCost)
+	return err
+}
+
+// NumNodes and NumLinks report the supply-network size.
+func (n *Network) NumNodes() int { return n.graph.NumNodes() }
+
+// NumLinks reports the number of links of the supply network.
+func (n *Network) NumLinks() int { return n.graph.NumEdges() }
+
+// NodeID resolves a node name to its ID.
+func (n *Network) NodeID(name string) (int, bool) {
+	id, ok := n.nodeNames[name]
+	return int(id), ok
+}
+
+// AddDemand adds a demand flow between two named nodes.
+func (n *Network) AddDemand(source, target string, flowUnits float64) error {
+	s, ok := n.nodeNames[source]
+	if !ok {
+		return fmt.Errorf("netrecovery: unknown node %q", source)
+	}
+	t, ok := n.nodeNames[target]
+	if !ok {
+		return fmt.Errorf("netrecovery: unknown node %q", target)
+	}
+	_, err := n.demands.Add(s, t, flowUnits)
+	return err
+}
+
+// AddDemandByID adds a demand flow between two node IDs.
+func (n *Network) AddDemandByID(source, target int, flowUnits float64) error {
+	_, err := n.demands.Add(graph.NodeID(source), graph.NodeID(target), flowUnits)
+	return err
+}
+
+// AddFarApartDemands adds numPairs demands of flowUnits each between nodes
+// at hop distance of at least half the network diameter (the paper's demand
+// selection rule).
+func (n *Network) AddFarApartDemands(numPairs int, flowUnits float64, seed int64) error {
+	dg, err := demand.GenerateFarApartPairs(n.graph, numPairs, flowUnits, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	for _, p := range dg.All() {
+		if _, err := n.demands.Add(p.Source, p.Target, p.Flow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalDemand returns the total demand flow added so far.
+func (n *Network) TotalDemand() float64 { return n.demands.TotalFlow() }
+
+// DisruptionConfig parameterises ApplyGeographicDisruption.
+type DisruptionConfig struct {
+	// Variance of the bi-variate Gaussian failure probability (larger =
+	// wider destruction). Required.
+	Variance float64
+	// EpicenterX/Y override the epicentre; when both are zero the network
+	// barycentre is used.
+	EpicenterX, EpicenterY float64
+	// PeakProbability is the failure probability at the epicentre (default 1).
+	PeakProbability float64
+	// Seed drives the random draws.
+	Seed int64
+}
+
+// ApplyGeographicDisruption breaks nodes and links according to a
+// geographically-correlated bi-variate Gaussian failure model.
+func (n *Network) ApplyGeographicDisruption(cfg DisruptionConfig) DisruptionReport {
+	auto := cfg.EpicenterX == 0 && cfg.EpicenterY == 0
+	d := disruption.Geographic(n.graph, disruption.GeographicConfig{
+		EpicenterX:      cfg.EpicenterX,
+		EpicenterY:      cfg.EpicenterY,
+		Auto:            auto,
+		Variance:        cfg.Variance,
+		PeakProbability: cfg.PeakProbability,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	n.mergeDisruption(d)
+	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
+}
+
+// ApplyCompleteDestruction breaks every node and link.
+func (n *Network) ApplyCompleteDestruction() DisruptionReport {
+	d := disruption.Complete(n.graph)
+	n.mergeDisruption(d)
+	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
+}
+
+// ApplyRandomDisruption breaks each node / link independently with the given
+// probabilities.
+func (n *Network) ApplyRandomDisruption(pNode, pEdge float64, seed int64) DisruptionReport {
+	d := disruption.Random(n.graph, pNode, pEdge, rand.New(rand.NewSource(seed)))
+	n.mergeDisruption(d)
+	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
+}
+
+// BreakNode marks a single node as broken.
+func (n *Network) BreakNode(id int) { n.broken.Nodes[graph.NodeID(id)] = true }
+
+// BreakLink marks a single link as broken.
+func (n *Network) BreakLink(id int) { n.broken.Edges[graph.EdgeID(id)] = true }
+
+func (n *Network) mergeDisruption(d disruption.Disruption) {
+	for v := range d.Nodes {
+		n.broken.Nodes[v] = true
+	}
+	for e := range d.Edges {
+		n.broken.Edges[e] = true
+	}
+}
+
+// DisruptionReport summarises an applied disruption.
+type DisruptionReport struct {
+	BrokenNodes int
+	BrokenEdges int
+}
+
+// Broken returns the current number of broken nodes and links.
+func (n *Network) Broken() DisruptionReport {
+	return DisruptionReport{BrokenNodes: len(n.broken.Nodes), BrokenEdges: len(n.broken.Edges)}
+}
+
+// RecoverOptions tune a Recover call.
+type RecoverOptions struct {
+	// OPTTimeLimit / OPTMaxNodes bound the branch-and-bound search of the
+	// OPT algorithm (defaults: 120s / 4000 nodes).
+	OPTTimeLimit time.Duration
+	OPTMaxNodes  int
+	// FastISP switches ISP to its greedy split mode, recommended for
+	// networks with hundreds of nodes.
+	FastISP bool
+}
+
+// Recover runs the selected algorithm on the current network state and
+// returns its repair plan.
+func (n *Network) Recover(alg Algorithm) (*Plan, error) {
+	return n.RecoverWithOptions(alg, RecoverOptions{})
+}
+
+// RecoverWithOptions runs the selected algorithm with explicit options.
+func (n *Network) RecoverWithOptions(alg Algorithm, opts RecoverOptions) (*Plan, error) {
+	sc := n.scenario()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var solver heuristics.Solver
+	switch alg {
+	case ISP:
+		ispOpts := core.Options{}
+		if opts.FastISP {
+			ispOpts.SplitMode = core.SplitGreedy
+			ispOpts.Routability = flow.Options{Mode: flow.ModeAuto}
+		}
+		solver = &heuristics.ISPSolver{Options: ispOpts}
+	case OPT:
+		solver = &heuristics.Opt{MaxNodes: opts.OPTMaxNodes, TimeLimit: opts.OPTTimeLimit}
+	default:
+		var err error
+		solver, err = heuristics.New(string(alg))
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan, err := solver.Solve(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{inner: plan, scen: sc}, nil
+}
+
+// scenario builds the internal scenario snapshot of the network state.
+func (n *Network) scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Supply:      n.graph,
+		Demand:      n.demands,
+		BrokenNodes: n.broken.Nodes,
+		BrokenEdges: n.broken.Edges,
+	}
+}
+
+// Plan is a recovery plan produced by Recover.
+type Plan struct {
+	inner *scenario.Plan
+	scen  *scenario.Scenario
+}
+
+// Algorithm returns the name of the algorithm that produced the plan.
+func (p *Plan) Algorithm() string { return p.inner.Solver }
+
+// RepairedNodes returns the IDs of the nodes to repair, and RepairedLinks
+// the IDs of the links to repair.
+func (p *Plan) RepairedNodes() []int {
+	out := make([]int, 0, len(p.inner.RepairedNodes))
+	for v := range p.inner.RepairedNodes {
+		out = append(out, int(v))
+	}
+	sortInts(out)
+	return out
+}
+
+// RepairedLinks returns the IDs of the links to repair.
+func (p *Plan) RepairedLinks() []int {
+	out := make([]int, 0, len(p.inner.RepairedEdges))
+	for e := range p.inner.RepairedEdges {
+		out = append(out, int(e))
+	}
+	sortInts(out)
+	return out
+}
+
+// Repairs returns the number of node repairs, link repairs and their total.
+func (p *Plan) Repairs() (nodes, links, total int) { return p.inner.NumRepairs() }
+
+// Cost returns the total repair cost of the plan.
+func (p *Plan) Cost() float64 { return p.inner.RepairCost(p.scen) }
+
+// SatisfiedDemandRatio returns the fraction of the demand the plan routes
+// (1 means no demand loss).
+func (p *Plan) SatisfiedDemandRatio() float64 { return p.inner.SatisfactionRatio() }
+
+// Runtime returns the wall-clock time the algorithm took.
+func (p *Plan) Runtime() time.Duration { return p.inner.Runtime }
+
+// Optimal reports whether the plan is provably optimal (OPT only).
+func (p *Plan) Optimal() bool { return p.inner.Optimal }
+
+// Verify checks the plan against the network state (capacity, conservation,
+// only-broken-elements-repaired). A nil error means the plan is valid.
+func (p *Plan) Verify() error { return scenario.VerifyPlan(p.scen, p.inner) }
+
+// Summary returns a one-line human-readable description of the plan.
+func (p *Plan) Summary() string {
+	nodes, links, total := p.Repairs()
+	return fmt.Sprintf("%s: repair %d nodes + %d links (%d total, cost %.1f), %.1f%% of demand served in %v",
+		p.Algorithm(), nodes, links, total, p.Cost(), 100*p.SatisfiedDemandRatio(), p.Runtime().Round(time.Millisecond))
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

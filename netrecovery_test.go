@@ -1,0 +1,183 @@
+package netrecovery
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	net, err := Grid(3, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 9 || net.NumLinks() != 12 {
+		t.Fatalf("grid size = %d nodes %d links", net.NumNodes(), net.NumLinks())
+	}
+	if err := net.AddDemandByID(0, 8, 10); err != nil {
+		t.Fatal(err)
+	}
+	report := net.ApplyCompleteDestruction()
+	if report.BrokenNodes != 9 || report.BrokenEdges != 12 {
+		t.Fatalf("disruption = %+v", report)
+	}
+	plan, err := net.Recover(ISP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SatisfiedDemandRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f", plan.SatisfiedDemandRatio())
+	}
+	if err := plan.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if _, _, total := plan.Repairs(); total == 0 {
+		t.Error("expected repairs on a destroyed grid")
+	}
+	if !strings.Contains(plan.Summary(), "ISP") {
+		t.Errorf("summary = %q", plan.Summary())
+	}
+	if len(plan.RepairedNodes()) == 0 || len(plan.RepairedLinks()) == 0 {
+		t.Error("expected repaired node and link lists")
+	}
+	if plan.Cost() <= 0 {
+		t.Error("expected positive repair cost")
+	}
+	if plan.Runtime() <= 0 {
+		t.Error("expected positive runtime")
+	}
+}
+
+func TestFacadeBellCanadaNamedDemands(t *testing.T) {
+	net := BellCanada()
+	if err := net.AddDemand("Victoria", "Halifax", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddDemand("nowhere", "Halifax", 10); err == nil {
+		t.Error("expected error for unknown node name")
+	}
+	if _, ok := net.NodeID("Toronto"); !ok {
+		t.Error("Toronto should exist")
+	}
+	report := net.ApplyGeographicDisruption(DisruptionConfig{Variance: 30, Seed: 7})
+	if report.BrokenNodes+report.BrokenEdges == 0 {
+		t.Fatal("disruption broke nothing")
+	}
+	plan, err := net.Recover(SRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestFacadeAllAlgorithmsOnSmallScenario(t *testing.T) {
+	build := func() *Network {
+		net, err := Grid(3, 3, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddDemandByID(0, 8, 10); err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyRandomDisruption(0.4, 0.4, 3)
+		return net
+	}
+	for _, alg := range Algorithms() {
+		t.Run(string(alg), func(t *testing.T) {
+			net := build()
+			plan, err := net.RecoverWithOptions(alg, RecoverOptions{
+				OPTMaxNodes:  200,
+				OPTTimeLimit: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Verify(); err != nil {
+				t.Errorf("verify: %v", err)
+			}
+			if plan.Algorithm() != string(alg) {
+				t.Errorf("algorithm = %q, want %q", plan.Algorithm(), alg)
+			}
+		})
+	}
+	net := build()
+	if _, err := net.Recover(Algorithm("bogus")); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestFacadeManualConstruction(t *testing.T) {
+	net := New()
+	a := net.AddNode("a", 0, 0, 1)
+	b := net.AddNode("b", 1, 0, 1)
+	c := net.AddNode("c", 2, 0, 1)
+	if err := net.AddLink(a, b, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink(b, c, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink(a, a, 10, 1); err == nil {
+		t.Error("expected error for self loop")
+	}
+	if err := net.AddDemand("a", "c", 5); err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalDemand() != 5 {
+		t.Errorf("TotalDemand = %f", net.TotalDemand())
+	}
+	net.BreakNode(b)
+	net.BreakLink(0)
+	if got := net.Broken(); got.BrokenNodes != 1 || got.BrokenEdges != 1 {
+		t.Errorf("Broken = %+v", got)
+	}
+	plan, err := net.Recover(ISP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total := plan.Repairs(); total != 2 {
+		t.Errorf("repairs = %d, want 2", total)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestFacadeFarApartDemandsAndFastISP(t *testing.T) {
+	net := BellCanada()
+	if err := net.AddFarApartDemands(3, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalDemand() != 30 {
+		t.Errorf("TotalDemand = %f, want 30", net.TotalDemand())
+	}
+	net.ApplyGeographicDisruption(DisruptionConfig{Variance: 40, Seed: 5})
+	plan, err := net.RecoverWithOptions(ISP, RecoverOptions{FastISP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if plan.SatisfiedDemandRatio() < 1-1e-9 {
+		t.Errorf("satisfaction = %f, want 1", plan.SatisfiedDemandRatio())
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if _, err := ErdosRenyi(30, 0.2, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ErdosRenyi(0, 0.2, 100, 1); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := Grid(0, 5, 1); err == nil {
+		t.Error("expected error for empty grid")
+	}
+	net := CAIDALike(100, 2)
+	if net.NumNodes() != 825 || net.NumLinks() != 1018 {
+		t.Errorf("CAIDALike size = %d/%d", net.NumNodes(), net.NumLinks())
+	}
+}

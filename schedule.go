@@ -1,0 +1,49 @@
+package netrecovery
+
+import (
+	"netrecovery/internal/progressive"
+)
+
+// RecoveryStage is one step of a progressive recovery timeline: the repairs
+// performed during the stage and the demand served once it completes.
+type RecoveryStage struct {
+	// Index is the 1-based stage number.
+	Index int
+	// RepairedNodes and RepairedLinks are the element IDs repaired in this
+	// stage.
+	RepairedNodes []int
+	RepairedLinks []int
+	// Cost is the repair cost spent in this stage.
+	Cost float64
+	// SatisfiedDemandRatio is the cumulative fraction of the demand served
+	// after this stage completes.
+	SatisfiedDemandRatio float64
+}
+
+// ScheduleProgressively spreads the plan's repairs over stages with at most
+// stageBudget repair cost per stage, ordering repairs so that the
+// mission-critical demand is restored as early as possible (the
+// progressive-recovery extension; see the progressive package).
+func (p *Plan) ScheduleProgressively(stageBudget float64) ([]RecoveryStage, error) {
+	sched, err := progressive.Build(p.scen, p.inner, progressive.Options{StageBudget: stageBudget})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RecoveryStage, 0, len(sched.Stages))
+	for _, stage := range sched.Stages {
+		rs := RecoveryStage{
+			Index:                stage.Index,
+			Cost:                 stage.Cost,
+			SatisfiedDemandRatio: stage.SatisfiedRatio,
+		}
+		for _, el := range stage.Repairs {
+			if el.IsNode() {
+				rs.RepairedNodes = append(rs.RepairedNodes, int(el.Node))
+			} else {
+				rs.RepairedLinks = append(rs.RepairedLinks, int(el.Edge))
+			}
+		}
+		out = append(out, rs)
+	}
+	return out, nil
+}
