@@ -11,6 +11,7 @@
 package netrecovery_test
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -48,7 +49,7 @@ func BenchmarkFig3_MulticommodityEnvelope(b *testing.B) {
 	cfg := benchConfig()
 	cfg.IncludeOpt = false // OPT appears in Fig. 4-6 benches; keep Fig. 3 light
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3MulticommodityEnvelope(cfg)
+		res, err := experiments.Fig3MulticommodityEnvelope(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func BenchmarkFig3_MulticommodityEnvelope(b *testing.B) {
 func BenchmarkFig4_VaryDemandPairs(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4VaryDemandPairs(cfg)
+		res, err := experiments.Fig4VaryDemandPairs(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkFig4_VaryDemandPairs(b *testing.B) {
 func BenchmarkFig5_VaryDemandIntensity(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5VaryDemandIntensity(cfg)
+		res, err := experiments.Fig5VaryDemandIntensity(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func BenchmarkFig5_VaryDemandIntensity(b *testing.B) {
 func BenchmarkFig6_VaryDisruption(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6VaryDisruption(cfg)
+		res, err := experiments.Fig6VaryDisruption(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkFig7_ErdosRenyiScalability(b *testing.B) {
 	cfg := benchConfig()
 	cfg.IncludeOpt = true
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7ErdosRenyiScalability(cfg)
+		res, err := experiments.Fig7ErdosRenyiScalability(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkFig7_ErdosRenyiScalability(b *testing.B) {
 func BenchmarkFig8_CAIDATopology(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8CAIDAStatistics(cfg)
+		res, err := experiments.Fig8CAIDAStatistics(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkFig9_CAIDA(b *testing.B) {
 	cfg := benchConfig()
 	cfg.DemandPairs = []int{1, 3, 5}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9CAIDA(cfg)
+		res, err := experiments.Fig9CAIDA(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func BenchmarkAblation_CentralityMetric(b *testing.B) {
 	cfg := benchConfig()
 	cfg.DemandPairs = []int{3}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationCentrality(cfg)
+		res, err := experiments.AblationCentrality(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkAblation_PathMetric(b *testing.B) {
 	cfg := benchConfig()
 	cfg.DemandPairs = []int{5}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationCentrality(cfg)
+		res, err := experiments.AblationCentrality(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func BenchmarkAblation_Pruning(b *testing.B) {
 	cfg := benchConfig()
 	cfg.DemandPairs = []int{4}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationCentrality(cfg)
+		res, err := experiments.AblationCentrality(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,4 +1,5 @@
-// Command nrbench regenerates the paper's evaluation figures.
+// Command nrbench regenerates the paper's evaluation figures and runs
+// declarative scenario sweeps on the concurrent sweep engine.
 //
 // Usage:
 //
@@ -6,19 +7,28 @@
 //	nrbench -figure 6 -profile paper  # full 20-run reproduction of Fig. 6
 //	nrbench -figure all -runs 5       # every figure, 5 runs per point
 //	nrbench -figure ablation          # ISP design-choice ablations
+//	nrbench -figure 4 -workers 8      # figure cells on 8 workers
 //
-// Output is a fixed-width table per sub-figure (use -csv for CSV).
+//	nrbench -sweep -topologies bell-canada,grid:4x4 -algorithms ISP,SRT \
+//	        -variances 20,60 -pairs 3 -flow 10 -seeds 5 -workers 8 -csv
+//
+// Figure output is a fixed-width table per sub-figure (use -csv for CSV);
+// sweep output is the aggregated report as JSON (use -csv for one CSV row
+// per grid point).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"netrecovery/internal/experiments"
+	"netrecovery/internal/sweep"
 )
 
 func main() {
@@ -38,10 +48,57 @@ func run(args []string, stdout io.Writer) error {
 		includeOpt = fs.Bool("opt", false, "force-include the OPT baseline")
 		noOpt      = fs.Bool("no-opt", false, "exclude the OPT baseline")
 		optTime    = fs.Duration("opt-time", 0, "time limit per OPT invocation")
-		csv        = fs.Bool("csv", false, "emit CSV instead of a text table")
+		csv        = fs.Bool("csv", false, "emit CSV instead of a text table / JSON report")
+		workers    = fs.Int("workers", 0, "worker goroutines for figure cells and sweep jobs (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+
+		// Declarative sweep mode.
+		doSweep    = fs.Bool("sweep", false, "run a declarative scenario sweep instead of a figure")
+		topologies = fs.String("topologies", "bell-canada", "comma-separated topologies: bell-canada | grid:RxC | erdos-renyi:N:P | caida")
+		algorithms = fs.String("algorithms", "ISP,SRT", "comma-separated solver names")
+		variances  = fs.String("variances", "", "comma-separated geographic-disruption variances (empty = complete destruction)")
+		pairs      = fs.Int("pairs", 4, "sweep: demand pairs per scenario")
+		flowUnits  = fs.Float64("flow", 10, "sweep: flow units per demand pair")
+		seeds      = fs.Int("seeds", 3, "sweep: number of seeds per grid point")
+		jobTimeout = fs.Duration("job-timeout", 0, "sweep: per-job time limit (0 = none)")
+		fastISP    = fs.Bool("fast-isp", false, "sweep: greedy-split ISP (required for caida-scale topologies)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *doSweep {
+		base := *seed
+		if base == 0 {
+			base = 1
+		}
+		spec, err := buildSweepSpec(*topologies, *algorithms, *variances, *pairs, *flowUnits, base, *seeds)
+		if err != nil {
+			return err
+		}
+		spec.Workers = *workers
+		spec.JobTimeout = *jobTimeout
+		spec.FastISP = *fastISP
+		if *optTime > 0 {
+			spec.OptTimeLimit = *optTime
+		}
+		start := time.Now()
+		report, err := sweep.Run(ctx, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "== Sweep %s: %d jobs, %d failures, %s ==\n\n", spec.Name, report.Jobs, report.Failures, time.Since(start).Round(time.Millisecond))
+		if *csv {
+			return report.WriteCSV(stdout)
+		}
+		return report.WriteJSON(stdout)
 	}
 
 	var cfg experiments.Config
@@ -68,6 +125,7 @@ func run(args []string, stdout io.Writer) error {
 	if *optTime > 0 {
 		cfg.OptTimeLimit = *optTime
 	}
+	cfg.Workers = *workers
 
 	figures := []string{*figure}
 	if *figure == "all" {
@@ -81,9 +139,9 @@ func run(args []string, stdout io.Writer) error {
 			err error
 		)
 		if fig == "ablation" {
-			res, err = experiments.AblationCentrality(cfg)
+			res, err = experiments.AblationCentrality(ctx, cfg)
 		} else {
-			res, err = experiments.Run(fig, cfg)
+			res, err = experiments.Run(ctx, fig, cfg)
 		}
 		if err != nil {
 			return err
@@ -105,4 +163,72 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, strings.Repeat("-", 60))
 	}
 	return nil
+}
+
+// buildSweepSpec assembles a sweep.Spec from the CLI's comma-separated
+// dimension flags.
+func buildSweepSpec(topologies, algorithms, variances string, pairs int, flowUnits float64, baseSeed int64, seeds int) (sweep.Spec, error) {
+	spec := sweep.Spec{
+		Name:  "nrbench",
+		Seeds: sweep.SeedRange(baseSeed, seeds),
+		Demands: []sweep.Demand{
+			{Pairs: pairs, FlowPerPair: flowUnits},
+		},
+	}
+	for _, raw := range strings.Split(topologies, ",") {
+		topo, err := parseTopology(strings.TrimSpace(raw))
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec.Topologies = append(spec.Topologies, topo)
+	}
+	for _, alg := range strings.Split(algorithms, ",") {
+		if alg = strings.TrimSpace(alg); alg != "" {
+			spec.Algorithms = append(spec.Algorithms, alg)
+		}
+	}
+	if variances == "" {
+		spec.Disruptions = []sweep.Disruption{{Kind: sweep.DisruptComplete}}
+	} else {
+		for _, raw := range strings.Split(variances, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+			if err != nil {
+				return sweep.Spec{}, fmt.Errorf("bad variance %q: %w", raw, err)
+			}
+			spec.Disruptions = append(spec.Disruptions, sweep.Disruption{Kind: sweep.DisruptGeographic, Variance: v})
+		}
+	}
+	return spec, nil
+}
+
+// parseTopology understands bell-canada, caida, grid:RxC and erdos-renyi:N:P.
+func parseTopology(raw string) (sweep.Topology, error) {
+	switch {
+	case raw == sweep.TopoBellCanada || raw == sweep.TopoCAIDA:
+		return sweep.Topology{Kind: raw}, nil
+	case strings.HasPrefix(raw, sweep.TopoGrid+":"):
+		dims := strings.Split(strings.TrimPrefix(raw, sweep.TopoGrid+":"), "x")
+		if len(dims) != 2 {
+			return sweep.Topology{}, fmt.Errorf("bad grid topology %q (want grid:RxC)", raw)
+		}
+		rows, err1 := strconv.Atoi(dims[0])
+		cols, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil {
+			return sweep.Topology{}, fmt.Errorf("bad grid topology %q (want grid:RxC)", raw)
+		}
+		return sweep.Topology{Kind: sweep.TopoGrid, Rows: rows, Cols: cols}, nil
+	case strings.HasPrefix(raw, sweep.TopoErdosRenyi+":"):
+		parts := strings.Split(strings.TrimPrefix(raw, sweep.TopoErdosRenyi+":"), ":")
+		if len(parts) != 2 {
+			return sweep.Topology{}, fmt.Errorf("bad erdos-renyi topology %q (want erdos-renyi:N:P)", raw)
+		}
+		n, err1 := strconv.Atoi(parts[0])
+		p, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return sweep.Topology{}, fmt.Errorf("bad erdos-renyi topology %q (want erdos-renyi:N:P)", raw)
+		}
+		return sweep.Topology{Kind: sweep.TopoErdosRenyi, Nodes: n, EdgeProb: p}, nil
+	default:
+		return sweep.Topology{}, fmt.Errorf("unknown topology %q", raw)
+	}
 }

@@ -47,6 +47,55 @@ func TestRunAblation(t *testing.T) {
 	}
 }
 
+func TestRunSweepCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep",
+		"-topologies", "grid:3x3",
+		"-algorithms", "ISP,SRT",
+		"-variances", "25",
+		"-pairs", "1", "-flow", "5", "-seeds", "2",
+		"-workers", "4", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== Sweep nrbench: 4 jobs, 0 failures") {
+		t.Errorf("missing sweep header: %q", text)
+	}
+	if !strings.Contains(text, "topology,disruption,demand,algorithm") {
+		t.Errorf("missing CSV header: %q", text)
+	}
+	if !strings.Contains(text, "grid-3x3,geo-v25,1x5-far-apart,SRT") {
+		t.Errorf("missing SRT group row: %q", text)
+	}
+}
+
+func TestRunSweepJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-topologies", "grid:3x3", "-algorithms", "ISP",
+		"-pairs", "1", "-flow", "5", "-seeds", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, `"groups"`) || !strings.Contains(text, `"satisfied_ratio"`) {
+		t.Errorf("missing JSON report fields: %q", text)
+	}
+}
+
+func TestRunSweepBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-topologies", "torus"}, &out); err == nil {
+		t.Error("expected error for unknown topology")
+	}
+	if err := run([]string{"-sweep", "-topologies", "grid:3"}, &out); err == nil {
+		t.Error("expected error for malformed grid size")
+	}
+	if err := run([]string{"-sweep", "-variances", "abc"}, &out); err == nil {
+		t.Error("expected error for malformed variance")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-figure", "17"}, &out); err == nil {

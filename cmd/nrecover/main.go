@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -91,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.IncludeOpt = g.NumNodes() <= 100
 		cfg.OptTimeLimit = *optTime
 		cfg.FastISP = *fast || g.NumNodes() > 100
-		table, err := experiments.CompareOnScenario(s, cfg)
+		table, err := experiments.CompareOnScenario(context.Background(), s, cfg)
 		if err != nil {
 			return err
 		}
@@ -107,7 +108,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := solver.Solve(s)
+	plan, err := solver.Solve(context.Background(), s)
 	if err != nil {
 		return err
 	}

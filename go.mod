@@ -1,0 +1,3 @@
+module netrecovery
+
+go 1.24

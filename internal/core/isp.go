@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,7 +31,10 @@ const SolverName = "ISP"
 // Upon termination the residual demand is routed through the working network
 // (final routability routing) and combined with the routing accumulated by
 // prune actions.
-func Solve(s *scenario.Scenario, opts Options) (*scenario.Plan, Stats, error) {
+//
+// Cancellation: the context is checked at the top of every iteration of the
+// main loop; once it fires, Solve stops promptly and returns ctx.Err().
+func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.Plan, Stats, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, Stats{}, fmt.Errorf("isp: %w", err)
@@ -52,6 +56,9 @@ func Solve(s *scenario.Scenario, opts Options) (*scenario.Plan, Stats, error) {
 	}
 
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st.stats, fmt.Errorf("isp: %w", err)
+		}
 		st.stats.Iterations = iter
 		if iter >= opts.MaxIterations {
 			st.stats.HitIteration = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -27,7 +28,7 @@ func TestISPDisconnectedDemandIsPartial(t *testing.T) {
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
 
-	plan, stats, err := Solve(s, Options{})
+	plan, stats, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestISPZeroDemandScenario(t *testing.T) {
 	}
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: demand.New(), BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, stats, err := Solve(s, Options{})
+	plan, stats, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestISPParallelEdgesBetweenEndpoints(t *testing.T) {
 		BrokenNodes: map[graph.NodeID]bool{},
 		BrokenEdges: map[graph.EdgeID]bool{small: true, big: true},
 	}
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestISPRandomGridProperty(t *testing.T) {
 		dg.MustAdd(0, 15, 10)
 		dg.MustAdd(3, 12, 10)
 		s := &scenario.Scenario{Supply: g.Clone(), Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-		plan, _, err := Solve(s, Options{SplitMode: SplitGreedy})
+		plan, _, err := Solve(context.Background(), s, Options{SplitMode: SplitGreedy})
 		if err != nil {
 			return false
 		}
@@ -142,7 +143,7 @@ func TestISPMonotoneInDemand(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := &scenario.Scenario{Supply: g.Clone(), Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-		plan, _, err := Solve(s, Options{SplitMode: SplitGreedy})
+		plan, _, err := Solve(context.Background(), s, Options{SplitMode: SplitGreedy})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -76,7 +77,7 @@ func verifyPlan(t *testing.T, s *scenario.Scenario, p *scenario.Plan) {
 
 func TestISPNoDamageNoRepairs(t *testing.T) {
 	s := pathScenario(t, nil, nil, 5)
-	plan, stats, err := Solve(s, Options{})
+	plan, stats, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestISPNoDamageNoRepairs(t *testing.T) {
 func TestISPSingleBrokenEdgeOnPath(t *testing.T) {
 	// Only edge 1-2 broken on the line: ISP must repair exactly that edge.
 	s := pathScenario(t, nil, []graph.EdgeID{1}, 5)
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestISPSingleBrokenEdgeOnPath(t *testing.T) {
 
 func TestISPBrokenEndpointIsRepaired(t *testing.T) {
 	s := pathScenario(t, []graph.NodeID{0}, nil, 5)
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestISPCompleteDestructionLine(t *testing.T) {
 	// Whole line destroyed: the only way to serve 0->4 is to repair all 5
 	// nodes and all 4 edges.
 	s := pathScenario(t, []graph.NodeID{0, 1, 2, 3, 4}, []graph.EdgeID{0, 1, 2, 3}, 5)
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestISPAvoidsUnnecessaryRepairs(t *testing.T) {
 		BrokenNodes: map[graph.NodeID]bool{1: true},
 		BrokenEdges: map[graph.EdgeID]bool{0: true, 1: true},
 	}
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestISPRepairsOnlyOneRouteOfDiamond(t *testing.T) {
 	dg.MustAdd(0, 3, 8)
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestISPSharesRepairsAcrossDemands(t *testing.T) {
 	dg.MustAdd(0, 8, 6)
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestISPSharesRepairsAcrossDemands(t *testing.T) {
 
 func TestISPGridCompleteDestruction(t *testing.T) {
 	s := gridScenario(t, 3, 20, true, []float64{10, 10})
-	plan, stats, err := Solve(s, Options{})
+	plan, stats, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestISPGridCompleteDestruction(t *testing.T) {
 
 func TestISPGridPartialDestruction(t *testing.T) {
 	s := gridScenario(t, 4, 20, false, []float64{8, 8})
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestISPGridPartialDestruction(t *testing.T) {
 
 func TestISPGreedySplitMode(t *testing.T) {
 	s := gridScenario(t, 3, 20, true, []float64{10, 10})
-	plan, _, err := Solve(s, Options{SplitMode: SplitGreedy})
+	plan, _, err := Solve(context.Background(), s, Options{SplitMode: SplitGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestISPGreedySplitMode(t *testing.T) {
 
 func TestISPAblations(t *testing.T) {
 	s := gridScenario(t, 3, 20, true, []float64{10})
-	base, _, err := Solve(s.Clone(), Options{})
+	base, _, err := Solve(context.Background(), s.Clone(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestISPAblations(t *testing.T) {
 	}
 	for name, opts := range cases {
 		t.Run(name, func(t *testing.T) {
-			plan, _, err := Solve(s.Clone(), opts)
+			plan, _, err := Solve(context.Background(), s.Clone(), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -313,7 +314,7 @@ func TestISPUnroutableDemandReportsPartial(t *testing.T) {
 	// Demand exceeds total capacity even with every repair: ISP must not
 	// claim full satisfaction and must terminate.
 	s := pathScenario(t, nil, []graph.EdgeID{1}, 50)
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,14 +325,14 @@ func TestISPUnroutableDemandReportsPartial(t *testing.T) {
 }
 
 func TestISPInvalidScenario(t *testing.T) {
-	if _, _, err := Solve(&scenario.Scenario{}, Options{}); err == nil {
+	if _, _, err := Solve(context.Background(), &scenario.Scenario{}, Options{}); err == nil {
 		t.Error("expected error for invalid scenario")
 	}
 }
 
 func TestISPIterationLimit(t *testing.T) {
 	s := gridScenario(t, 3, 20, true, []float64{10, 10})
-	plan, stats, err := Solve(s, Options{MaxIterations: 1})
+	plan, stats, err := Solve(context.Background(), s, Options{MaxIterations: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestISPMultipleDemandsBellCanadaSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, stats, err := Solve(s, Options{})
+	plan, stats, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestISPMultipleDemandsBellCanadaSubset(t *testing.T) {
 
 func TestISPDeliveredDemandComputation(t *testing.T) {
 	s := pathScenario(t, nil, nil, 5)
-	plan, _, err := Solve(s, Options{})
+	plan, _, err := Solve(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,11 +386,11 @@ func TestISPDeliveredDemandComputation(t *testing.T) {
 
 func TestISPRoutabilityModesAgree(t *testing.T) {
 	s := gridScenario(t, 3, 20, true, []float64{10})
-	exact, _, err := Solve(s.Clone(), Options{Routability: flow.Options{Mode: flow.ModeExact}})
+	exact, _, err := Solve(context.Background(), s.Clone(), Options{Routability: flow.Options{Mode: flow.ModeExact}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	constructive, _, err := Solve(s.Clone(), Options{Routability: flow.Options{Mode: flow.ModeConstructive}})
+	constructive, _, err := Solve(context.Background(), s.Clone(), Options{Routability: flow.Options{Mode: flow.ModeConstructive}})
 	if err != nil {
 		t.Fatal(err)
 	}

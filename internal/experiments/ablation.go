@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+
 	"netrecovery/internal/core"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
+	"netrecovery/internal/sweep"
 )
 
 // AblationResult reports the total repairs and satisfied demand of a set of
@@ -45,27 +48,43 @@ func ablationVariants(fast bool) map[string]core.Options {
 }
 
 // AblationCentrality runs the ISP variants over the Bell-Canada scenarios of
-// Fig. 4 (varying demand pairs) and reports total repairs per variant.
-func AblationCentrality(cfg Config) (*FigureResult, error) {
+// Fig. 4 (varying demand pairs) and reports total repairs per variant. The
+// (pairs, seed) cells run concurrently on the sweep worker pool.
+func AblationCentrality(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
 	variants := ablationVariants(cfg.FastISP)
 	names := []string{VariantFull, VariantBetweenness, VariantStaticMetric, VariantNoPruning}
 	repairs := NewTable("Ablation: total repairs of ISP variants", "demand pairs", names)
 	satisfied := NewTable("Ablation: satisfied demand of ISP variants (%)", "demand pairs", names)
 
-	for _, pairs := range cfg.DemandPairs {
+	cells := make([]map[string]measurement, len(cfg.DemandPairs)*cfg.Runs)
+	err := sweep.ForEach(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) error {
+		pairs := cfg.DemandPairs[i/cfg.Runs]
+		run := i % cfg.Runs
+		s, err := bellCanadaScenario(pairs, cfg.FlowPerPair, 0, cfg.Seed+int64(run))
+		if err != nil {
+			return err
+		}
+		cell := make(map[string]measurement, len(names))
+		for _, name := range names {
+			m, err := runSolver(ctx, s, &heuristics.ISPSolver{Options: variants[name]})
+			if err != nil {
+				return err
+			}
+			cell[name] = m
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, pairs := range cfg.DemandPairs {
 		repairSums := make(map[string]float64)
 		lossSums := make(map[string]float64)
 		for run := 0; run < cfg.Runs; run++ {
-			s, err := bellCanadaScenario(pairs, cfg.FlowPerPair, 0, cfg.Seed+int64(run))
-			if err != nil {
-				return nil, err
-			}
-			for _, name := range names {
-				m, err := runSolver(s, &heuristics.ISPSolver{Options: variants[name]})
-				if err != nil {
-					return nil, err
-				}
+			for name, m := range cells[pi*cfg.Runs+run] {
 				repairSums[name] += m.nodeRepairs + m.edgeRepairs
 				lossSums[name] += m.satisfied
 			}
@@ -84,12 +103,12 @@ func AblationCentrality(cfg Config) (*FigureResult, error) {
 
 // CompareOnScenario runs every configured solver once on a single scenario
 // and returns one row per solver (used by cmd/nrecover and the examples).
-func CompareOnScenario(s *scenario.Scenario, cfg Config) (*Table, error) {
+func CompareOnScenario(ctx context.Context, s *scenario.Scenario, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	solvers := cfg.solverSet(cfg.IncludeGreedy)
 	table := NewTable("solver comparison", "solver", []string{"node repairs", "edge repairs", "total", "satisfied %", "runtime (s)"})
 	for i, solver := range solvers {
-		m, err := runSolver(s, solver)
+		m, err := runSolver(ctx, s, solver)
 		if err != nil {
 			return nil, err
 		}
@@ -100,10 +119,6 @@ func CompareOnScenario(s *scenario.Scenario, cfg Config) (*Table, error) {
 			"satisfied %":  m.satisfied,
 			"runtime (s)":  m.runtime.Seconds(),
 		})
-		// Rename the row's x tick to the solver name by storing it in the
-		// title-side mapping: the Table type is numeric on x, so the caller
-		// uses SeriesLegend to map indices to solver names.
-		_ = i
 	}
 	return table, nil
 }

@@ -33,6 +33,14 @@ type Config struct {
 	// hundred nodes).
 	FastISP bool
 
+	// Workers bounds the goroutine pool that executes the (x value, seed)
+	// cells of each figure (0 = GOMAXPROCS). Results are aggregated in a
+	// fixed order, so the figures are deterministic for any worker count —
+	// except where OPT's wall-clock search limit binds, since the incumbent
+	// found within the limit can vary with CPU contention. Fig. 7 (execution
+	// times) always runs serially.
+	Workers int
+
 	// Figure-specific sweeps; nil means the paper's values.
 	DemandPairs   []int     // Fig. 4 and Fig. 9 x axis
 	DemandFlows   []float64 // Fig. 3 and Fig. 5 x axis

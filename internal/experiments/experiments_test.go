@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -77,7 +78,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestFig4QuickShape(t *testing.T) {
-	res, err := Fig4VaryDemandPairs(tiny())
+	res, err := Fig4VaryDemandPairs(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig4QuickShape(t *testing.T) {
 }
 
 func TestFig5QuickShape(t *testing.T) {
-	res, err := Fig5VaryDemandIntensity(tiny())
+	res, err := Fig5VaryDemandIntensity(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestFig5QuickShape(t *testing.T) {
 }
 
 func TestFig6QuickShape(t *testing.T) {
-	res, err := Fig6VaryDisruption(tiny())
+	res, err := Fig6VaryDisruption(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig6QuickShape(t *testing.T) {
 
 func TestFig3Quick(t *testing.T) {
 	cfg := tiny()
-	res, err := Fig3MulticommodityEnvelope(cfg)
+	res, err := Fig3MulticommodityEnvelope(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFig3Quick(t *testing.T) {
 }
 
 func TestFig7Quick(t *testing.T) {
-	res, err := Fig7ErdosRenyiScalability(tiny())
+	res, err := Fig7ErdosRenyiScalability(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestFig8Statistics(t *testing.T) {
-	res, err := Fig8CAIDAStatistics(tiny())
+	res, err := Fig8CAIDAStatistics(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestFig8Statistics(t *testing.T) {
 func TestFig9Quick(t *testing.T) {
 	cfg := tiny()
 	cfg.DemandPairs = []int{1, 2}
-	res, err := Fig9CAIDA(cfg)
+	res, err := Fig9CAIDA(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,10 +222,10 @@ func TestRunDispatcherAndFigures(t *testing.T) {
 	if len(Figures()) != 7 {
 		t.Errorf("Figures = %v", Figures())
 	}
-	if _, err := Run("8", tiny()); err != nil {
+	if _, err := Run(context.Background(), "8", tiny()); err != nil {
 		t.Errorf("Run(8): %v", err)
 	}
-	if _, err := Run("bogus", tiny()); err == nil {
+	if _, err := Run(context.Background(), "bogus", tiny()); err == nil {
 		t.Error("expected error for unknown figure")
 	}
 }
@@ -232,7 +233,7 @@ func TestRunDispatcherAndFigures(t *testing.T) {
 func TestAblationCentrality(t *testing.T) {
 	cfg := tiny()
 	cfg.DemandPairs = []int{2}
-	res, err := AblationCentrality(cfg)
+	res, err := AblationCentrality(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestFig4WithOptQuick(t *testing.T) {
 	cfg := tiny()
 	cfg.IncludeOpt = true
 	cfg.DemandPairs = []int{2}
-	res, err := Fig4VaryDemandPairs(cfg)
+	res, err := Fig4VaryDemandPairs(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestCompareOnScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table, err := CompareOnScenario(s, cfg)
+	table, err := CompareOnScenario(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

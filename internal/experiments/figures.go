@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"netrecovery/internal/flow"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
+	"netrecovery/internal/sweep"
 	"netrecovery/internal/topology"
 )
 
@@ -42,8 +44,8 @@ type measurement struct {
 
 // runSolver executes a solver on (a clone of) the scenario and extracts the
 // figures' metrics.
-func runSolver(s *scenario.Scenario, solver heuristics.Solver) (measurement, error) {
-	plan, err := solver.Solve(s)
+func runSolver(ctx context.Context, s *scenario.Scenario, solver heuristics.Solver) (measurement, error) {
+	plan, err := solver.Solve(ctx, s)
 	if err != nil {
 		return measurement{}, fmt.Errorf("%s: %w", solver.Name(), err)
 	}
@@ -76,6 +78,8 @@ func bellCanadaScenario(pairs int, flowPerPair, variance float64, seed int64) (*
 }
 
 // solverSet assembles the solvers participating in the Bell-Canada figures.
+// Each call returns fresh solver values, so concurrently-executing cells
+// never share solver state.
 func (c Config) solverSet(withGreedy bool) []heuristics.Solver {
 	solvers := []heuristics.Solver{c.ispSolver()}
 	if c.IncludeOpt {
@@ -98,11 +102,20 @@ func seriesNames(solvers []heuristics.Solver) []string {
 	return names
 }
 
+// fig3Cell is the per-(flow, run) outcome of the Fig. 3 runner.
+type fig3Cell struct {
+	feasible    bool
+	best, worst float64
+	allRepairs  float64
+	optRepairs  float64
+}
+
 // Fig3MulticommodityEnvelope reproduces Fig. 3: the number of total repairs
 // of the best (MCB) and worst (MCW) optimal solutions of the multi-commodity
 // relaxation, versus OPT and ALL, as the demand flow per pair increases on
-// the Bell-Canada topology with complete destruction.
-func Fig3MulticommodityEnvelope(cfg Config) (*FigureResult, error) {
+// the Bell-Canada topology with complete destruction. The (flow, seed) cells
+// run concurrently on the sweep worker pool.
+func Fig3MulticommodityEnvelope(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
 	series := []string{seriesMCB, seriesMCW, seriesALL}
 	if cfg.IncludeOpt {
@@ -110,33 +123,55 @@ func Fig3MulticommodityEnvelope(cfg Config) (*FigureResult, error) {
 	}
 	table := NewTable("Fig. 3: total repairs of the multi-commodity envelope", "demand flow per pair", series)
 
-	for _, flowPerPair := range cfg.DemandFlows {
+	cells := make([]fig3Cell, len(cfg.DemandFlows)*cfg.Runs)
+	err := sweep.ForEach(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) error {
+		flowPerPair := cfg.DemandFlows[i/cfg.Runs]
+		run := i % cfg.Runs
+		s, err := bellCanadaScenario(cfg.FixedPairs, flowPerPair, 0, cfg.Seed+int64(run))
+		if err != nil {
+			return err
+		}
+		mc, err := flow.MulticommodityRelaxation(s)
+		if err != nil {
+			return err
+		}
+		if !mc.Feasible {
+			return nil
+		}
+		cell := fig3Cell{feasible: true}
+		_, _, best := mc.Best.NumRepairs()
+		_, _, worst := mc.Worst.NumRepairs()
+		cell.best = float64(best)
+		cell.worst = float64(worst)
+		nodes, edges := s.NumBroken()
+		cell.allRepairs = float64(nodes + edges)
+		if cfg.IncludeOpt {
+			m, err := runSolver(ctx, s, cfg.optSolver())
+			if err != nil {
+				return err
+			}
+			cell.optRepairs = m.nodeRepairs + m.edgeRepairs
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for fi, flowPerPair := range cfg.DemandFlows {
 		sums := make(map[string]float64, len(series))
 		counted := 0
 		for run := 0; run < cfg.Runs; run++ {
-			s, err := bellCanadaScenario(cfg.FixedPairs, flowPerPair, 0, cfg.Seed+int64(run))
-			if err != nil {
-				return nil, err
-			}
-			mc, err := flow.MulticommodityRelaxation(s)
-			if err != nil {
-				return nil, err
-			}
-			if !mc.Feasible {
+			cell := cells[fi*cfg.Runs+run]
+			if !cell.feasible {
 				continue
 			}
-			_, _, best := mc.Best.NumRepairs()
-			_, _, worst := mc.Worst.NumRepairs()
-			sums[seriesMCB] += float64(best)
-			sums[seriesMCW] += float64(worst)
-			nodes, edges := s.NumBroken()
-			sums[seriesALL] += float64(nodes + edges)
+			sums[seriesMCB] += cell.best
+			sums[seriesMCW] += cell.worst
+			sums[seriesALL] += cell.allRepairs
 			if cfg.IncludeOpt {
-				m, err := runSolver(s, cfg.optSolver())
-				if err != nil {
-					return nil, err
-				}
-				sums[seriesOPT] += m.nodeRepairs + m.edgeRepairs
+				sums[seriesOPT] += cell.optRepairs
 			}
 			counted++
 		}
@@ -156,79 +191,103 @@ func Fig3MulticommodityEnvelope(cfg Config) (*FigureResult, error) {
 // destruction, 10 flow units per pair, varying the number of demand pairs.
 // Four tables: edge repairs, node repairs, total repairs and percentage of
 // satisfied demand.
-func Fig4VaryDemandPairs(cfg Config) (*FigureResult, error) {
+func Fig4VaryDemandPairs(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
-	solvers := cfg.solverSet(true)
-	return bellCanadaSweep(cfg, solvers, "Fig. 4", "demand pairs", cfg.DemandPairs, func(pairs int, seed int64) (*scenario.Scenario, error) {
+	return bellCanadaSweep(ctx, cfg, true, "Fig. 4", "demand pairs", cfg.DemandPairs, func(pairs int, seed int64) (*scenario.Scenario, error) {
 		return bellCanadaScenario(pairs, cfg.FlowPerPair, 0, seed)
 	})
 }
 
 // Fig5VaryDemandIntensity reproduces Fig. 5(a)-(b): Bell-Canada, complete
 // destruction, 4 demand pairs, varying the flow per pair.
-func Fig5VaryDemandIntensity(cfg Config) (*FigureResult, error) {
+func Fig5VaryDemandIntensity(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
-	solvers := cfg.solverSet(true)
 	xs := make([]int, len(cfg.DemandFlows))
 	for i, f := range cfg.DemandFlows {
 		xs[i] = int(f)
 	}
-	return bellCanadaSweep(cfg, solvers, "Fig. 5", "demand flow per pair", xs, func(flowPerPair int, seed int64) (*scenario.Scenario, error) {
+	return bellCanadaSweep(ctx, cfg, true, "Fig. 5", "demand flow per pair", xs, func(flowPerPair int, seed int64) (*scenario.Scenario, error) {
 		return bellCanadaScenario(cfg.FixedPairs, float64(flowPerPair), 0, seed)
 	})
 }
 
 // Fig6VaryDisruption reproduces Fig. 6(a)-(b): Bell-Canada, 4 demand pairs
 // of 10 units, geographically-correlated destruction of increasing variance.
-func Fig6VaryDisruption(cfg Config) (*FigureResult, error) {
+func Fig6VaryDisruption(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
-	solvers := cfg.solverSet(true)
 	xs := make([]int, len(cfg.Variances))
 	for i, v := range cfg.Variances {
 		xs[i] = int(v)
 	}
-	return bellCanadaSweep(cfg, solvers, "Fig. 6", "variance of disruption", xs, func(variance int, seed int64) (*scenario.Scenario, error) {
+	return bellCanadaSweep(ctx, cfg, true, "Fig. 6", "variance of disruption", xs, func(variance int, seed int64) (*scenario.Scenario, error) {
 		return bellCanadaScenario(cfg.FixedPairs, cfg.FlowPerPair, float64(variance), seed)
 	})
 }
 
+// sweepCell is the per-(x, run) outcome of a Bell-Canada sweep: the broken
+// counts of the scenario plus one measurement per non-ALL solver.
+type sweepCell struct {
+	brokenNodes float64
+	brokenEdges float64
+	bySolver    map[string]measurement
+}
+
 // bellCanadaSweep runs a set of solvers over a one-dimensional sweep of
-// Bell-Canada scenarios and assembles the four standard tables.
-func bellCanadaSweep(cfg Config, solvers []heuristics.Solver, figure, xLabel string, xs []int, build func(x int, seed int64) (*scenario.Scenario, error)) (*FigureResult, error) {
-	names := seriesNames(solvers)
+// Bell-Canada scenarios and assembles the four standard tables. All (x,
+// seed) cells execute concurrently on the sweep worker pool; aggregation
+// happens in a fixed order afterwards, so the resulting tables are
+// deterministic for any worker count.
+func bellCanadaSweep(ctx context.Context, cfg Config, withGreedy bool, figure, xLabel string, xs []int, build func(x int, seed int64) (*scenario.Scenario, error)) (*FigureResult, error) {
+	names := seriesNames(cfg.solverSet(withGreedy))
 	edgeTable := NewTable(figure+"(a): edge repairs", xLabel, names)
 	nodeTable := NewTable(figure+"(b): node repairs", xLabel, names)
 	totalTable := NewTable(figure+"(c): total repairs", xLabel, names)
 	lossTable := NewTable(figure+"(d): percentage of satisfied demand", xLabel, names)
 
-	for _, x := range xs {
+	cells := make([]sweepCell, len(xs)*cfg.Runs)
+	err := sweep.ForEach(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) error {
+		x := xs[i/cfg.Runs]
+		run := i % cfg.Runs
+		s, err := build(x, cfg.Seed+int64(run))
+		if err != nil {
+			return err
+		}
+		bn, be := s.NumBroken()
+		cell := sweepCell{brokenNodes: float64(bn), brokenEdges: float64(be), bySolver: make(map[string]measurement)}
+		for _, solver := range cfg.solverSet(withGreedy) {
+			if solver.Name() == heuristics.AllName {
+				// ALL is deterministic from the disruption; avoid the
+				// (potentially expensive) routing pass.
+				continue
+			}
+			m, err := runSolver(ctx, s, solver)
+			if err != nil {
+				return err
+			}
+			cell.bySolver[solver.Name()] = m
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for xi, x := range xs {
 		edgeSums := make(map[string]float64)
 		nodeSums := make(map[string]float64)
 		totalSums := make(map[string]float64)
 		lossSums := make(map[string]float64)
 		allBrokenNodes, allBrokenEdges := 0.0, 0.0
 		for run := 0; run < cfg.Runs; run++ {
-			s, err := build(x, cfg.Seed+int64(run))
-			if err != nil {
-				return nil, err
-			}
-			bn, be := s.NumBroken()
-			allBrokenNodes += float64(bn)
-			allBrokenEdges += float64(be)
-			for _, solver := range solvers {
-				if solver.Name() == heuristics.AllName {
-					// ALL is deterministic from the disruption; avoid the
-					// (potentially expensive) routing pass.
-					continue
-				}
-				m, err := runSolver(s, solver)
-				if err != nil {
-					return nil, err
-				}
-				edgeSums[solver.Name()] += m.edgeRepairs
-				nodeSums[solver.Name()] += m.nodeRepairs
-				totalSums[solver.Name()] += m.nodeRepairs + m.edgeRepairs
-				lossSums[solver.Name()] += m.satisfied
+			cell := cells[xi*cfg.Runs+run]
+			allBrokenNodes += cell.brokenNodes
+			allBrokenEdges += cell.brokenEdges
+			for name, m := range cell.bySolver {
+				edgeSums[name] += m.edgeRepairs
+				nodeSums[name] += m.nodeRepairs
+				totalSums[name] += m.nodeRepairs + m.edgeRepairs
+				lossSums[name] += m.satisfied
 			}
 		}
 		runs := float64(cfg.Runs)

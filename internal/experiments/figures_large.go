@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -11,6 +12,7 @@ import (
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
+	"netrecovery/internal/sweep"
 	"netrecovery/internal/topology"
 )
 
@@ -18,8 +20,9 @@ import (
 // of increasing edge probability, 5 unit demands, capacity 1000 per link and
 // complete edge destruction (a Steiner-forest-like instance, §VII-B). Two
 // tables: execution time in seconds and total repairs, for ISP, SRT and
-// (when enabled) OPT.
-func Fig7ErdosRenyiScalability(cfg Config) (*FigureResult, error) {
+// (when enabled) OPT. Unlike the other figures, the cells run serially so
+// the reported execution times are measured on an uncontended CPU.
+func Fig7ErdosRenyiScalability(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
 	names := []string{seriesISP, seriesSRT}
 	if cfg.IncludeOpt {
@@ -28,26 +31,48 @@ func Fig7ErdosRenyiScalability(cfg Config) (*FigureResult, error) {
 	timeTable := NewTable("Fig. 7(a): execution time (seconds)", "edge probability", names)
 	repairTable := NewTable("Fig. 7(b): total repairs", "edge probability", names)
 
-	for _, p := range cfg.EdgeProbs {
+	// This figure reports execution times, so its cells run serially (one
+	// worker) regardless of cfg.Workers: concurrent solver runs would contend
+	// for CPU and inflate the very measurement the figure exists to report.
+	cells := make([]map[string]measurement, len(cfg.EdgeProbs)*cfg.Runs)
+	err := sweep.ForEach(ctx, 1, len(cells), func(ctx context.Context, i int) error {
+		p := cfg.EdgeProbs[i/cfg.Runs]
+		run := i % cfg.Runs
+		s, err := erdosScenario(cfg, p, cfg.Seed+int64(run))
+		if err != nil {
+			return err
+		}
+		solvers := []heuristics.Solver{erdosISPSolver(cfg), &heuristics.SRT{}}
+		if cfg.IncludeOpt {
+			solvers = append(solvers, cfg.optSolver())
+		}
+		cell := make(map[string]measurement, len(solvers))
+		for _, solver := range solvers {
+			m, err := runSolver(ctx, s, solver)
+			if err != nil {
+				return err
+			}
+			cell[solver.Name()] = m
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, p := range cfg.EdgeProbs {
 		timeSums := make(map[string]float64)
 		repairSums := make(map[string]float64)
 		counted := 0
 		for run := 0; run < cfg.Runs; run++ {
-			s, err := erdosScenario(cfg, p, cfg.Seed+int64(run))
-			if err != nil {
-				return nil, err
+			cell := cells[pi*cfg.Runs+run]
+			if cell == nil {
+				continue
 			}
-			solvers := []heuristics.Solver{erdosISPSolver(cfg), &heuristics.SRT{}}
-			if cfg.IncludeOpt {
-				solvers = append(solvers, cfg.optSolver())
-			}
-			for _, solver := range solvers {
-				m, err := runSolver(s, solver)
-				if err != nil {
-					return nil, err
-				}
-				timeSums[solver.Name()] += m.runtime.Seconds()
-				repairSums[solver.Name()] += m.nodeRepairs + m.edgeRepairs
+			for name, m := range cell {
+				timeSums[name] += m.runtime.Seconds()
+				repairSums[name] += m.nodeRepairs + m.edgeRepairs
 			}
 			counted++
 		}
@@ -110,8 +135,11 @@ func erdosScenario(cfg Config, p float64, seed int64) (*scenario.Scenario, error
 // reports its structural statistics (nodes, edges, max degree, diameter of a
 // sampled subgraph) so the generated stand-in can be compared against the
 // real data set.
-func Fig8CAIDAStatistics(cfg Config) (*FigureResult, error) {
+func Fig8CAIDAStatistics(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := topology.CAIDALike(topology.DefaultConfig(22), rand.New(rand.NewSource(cfg.Seed)))
 	table := NewTable("Fig. 8: CAIDA-like topology statistics", "statistic", []string{"value"})
 	table.AddRow(1, map[string]float64{"value": float64(g.NumNodes())})
@@ -129,7 +157,7 @@ func Fig8CAIDAStatistics(cfg Config) (*FigureResult, error) {
 // well because the dense-LP branch-and-bound substrate cannot hold the
 // 825-node flow model in memory (see EXPERIMENTS.md for the substitution
 // note — the paper's OPT curve at this scale comes from Gurobi).
-func Fig9CAIDA(cfg Config) (*FigureResult, error) {
+func Fig9CAIDA(ctx context.Context, cfg Config) (*FigureResult, error) {
 	cfg = cfg.withDefaults()
 	flowPerPair := cfg.FlowPerPair
 	if flowPerPair == 10 {
@@ -139,23 +167,41 @@ func Fig9CAIDA(cfg Config) (*FigureResult, error) {
 	repairTable := NewTable("Fig. 9(a): total repairs", "demand pairs", names)
 	lossTable := NewTable("Fig. 9(b): percentage of satisfied demand", "demand pairs", names)
 
-	for _, pairs := range cfg.DemandPairs {
+	cells := make([]map[string]measurement, len(cfg.DemandPairs)*cfg.Runs)
+	err := sweep.ForEach(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) error {
+		pairs := cfg.DemandPairs[i/cfg.Runs]
+		run := i % cfg.Runs
+		s, err := caidaScenario(cfg, pairs, flowPerPair, cfg.Seed+int64(run))
+		if err != nil {
+			return err
+		}
+		cell := make(map[string]measurement, 2)
+		for _, solver := range []heuristics.Solver{caidaISPSolver(), &heuristics.SRT{}} {
+			m, err := runSolver(ctx, s, solver)
+			if err != nil {
+				return err
+			}
+			cell[solver.Name()] = m
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, pairs := range cfg.DemandPairs {
 		repairSums := make(map[string]float64)
 		lossSums := make(map[string]float64)
 		counted := 0
 		for run := 0; run < cfg.Runs; run++ {
-			s, err := caidaScenario(cfg, pairs, flowPerPair, cfg.Seed+int64(run))
-			if err != nil {
-				return nil, err
+			cell := cells[pi*cfg.Runs+run]
+			if cell == nil {
+				continue
 			}
-			solvers := []heuristics.Solver{caidaISPSolver(), &heuristics.SRT{}}
-			for _, solver := range solvers {
-				m, err := runSolver(s, solver)
-				if err != nil {
-					return nil, err
-				}
-				repairSums[solver.Name()] += m.nodeRepairs + m.edgeRepairs
-				lossSums[solver.Name()] += m.satisfied
+			for name, m := range cell {
+				repairSums[name] += m.nodeRepairs + m.edgeRepairs
+				lossSums[name] += m.satisfied
 			}
 			counted++
 		}
@@ -200,22 +246,22 @@ func caidaScenario(cfg Config, pairs int, flowPerPair float64, seed int64) (*sce
 }
 
 // Run executes the runner for the given figure identifier ("3" .. "9").
-func Run(figure string, cfg Config) (*FigureResult, error) {
+func Run(ctx context.Context, figure string, cfg Config) (*FigureResult, error) {
 	switch figure {
 	case "3":
-		return Fig3MulticommodityEnvelope(cfg)
+		return Fig3MulticommodityEnvelope(ctx, cfg)
 	case "4":
-		return Fig4VaryDemandPairs(cfg)
+		return Fig4VaryDemandPairs(ctx, cfg)
 	case "5":
-		return Fig5VaryDemandIntensity(cfg)
+		return Fig5VaryDemandIntensity(ctx, cfg)
 	case "6":
-		return Fig6VaryDisruption(cfg)
+		return Fig6VaryDisruption(ctx, cfg)
 	case "7":
-		return Fig7ErdosRenyiScalability(cfg)
+		return Fig7ErdosRenyiScalability(ctx, cfg)
 	case "8":
-		return Fig8CAIDAStatistics(cfg)
+		return Fig8CAIDAStatistics(ctx, cfg)
 	case "9":
-		return Fig9CAIDA(cfg)
+		return Fig9CAIDA(ctx, cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown figure %q (available: 3-9)", figure)
 	}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden fixtures:
+// go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTable returns a fixed table exercising row sorting, missing series
+// values and the float trimming of the renderer.
+func goldenTable() *Table {
+	table := NewTable("Fig. X(c): total repairs", "demand pairs", []string{"ISP", "OPT", "SRT", "ALL"})
+	table.AddRow(3, map[string]float64{"ISP": 12.5, "OPT": 12, "SRT": 14.25, "ALL": 40})
+	table.AddRow(1, map[string]float64{"ISP": 6, "OPT": 6, "SRT": 7.3333, "ALL": 40})
+	table.AddRow(2, map[string]float64{"ISP": 9.1, "SRT": 10.75, "ALL": 40}) // OPT missing: rendered as "-"
+	return table
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s does not match the golden file (regenerate with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTableRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.txt", buf.Bytes())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.csv", buf.Bytes())
+}

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"time"
 
 	"netrecovery/internal/flow"
@@ -22,8 +23,11 @@ var _ Solver = (*All)(nil)
 func (All) Name() string { return AllName }
 
 // Solve implements Solver.
-func (All) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+func (All) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,12 +40,20 @@ func (All) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
 		plan.RepairedEdges[e] = true
 	}
 
+	// The routing pass is the expensive part, so honour cancellation before
+	// each of its phases (the individual flow computations are atomic).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	in := &flow.Instance{Graph: s.Supply, Demands: s.Demand.Active()}
 	res := flow.CheckRoutability(in, flow.Options{Mode: flow.ModeAuto})
 	if res.Routable && res.Routing != nil {
 		plan.Routing = res.Routing
 		plan.SatisfiedDemand = plan.TotalDemand
 	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fillRoutedDemand(s, plan)
 	}
 	plan.Runtime = time.Since(start)

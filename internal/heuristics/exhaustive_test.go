@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -162,7 +163,7 @@ func TestOptMatchesBruteForce(t *testing.T) {
 			if !feasible {
 				t.Fatal("oracle says the scenario is infeasible; fix the test inputs")
 			}
-			optPlan, err := (&Opt{MaxNodes: 20000, TimeLimit: 60 * time.Second}).Solve(s)
+			optPlan, err := (&Opt{MaxNodes: 20000, TimeLimit: 60 * time.Second}).Solve(context.Background(), s)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,7 +174,7 @@ func TestOptMatchesBruteForce(t *testing.T) {
 				t.Errorf("OPT plan invalid: %v", err)
 			}
 
-			ispPlan, err := (&ISPSolver{}).Solve(s)
+			ispPlan, err := (&ISPSolver{}).Solve(context.Background(), s)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,7 +199,7 @@ func TestOptMatchesBruteForce(t *testing.T) {
 // coincide.
 func TestISPDirectLinkRuleIgnoresCost(t *testing.T) {
 	s := tinyScenarios(t)["heterogeneous costs"]
-	plan, err := (&ISPSolver{}).Solve(s)
+	plan, err := (&ISPSolver{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestISPPrefersCheapRoute(t *testing.T) {
 		BrokenNodes: map[graph.NodeID]bool{},
 		BrokenEdges: map[graph.EdgeID]bool{exp1: true, exp2: true, 2: true, 3: true, 4: true, 5: true},
 	}
-	plan, err := (&ISPSolver{}).Solve(s)
+	plan, err := (&ISPSolver{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -121,7 +122,7 @@ func repairPath(s *scenario.Scenario, plan *scenario.Plan, path graph.Path) {
 // much of the owning demand as possible to each repaired path, then try to
 // route other demands over the already repaired network, until all demands
 // are satisfied or paths run out.
-func (g *GreedyCommit) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+func (g *GreedyCommit) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -180,6 +181,9 @@ func (g *GreedyCommit) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
 	}
 
 	for _, cand := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if allSatisfied() {
 			break
 		}
@@ -244,7 +248,7 @@ func usableResidual(s *scenario.Scenario, plan *scenario.Plan, residual map[grap
 // Solve implements Solver (GRD-NC): repair paths in weight order without
 // committing any routing, re-running the routability test after each repair,
 // and stop as soon as the whole demand is routable on the repaired network.
-func (g *GreedyNoCommit) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+func (g *GreedyNoCommit) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -284,6 +288,9 @@ func (g *GreedyNoCommit) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
 		return plan, nil
 	}
 	for _, cand := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		before := len(plan.RepairedNodes) + len(plan.RepairedEdges)
 		repairPath(s, plan, cand.path)
 		if len(plan.RepairedNodes)+len(plan.RepairedEdges) == before {

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -62,7 +63,7 @@ func TestNewAndNames(t *testing.T) {
 
 func TestAllRepairsEverything(t *testing.T) {
 	s := diamondScenario(t, 8)
-	plan, err := (&All{}).Solve(s)
+	plan, err := (&All{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestAllRepairsEverything(t *testing.T) {
 
 func TestSRTRepairsOneRoute(t *testing.T) {
 	s := diamondScenario(t, 8)
-	plan, err := (&SRT{}).Solve(s)
+	plan, err := (&SRT{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSRTDemandLossUnderSharing(t *testing.T) {
 	dg.MustAdd(1, 2, 8)
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, err := (&SRT{}).Solve(s)
+	plan, err := (&SRT{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSRTDemandLossUnderSharing(t *testing.T) {
 
 func TestGreedyCommitDiamond(t *testing.T) {
 	s := diamondScenario(t, 8)
-	plan, err := (&GreedyCommit{}).Solve(s)
+	plan, err := (&GreedyCommit{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestGreedyCommitDiamond(t *testing.T) {
 
 func TestGreedyNoCommitDiamond(t *testing.T) {
 	s := diamondScenario(t, 8)
-	plan, err := (&GreedyNoCommit{}).Solve(s)
+	plan, err := (&GreedyNoCommit{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestGreedyNoCommitNoRepairsWhenIntact(t *testing.T) {
 		BrokenNodes: map[graph.NodeID]bool{},
 		BrokenEdges: map[graph.EdgeID]bool{},
 	}
-	plan, err := (&GreedyNoCommit{}).Solve(s)
+	plan, err := (&GreedyNoCommit{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestOptDiamondIsOptimal(t *testing.T) {
 	// The optimum for 8 units over the destroyed diamond is one route:
 	// 3 nodes + 2 edges = cost 5.
 	s := diamondScenario(t, 8)
-	plan, err := (&Opt{MaxNodes: 2000, TimeLimit: 30 * time.Second}).Solve(s)
+	plan, err := (&Opt{MaxNodes: 2000, TimeLimit: 30 * time.Second}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +203,11 @@ func TestOptDiamondIsOptimal(t *testing.T) {
 
 func TestOptNeverWorseThanISP(t *testing.T) {
 	s := gridScenario(t)
-	ispPlan, err := (&ISPSolver{}).Solve(s)
+	ispPlan, err := (&ISPSolver{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	optPlan, err := (&Opt{MaxNodes: 300, TimeLimit: 20 * time.Second}).Solve(s)
+	optPlan, err := (&Opt{MaxNodes: 300, TimeLimit: 20 * time.Second}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestOptNeverWorseThanISP(t *testing.T) {
 
 func TestOptInfeasibleDemand(t *testing.T) {
 	s := diamondScenario(t, 100) // exceeds total capacity 20
-	plan, err := (&Opt{MaxNodes: 50, TimeLimit: 10 * time.Second}).Solve(s)
+	plan, err := (&Opt{MaxNodes: 50, TimeLimit: 10 * time.Second}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestOptEmptyDemand(t *testing.T) {
 		BrokenNodes: map[graph.NodeID]bool{0: true},
 		BrokenEdges: map[graph.EdgeID]bool{},
 	}
-	plan, err := (&Opt{}).Solve(s)
+	plan, err := (&Opt{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestOptEmptyDemand(t *testing.T) {
 
 func TestOptColdStart(t *testing.T) {
 	s := diamondScenario(t, 8)
-	plan, err := (&Opt{MaxNodes: 2000, TimeLimit: 30 * time.Second, DisableWarmStart: true}).Solve(s)
+	plan, err := (&Opt{MaxNodes: 2000, TimeLimit: 30 * time.Second, DisableWarmStart: true}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestSolverOrderingOnGrid(t *testing.T) {
 		&Opt{MaxNodes: 300, TimeLimit: 20 * time.Second},
 	}
 	for _, solver := range solvers {
-		plan, err := solver.Solve(s)
+		plan, err := solver.Solve(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", solver.Name(), err)
 		}
@@ -319,14 +320,14 @@ func TestBellCanadaGeographicAllSolvers(t *testing.T) {
 	}
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
 
-	ispPlan, err := (&ISPSolver{}).Solve(s)
+	ispPlan, err := (&ISPSolver{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ispPlan.SatisfactionRatio() < 1-1e-9 {
 		t.Errorf("ISP satisfaction = %f, want 1", ispPlan.SatisfactionRatio())
 	}
-	srtPlan, err := (&SRT{}).Solve(s)
+	srtPlan, err := (&SRT{}).Solve(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

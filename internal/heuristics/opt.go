@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -62,7 +63,7 @@ type optArc struct {
 }
 
 // Solve implements Solver.
-func (o *Opt) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+func (o *Opt) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -97,7 +98,7 @@ func (o *Opt) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
 			SplitMode:   core.SplitGreedy,
 			Routability: flow.Options{Mode: flow.ModeAuto},
 		}}
-		if wp, werr := warmSolver.Solve(s); werr == nil && wp.SatisfactionRatio() >= 1-1e-9 {
+		if wp, werr := warmSolver.Solve(ctx, s); werr == nil && wp.SatisfactionRatio() >= 1-1e-9 {
 			// Only the warm-start objective participates in pruning; the
 			// binary assignment itself is recovered from warmPlan if the
 			// search never improves on it.
@@ -107,8 +108,13 @@ func (o *Opt) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
 		}
 	}
 
-	sol := milp.Solve(milp.Problem{LP: model.problem, Binary: model.binaries}, opts)
+	sol := milp.Solve(ctx, milp.Problem{LP: model.problem, Binary: model.binaries}, opts)
 	plan.Runtime = time.Since(start)
+	// A fired context trumps whatever partial result the search produced: the
+	// caller asked the solver to stop, so report the cancellation.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("opt: %w", err)
+	}
 
 	switch sol.Status {
 	case milp.StatusOptimal, milp.StatusFeasible:

@@ -3,10 +3,17 @@
 // knapsack-inspired greedy heuristics GRD-COM and GRD-NC, the trivial
 // repair-everything baseline ALL, the exact MILP OPT (problem (1)) solved by
 // branch and bound, and a wrapper around the multi-commodity relaxation.
+//
+// Every algorithm is registered in a named registry (Register / New / Names)
+// and implements the context-aware Solver interface, so callers — the public
+// facade, the experiment harness and the concurrent sweep engine — can look
+// solvers up by name and cancel long runs through the context.
 package heuristics
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"netrecovery/internal/core"
 	"netrecovery/internal/scenario"
@@ -14,12 +21,51 @@ import (
 
 // Solver is the common interface of every recovery algorithm in the
 // repository: it consumes a scenario and produces a plan. Implementations
-// must not mutate the scenario (they clone what they need).
+// must not mutate the scenario (they clone what they need) and must honour
+// cancellation of the context, returning ctx.Err() promptly once it fires.
 type Solver interface {
 	// Name returns the algorithm's short name as used in the paper's figures.
 	Name() string
 	// Solve computes a repair plan for the scenario.
-	Solve(s *scenario.Scenario) (*scenario.Plan, error)
+	Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error)
+}
+
+// Factory constructs a fresh instance of a solver configured with defaults.
+// Factories keep the registry free of shared mutable solver state: every
+// New call hands out an independent value, which keeps concurrent sweeps
+// data-race free.
+type Factory func() Solver
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+	// names preserves registration order, which doubles as the presentation
+	// order of the paper's figures.
+	names []string
+)
+
+// Register adds a solver factory under the given name. It panics when the
+// name is already taken, mirroring database/sql.Register semantics.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || f == nil {
+		panic("heuristics: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("heuristics: Register called twice for solver %q", name))
+	}
+	registry[name] = f
+	names = append(names, name)
+}
+
+func init() {
+	Register(core.SolverName, func() Solver { return &ISPSolver{} })
+	Register(OptName, func() Solver { return &Opt{} })
+	Register(SRTName, func() Solver { return &SRT{} })
+	Register(GreedyCommitName, func() Solver { return &GreedyCommit{} })
+	Register(GreedyNoCommitName, func() Solver { return &GreedyNoCommit{} })
+	Register(AllName, func() Solver { return &All{} })
 }
 
 // ISPSolver adapts the core ISP implementation to the Solver interface.
@@ -33,33 +79,27 @@ var _ Solver = (*ISPSolver)(nil)
 func (ISPSolver) Name() string { return core.SolverName }
 
 // Solve implements Solver.
-func (s *ISPSolver) Solve(sc *scenario.Scenario) (*scenario.Plan, error) {
-	plan, _, err := core.Solve(sc.Clone(), s.Options)
+func (s *ISPSolver) Solve(ctx context.Context, sc *scenario.Scenario) (*scenario.Plan, error) {
+	plan, _, err := core.Solve(ctx, sc.Clone(), s.Options)
 	return plan, err
 }
 
-// New returns the solver with the given name configured with defaults.
-// Recognised names: ISP, SRT, GRD-COM, GRD-NC, ALL, OPT.
+// New returns a fresh solver with the given name configured with defaults.
+// Built-in names: ISP, OPT, SRT, GRD-COM, GRD-NC, ALL.
 func New(name string) (Solver, error) {
-	switch name {
-	case core.SolverName:
-		return &ISPSolver{}, nil
-	case SRTName:
-		return &SRT{}, nil
-	case GreedyCommitName:
-		return &GreedyCommit{}, nil
-	case GreedyNoCommitName:
-		return &GreedyNoCommit{}, nil
-	case AllName:
-		return &All{}, nil
-	case OptName:
-		return &Opt{}, nil
-	default:
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
 		return nil, fmt.Errorf("heuristics: unknown solver %q", name)
 	}
+	return f(), nil
 }
 
-// Names returns the list of recognised solver names in presentation order.
+// Names returns the registered solver names in registration (presentation)
+// order.
 func Names() []string {
-	return []string{core.SolverName, OptName, SRTName, GreedyCommitName, GreedyNoCommitName, AllName}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return append([]string(nil), names...)
 }

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -27,7 +28,7 @@ var _ Solver = (*SRT)(nil)
 func (SRT) Name() string { return SRTName }
 
 // Solve implements Solver.
-func (SRT) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
+func (SRT) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -57,6 +58,9 @@ func (SRT) Solve(s *scenario.Scenario) (*scenario.Plan, error) {
 	// Repair the shortest-path set S_i of each demand, in decreasing flow
 	// order, so that max flow over S_i covers d_i in isolation.
 	for _, p := range s.Demand.SortedByFlowDesc() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		paths, _ := s.Supply.ShortestPathSet(p.Source, p.Target, p.Flow, length, nil)
 		for _, wp := range paths {
 			for _, v := range wp.Path.Nodes {

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestBranchAndBoundMatchesBruteForceKnapsack(t *testing.T) {
 		if err := prob.AddConstraint(terms, lp.LessEq, budget, "w"); err != nil {
 			return false
 		}
-		sol := Solve(Problem{LP: prob, Binary: binaries}, Options{MaxNodes: 5000})
+		sol := Solve(context.Background(), Problem{LP: prob, Binary: binaries}, Options{MaxNodes: 5000})
 		if sol.Status != StatusOptimal {
 			return false
 		}
@@ -99,7 +100,7 @@ func TestBranchAndBoundMatchesBruteForceSetCover(t *testing.T) {
 				return false
 			}
 		}
-		sol := Solve(Problem{LP: prob, Binary: binaries}, Options{MaxNodes: 5000})
+		sol := Solve(context.Background(), Problem{LP: prob, Binary: binaries}, Options{MaxNodes: 5000})
 		if sol.Status != StatusOptimal {
 			return false
 		}

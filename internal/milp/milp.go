@@ -13,6 +13,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -132,8 +133,11 @@ func (q *nodeQueue) Pop() interface{} {
 	return item
 }
 
-// Solve runs branch and bound and returns the best solution found.
-func Solve(p Problem, opts Options) Solution {
+// Solve runs branch and bound and returns the best solution found. A fired
+// context is treated like a node/time limit: the search stops promptly and
+// the best incumbent found so far (if any) is returned; the caller decides
+// whether to surface ctx.Err().
+func Solve(ctx context.Context, p Problem, opts Options) Solution {
 	opts = opts.withDefaults()
 	sense := senseOf(p.LP)
 	minimize := sense == lp.Minimize
@@ -172,7 +176,7 @@ func Solve(p Problem, opts Options) Solution {
 	hitLimit := false
 
 	for queue.Len() > 0 {
-		if nodes >= opts.MaxNodes || (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) {
+		if ctx.Err() != nil || nodes >= opts.MaxNodes || (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) {
 			hitLimit = true
 			break
 		}

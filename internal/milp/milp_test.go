@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ func TestKnapsack(t *testing.T) {
 	if err := prob.AddConstraint([]lp.Term{{Var: x1, Coef: 10}, {Var: x2, Coef: 20}, {Var: x3, Coef: 30}}, lp.LessEq, 50, "w"); err != nil {
 		t.Fatal(err)
 	}
-	sol := Solve(Problem{LP: prob, Binary: []int{x1, x2, x3}}, Options{})
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{x1, x2, x3}}, Options{})
 	if sol.Status != StatusOptimal {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -50,7 +51,7 @@ func TestSetCoverMinimization(t *testing.T) {
 	mustAdd(t, prob, cover(a, c), lp.GreaterEq, 1)    // element 1
 	mustAdd(t, prob, cover(a, b, c), lp.GreaterEq, 1) // element 2
 	mustAdd(t, prob, cover(b, c), lp.GreaterEq, 1)    // element 3
-	sol := Solve(Problem{LP: prob, Binary: []int{a, b, c}}, Options{})
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{a, b, c}}, Options{})
 	if sol.Status != StatusOptimal {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -67,7 +68,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	y := prob.AddBoundedVariable(5, 1, "y")
 	mustAdd(t, prob, []lp.Term{{Var: x, Coef: 1}}, lp.LessEq, 10)
 	mustAdd(t, prob, []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: -6}}, lp.LessEq, 4)
-	sol := Solve(Problem{LP: prob, Binary: []int{y}}, Options{})
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{y}}, Options{})
 	if sol.Status != StatusOptimal {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -80,7 +81,7 @@ func TestInfeasibleMILP(t *testing.T) {
 	prob := lp.New(lp.Minimize)
 	x := prob.AddBoundedVariable(1, 1, "x")
 	mustAdd(t, prob, []lp.Term{{Var: x, Coef: 1}}, lp.GreaterEq, 2)
-	sol := Solve(Problem{LP: prob, Binary: []int{x}}, Options{})
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{x}}, Options{})
 	if sol.Status != StatusInfeasible {
 		t.Fatalf("status = %v, want infeasible", sol.Status)
 	}
@@ -94,7 +95,7 @@ func TestNodeLimitReturnsIncumbentOrLimit(t *testing.T) {
 	x2 := prob.AddBoundedVariable(2, 1, "x2")
 	x3 := prob.AddBoundedVariable(4, 1, "x3")
 	mustAdd(t, prob, []lp.Term{{Var: x1, Coef: 2}, {Var: x2, Coef: 3}, {Var: x3, Coef: 5}}, lp.LessEq, 7, "w")
-	sol := Solve(Problem{LP: prob, Binary: []int{x1, x2, x3}}, Options{MaxNodes: 1})
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{x1, x2, x3}}, Options{MaxNodes: 1})
 	if sol.Status != StatusFeasible && sol.Status != StatusLimit && sol.Status != StatusOptimal {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -110,7 +111,7 @@ func TestWarmStartPrunes(t *testing.T) {
 	x1 := prob.AddBoundedVariable(60, 1, "x1")
 	x2 := prob.AddBoundedVariable(100, 1, "x2")
 	mustAdd(t, prob, []lp.Term{{Var: x1, Coef: 10}, {Var: x2, Coef: 20}}, lp.LessEq, 20, "w")
-	sol := Solve(Problem{LP: prob, Binary: []int{x1, x2}}, Options{
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{x1, x2}}, Options{
 		WarmStart:          []float64{0, 1},
 		WarmStartObjective: 100,
 	})
@@ -135,7 +136,7 @@ func TestTimeLimit(t *testing.T) {
 	}
 	mustAdd(t, prob, terms, lp.LessEq, 11, "w")
 	start := time.Now()
-	sol := Solve(Problem{LP: prob, Binary: binaries}, Options{TimeLimit: time.Nanosecond})
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: binaries}, Options{TimeLimit: time.Nanosecond})
 	if time.Since(start) > 5*time.Second {
 		t.Error("time limit not honoured")
 	}
@@ -165,7 +166,7 @@ func TestPureLPPassthrough(t *testing.T) {
 	prob := lp.New(lp.Minimize)
 	x := prob.AddVariable(2, "x")
 	mustAdd(t, prob, []lp.Term{{Var: x, Coef: 1}}, lp.GreaterEq, 4)
-	sol := Solve(Problem{LP: prob}, Options{})
+	sol := Solve(context.Background(), Problem{LP: prob}, Options{})
 	if sol.Status != StatusOptimal {
 		t.Fatalf("status = %v", sol.Status)
 	}

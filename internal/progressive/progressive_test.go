@@ -1,6 +1,7 @@
 package progressive
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func destroyedLine(t *testing.T) (*scenario.Scenario, *scenario.Plan) {
 	dg.MustAdd(0, 4, 5)
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, _, err := core.Solve(s.Clone(), core.Options{})
+	plan, _, err := core.Solve(context.Background(), s.Clone(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestBuildGridScenarioWithISPPlan(t *testing.T) {
 	dg.MustAdd(2, 6, 10)
 	d := disruption.Complete(g)
 	s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
-	plan, _, err := core.Solve(s.Clone(), core.Options{})
+	plan, _, err := core.Solve(context.Background(), s.Clone(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// update regenerates the golden fixtures: go test ./internal/sweep -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport returns a fully deterministic report (fixed runtimes, no
+// wall-clock dependence) covering success and failure rows.
+func goldenReport() *Report {
+	spec := Spec{
+		Name:        "golden",
+		Topologies:  []Topology{{Kind: TopoGrid, Rows: 3, Cols: 3}},
+		Disruptions: []Disruption{{Kind: DisruptComplete}},
+		Demands:     []Demand{{Pairs: 1, FlowPerPair: 5}},
+		Algorithms:  []string{"ISP", "SRT"},
+		Seeds:       SeedRange(1, 3),
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		panic(err)
+	}
+	results := make([]JobResult, len(jobs))
+	for i, job := range jobs {
+		res := JobResult{Job: job, Runtime: time.Duration(i+1) * time.Millisecond}
+		switch {
+		case job.Algorithm == "SRT" && job.Seed == 3:
+			res.Err = "injected failure"
+		default:
+			res.Cost = float64(10 + 2*i)
+			res.SatisfiedRatio = 1
+			res.NodeRepairs = 3 + i
+			res.EdgeRepairs = 2 + i
+		}
+		results[i] = res
+	}
+	return buildReport(spec, results, 42*time.Millisecond)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s does not match the golden file (regenerate with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", buf.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.csv", buf.Bytes())
+}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a bounded pool of worker
+// goroutines and blocks until every dispatched call returned. It is the
+// shared execution substrate of the sweep engine and the experiments
+// package.
+//
+//   - workers <= 0 selects GOMAXPROCS.
+//   - The first non-nil error stops dispatch (in-flight calls still finish)
+//     and is returned.
+//   - A cancelled context stops dispatch promptly and ctx.Err() is returned.
+//   - A panicking call is recovered and converted into an error carrying the
+//     panic value, so one bad cell cannot take down the whole process.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		stop     atomic.Bool
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+			}
+		}()
+		return fn(ctx, i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := call(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

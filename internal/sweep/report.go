@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Stat summarises one metric across the successful jobs of a group.
+type Stat struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+}
+
+// computeStat builds a Stat from values in job-index order. The mean is
+// accumulated in that fixed order so repeated sweeps of the same spec
+// produce bit-identical floating-point results regardless of worker
+// scheduling.
+func computeStat(values []float64) Stat {
+	if len(values) == 0 {
+		return Stat{}
+	}
+	st := Stat{Count: len(values)}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	st.Mean = sum / float64(len(values))
+	ss := 0.0
+	for _, v := range values {
+		d := v - st.Mean
+		ss += d * d
+	}
+	if len(values) > 1 {
+		st.Stddev = math.Sqrt(ss / float64(len(values)-1))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	st.Min = sorted[0]
+	st.Max = sorted[len(sorted)-1]
+	st.P50 = percentile(sorted, 0.50)
+	st.P90 = percentile(sorted, 0.90)
+	return st
+}
+
+// percentile returns the nearest-rank percentile of an ascending-sorted
+// slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// GroupStats aggregates every seed of one (topology, disruption, demand,
+// algorithm) grid point.
+type GroupStats struct {
+	Topology   string `json:"topology"`
+	Disruption string `json:"disruption"`
+	Demand     string `json:"demand"`
+	Algorithm  string `json:"algorithm"`
+
+	Jobs     int `json:"jobs"`
+	Failures int `json:"failures"`
+
+	Cost           Stat `json:"cost"`
+	SatisfiedRatio Stat `json:"satisfied_ratio"`
+	Repairs        Stat `json:"repairs"`
+	RuntimeSeconds Stat `json:"runtime_seconds"`
+}
+
+// Report is the aggregated outcome of a sweep.
+type Report struct {
+	Name     string        `json:"name,omitempty"`
+	Jobs     int           `json:"jobs"`
+	Failures int           `json:"failures"`
+	WallTime time.Duration `json:"wall_time_ns"`
+	// Groups are ordered by first appearance in expansion order.
+	Groups []GroupStats `json:"groups"`
+	// Results holds every per-job outcome in expansion order.
+	Results []JobResult `json:"results"`
+}
+
+// buildReport aggregates the per-job results (already in expansion order)
+// into group statistics.
+func buildReport(spec Spec, results []JobResult, wall time.Duration) *Report {
+	rep := &Report{Name: spec.Name, Jobs: len(results), WallTime: wall, Results: results}
+
+	type accum struct {
+		stats                             GroupStats
+		cost, satisfied, repairs, runtime []float64
+	}
+	var order []string
+	groups := make(map[string]*accum)
+	for _, res := range results {
+		key := res.Job.GroupLabel()
+		acc, ok := groups[key]
+		if !ok {
+			acc = &accum{stats: GroupStats{
+				Topology:   res.Job.Topology.Label(),
+				Disruption: res.Job.Disruption.Label(),
+				Demand:     res.Job.Demand.Label(),
+				Algorithm:  res.Job.Algorithm,
+			}}
+			groups[key] = acc
+			order = append(order, key)
+		}
+		acc.stats.Jobs++
+		if res.Err != "" {
+			acc.stats.Failures++
+			rep.Failures++
+			continue
+		}
+		acc.cost = append(acc.cost, res.Cost)
+		acc.satisfied = append(acc.satisfied, res.SatisfiedRatio)
+		acc.repairs = append(acc.repairs, float64(res.NodeRepairs+res.EdgeRepairs))
+		acc.runtime = append(acc.runtime, res.Runtime.Seconds())
+	}
+	for _, key := range order {
+		acc := groups[key]
+		acc.stats.Cost = computeStat(acc.cost)
+		acc.stats.SatisfiedRatio = computeStat(acc.satisfied)
+		acc.stats.Repairs = computeStat(acc.repairs)
+		acc.stats.RuntimeSeconds = computeStat(acc.runtime)
+		rep.Groups = append(rep.Groups, acc.stats)
+	}
+	return rep
+}
+
+// WriteJSON emits the full report (groups and per-job results) as indented
+// JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader lists the columns of the CSV emitter, one row per group.
+var csvHeader = []string{
+	"topology", "disruption", "demand", "algorithm", "jobs", "failures",
+	"cost_mean", "cost_stddev", "cost_min", "cost_p50", "cost_p90", "cost_max",
+	"satisfied_mean", "satisfied_stddev", "satisfied_min", "satisfied_p50", "satisfied_p90", "satisfied_max",
+	"repairs_mean", "repairs_stddev", "repairs_min", "repairs_p50", "repairs_p90", "repairs_max",
+	"runtime_mean_s", "runtime_stddev_s", "runtime_min_s", "runtime_p50_s", "runtime_p90_s", "runtime_max_s",
+}
+
+// WriteCSV emits one row of aggregated statistics per group.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
+		return err
+	}
+	statCells := func(s Stat) []string {
+		return []string{
+			formatFloat(s.Mean), formatFloat(s.Stddev), formatFloat(s.Min),
+			formatFloat(s.P50), formatFloat(s.P90), formatFloat(s.Max),
+		}
+	}
+	for _, g := range r.Groups {
+		cells := []string{g.Topology, g.Disruption, g.Demand, g.Algorithm,
+			fmt.Sprintf("%d", g.Jobs), fmt.Sprintf("%d", g.Failures)}
+		cells = append(cells, statCells(g.Cost)...)
+		cells = append(cells, statCells(g.SatisfiedRatio)...)
+		cells = append(cells, statCells(g.Repairs)...)
+		cells = append(cells, statCells(g.RuntimeSeconds)...)
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Fingerprint returns a deterministic textual digest of the sweep outcome:
+// every field except runtimes and wall time, which vary between runs. Two
+// sweeps of the same spec must produce byte-identical fingerprints — the
+// race and determinism tests rely on this.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%s jobs=%d failures=%d\n", r.Name, r.Jobs, r.Failures)
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "job %d %s seed=%d cost=%s satisfied=%s repairs=%d+%d err=%s\n",
+			res.Job.Index, res.Job.GroupLabel(), res.Job.Seed,
+			formatFloat(res.Cost), formatFloat(res.SatisfiedRatio),
+			res.NodeRepairs, res.EdgeRepairs, res.Err)
+	}
+	statLine := func(name string, s Stat) string {
+		return fmt.Sprintf("%s[n=%d mean=%s stddev=%s min=%s p50=%s p90=%s max=%s]",
+			name, s.Count, formatFloat(s.Mean), formatFloat(s.Stddev), formatFloat(s.Min),
+			formatFloat(s.P50), formatFloat(s.P90), formatFloat(s.Max))
+	}
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "group %s/%s/%s/%s jobs=%d failures=%d %s %s %s\n",
+			g.Topology, g.Disruption, g.Demand, g.Algorithm, g.Jobs, g.Failures,
+			statLine("cost", g.Cost), statLine("satisfied", g.SatisfiedRatio), statLine("repairs", g.Repairs))
+	}
+	return b.String()
+}

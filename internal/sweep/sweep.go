@@ -1,0 +1,262 @@
+// Package sweep is the concurrent scenario-sweep engine of the repository:
+// it expands a declarative Spec — a grid of topologies, disruption models,
+// demand configurations, algorithms and seeds — into individual jobs, runs
+// them across a bounded goroutine worker pool with deterministic per-job
+// seeding, context cancellation, per-job timeouts and panic isolation, and
+// aggregates the streamed results into per-group statistics (mean, stddev
+// and percentiles of repair cost, satisfied-demand ratio, repairs and
+// runtime) with JSON and CSV emitters.
+//
+// The paper's evaluation (§VII) is exactly such a grid; the experiments
+// package builds its figure runners on the same worker pool (ForEach), and
+// the public facade exposes the engine as netrecovery.Sweep.
+package sweep
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology kinds understood by the engine.
+const (
+	TopoBellCanada = "bell-canada"
+	TopoGrid       = "grid"
+	TopoErdosRenyi = "erdos-renyi"
+	TopoCAIDA      = "caida"
+)
+
+// Disruption kinds understood by the engine.
+const (
+	DisruptComplete   = "complete"
+	DisruptGeographic = "geographic"
+	DisruptRandom     = "random"
+	DisruptEdges      = "edges"
+)
+
+// Demand placement rules understood by the engine.
+const (
+	PlaceFarApart = "far-apart"
+	PlaceUniform  = "uniform"
+)
+
+// Topology declares one supply network of the grid.
+type Topology struct {
+	// Kind is one of the Topo* constants.
+	Kind string `json:"kind"`
+	// Rows and Cols size a grid topology.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Nodes and EdgeProb size an Erdős–Rényi topology.
+	Nodes    int     `json:"nodes,omitempty"`
+	EdgeProb float64 `json:"edge_prob,omitempty"`
+	// Capacity is the uniform link capacity (0 means 20 for grid/ER, the
+	// built-in capacities for bell-canada, 25 for caida).
+	Capacity float64 `json:"capacity,omitempty"`
+}
+
+// Label returns a stable human-readable identifier of the topology, used as
+// the aggregation key and in the emitted reports.
+func (t Topology) Label() string {
+	switch t.Kind {
+	case TopoGrid:
+		return fmt.Sprintf("%s-%dx%d", t.Kind, t.Rows, t.Cols)
+	case TopoErdosRenyi:
+		return fmt.Sprintf("%s-n%d-p%.2f", t.Kind, t.Nodes, t.EdgeProb)
+	default:
+		return t.Kind
+	}
+}
+
+// Disruption declares one failure model of the grid.
+type Disruption struct {
+	// Kind is one of the Disrupt* constants.
+	Kind string `json:"kind"`
+	// Variance widens a geographic disruption (required for geographic).
+	Variance float64 `json:"variance,omitempty"`
+	// PeakProbability is the failure probability at the epicentre of a
+	// geographic disruption (0 means 1).
+	PeakProbability float64 `json:"peak_probability,omitempty"`
+	// NodeProb and EdgeProb drive a random disruption.
+	NodeProb float64 `json:"node_prob,omitempty"`
+	EdgeProb float64 `json:"edge_prob,omitempty"`
+}
+
+// Label returns a stable identifier of the disruption model.
+func (d Disruption) Label() string {
+	switch d.Kind {
+	case DisruptGeographic:
+		return fmt.Sprintf("geo-v%g", d.Variance)
+	case DisruptRandom:
+		return fmt.Sprintf("random-n%g-e%g", d.NodeProb, d.EdgeProb)
+	default:
+		return d.Kind
+	}
+}
+
+// Demand declares one demand configuration of the grid.
+type Demand struct {
+	// Pairs is the number of demand pairs to generate.
+	Pairs int `json:"pairs"`
+	// FlowPerPair is the flow of every pair.
+	FlowPerPair float64 `json:"flow_per_pair"`
+	// Placement selects the pair-generation rule (default far-apart, the
+	// paper's selection rule).
+	Placement string `json:"placement,omitempty"`
+}
+
+// Label returns a stable identifier of the demand configuration.
+func (d Demand) Label() string {
+	placement := d.Placement
+	if placement == "" {
+		placement = PlaceFarApart
+	}
+	return fmt.Sprintf("%dx%g-%s", d.Pairs, d.FlowPerPair, placement)
+}
+
+// Spec declaratively describes a scenario sweep: the cartesian product of
+// topologies, disruptions, demand configurations, algorithms and seeds.
+type Spec struct {
+	// Name identifies the sweep in the emitted report.
+	Name string `json:"name,omitempty"`
+
+	Topologies  []Topology   `json:"topologies"`
+	Disruptions []Disruption `json:"disruptions"`
+	Demands     []Demand     `json:"demands"`
+	// Algorithms lists solver names from the heuristics registry.
+	Algorithms []string `json:"algorithms"`
+	// Seeds lists the random seeds; every grid point runs once per seed and
+	// the per-seed results are aggregated into the group statistics.
+	Seeds []int64 `json:"seeds"`
+
+	// Workers bounds the goroutine pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// JobTimeout bounds each individual job (0 = no limit). A timed-out job
+	// is recorded as failed; the sweep continues.
+	JobTimeout time.Duration `json:"job_timeout,omitempty"`
+
+	// FastISP switches ISP to its greedy split mode (recommended for
+	// topologies with hundreds of nodes).
+	FastISP bool `json:"fast_isp,omitempty"`
+	// OptMaxNodes / OptTimeLimit bound each OPT invocation
+	// (defaults: 4000 nodes / 120s, as in the facade).
+	OptMaxNodes  int           `json:"opt_max_nodes,omitempty"`
+	OptTimeLimit time.Duration `json:"opt_time_limit,omitempty"`
+}
+
+// Job is one expanded grid point: a single (topology, disruption, demand,
+// algorithm, seed) combination.
+type Job struct {
+	// Index is the job's position in expansion order; aggregation consumes
+	// results in Index order, which makes sweeps deterministic regardless of
+	// worker scheduling.
+	Index      int        `json:"index"`
+	Topology   Topology   `json:"topology"`
+	Disruption Disruption `json:"disruption"`
+	Demand     Demand     `json:"demand"`
+	Algorithm  string     `json:"algorithm"`
+	Seed       int64      `json:"seed"`
+}
+
+// GroupLabel identifies the aggregation group of the job: every dimension
+// except the seed.
+func (j Job) GroupLabel() string {
+	return fmt.Sprintf("%s/%s/%s/%s", j.Topology.Label(), j.Disruption.Label(), j.Demand.Label(), j.Algorithm)
+}
+
+// SeedRange returns n consecutive seeds starting at base, a convenience for
+// building Spec.Seeds.
+func SeedRange(base int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// Validate checks the spec for structural errors before expansion.
+func (s Spec) Validate() error {
+	if len(s.Topologies) == 0 {
+		return fmt.Errorf("sweep: spec has no topologies")
+	}
+	if len(s.Disruptions) == 0 {
+		return fmt.Errorf("sweep: spec has no disruptions")
+	}
+	if len(s.Demands) == 0 {
+		return fmt.Errorf("sweep: spec has no demand configurations")
+	}
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("sweep: spec has no algorithms")
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("sweep: spec has no seeds")
+	}
+	for _, t := range s.Topologies {
+		switch t.Kind {
+		case TopoBellCanada, TopoCAIDA:
+		case TopoGrid:
+			if t.Rows <= 0 || t.Cols <= 0 {
+				return fmt.Errorf("sweep: grid topology needs positive rows and cols, got %dx%d", t.Rows, t.Cols)
+			}
+		case TopoErdosRenyi:
+			if t.Nodes <= 0 || t.EdgeProb <= 0 || t.EdgeProb > 1 {
+				return fmt.Errorf("sweep: erdos-renyi topology needs positive nodes and edge_prob in (0,1], got n=%d p=%g", t.Nodes, t.EdgeProb)
+			}
+		default:
+			return fmt.Errorf("sweep: unknown topology kind %q", t.Kind)
+		}
+	}
+	for _, d := range s.Disruptions {
+		switch d.Kind {
+		case DisruptComplete, DisruptEdges:
+		case DisruptGeographic:
+			if d.Variance <= 0 {
+				return fmt.Errorf("sweep: geographic disruption needs a positive variance")
+			}
+		case DisruptRandom:
+			if d.NodeProb < 0 || d.NodeProb > 1 || d.EdgeProb < 0 || d.EdgeProb > 1 {
+				return fmt.Errorf("sweep: random disruption probabilities must be in [0,1]")
+			}
+		default:
+			return fmt.Errorf("sweep: unknown disruption kind %q", d.Kind)
+		}
+	}
+	for _, d := range s.Demands {
+		if d.Pairs <= 0 || d.FlowPerPair <= 0 {
+			return fmt.Errorf("sweep: demand configuration needs positive pairs and flow, got %+v", d)
+		}
+		switch d.Placement {
+		case "", PlaceFarApart, PlaceUniform:
+		default:
+			return fmt.Errorf("sweep: unknown demand placement %q", d.Placement)
+		}
+	}
+	return nil
+}
+
+// Expand returns the job list of the spec in deterministic expansion order:
+// topology (outermost) → disruption → demand → algorithm → seed (innermost).
+func (s Spec) Expand() ([]Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, 0, len(s.Topologies)*len(s.Disruptions)*len(s.Demands)*len(s.Algorithms)*len(s.Seeds))
+	for _, topo := range s.Topologies {
+		for _, dis := range s.Disruptions {
+			for _, dem := range s.Demands {
+				for _, alg := range s.Algorithms {
+					for _, seed := range s.Seeds {
+						jobs = append(jobs, Job{
+							Index:      len(jobs),
+							Topology:   topo,
+							Disruption: dis,
+							Demand:     dem,
+							Algorithm:  alg,
+							Seed:       seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,415 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/scenario"
+)
+
+// quickSpec returns a small but non-trivial spec: two topologies, two
+// disruption models, two algorithms, several seeds.
+func quickSpec() Spec {
+	return Spec{
+		Name:       "quick",
+		Topologies: []Topology{{Kind: TopoBellCanada}, {Kind: TopoGrid, Rows: 4, Cols: 4}},
+		Disruptions: []Disruption{
+			{Kind: DisruptGeographic, Variance: 30},
+			{Kind: DisruptComplete},
+		},
+		Demands:    []Demand{{Pairs: 2, FlowPerPair: 5}},
+		Algorithms: []string{"ISP", "SRT"},
+		Seeds:      SeedRange(1, 3),
+		FastISP:    true,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := quickSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no topologies", func(s *Spec) { s.Topologies = nil }},
+		{"no disruptions", func(s *Spec) { s.Disruptions = nil }},
+		{"no demands", func(s *Spec) { s.Demands = nil }},
+		{"no algorithms", func(s *Spec) { s.Algorithms = nil }},
+		{"no seeds", func(s *Spec) { s.Seeds = nil }},
+		{"bad topology kind", func(s *Spec) { s.Topologies = []Topology{{Kind: "mesh"}} }},
+		{"bad grid dims", func(s *Spec) { s.Topologies = []Topology{{Kind: TopoGrid}} }},
+		{"bad er prob", func(s *Spec) { s.Topologies = []Topology{{Kind: TopoErdosRenyi, Nodes: 10, EdgeProb: 2}} }},
+		{"bad disruption kind", func(s *Spec) { s.Disruptions = []Disruption{{Kind: "flood"}} }},
+		{"geo without variance", func(s *Spec) { s.Disruptions = []Disruption{{Kind: DisruptGeographic}} }},
+		{"bad demand", func(s *Spec) { s.Demands = []Demand{{Pairs: 0, FlowPerPair: 1}} }},
+		{"bad placement", func(s *Spec) { s.Demands = []Demand{{Pairs: 1, FlowPerPair: 1, Placement: "ring"}} }},
+	}
+	for _, tc := range cases {
+		spec := quickSpec()
+		tc.mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestExpandOrder(t *testing.T) {
+	spec := quickSpec()
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.Topologies) * len(spec.Disruptions) * len(spec.Demands) * len(spec.Algorithms) * len(spec.Seeds)
+	if len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	for i, job := range jobs {
+		if job.Index != i {
+			t.Fatalf("job %d has index %d", i, job.Index)
+		}
+	}
+	// Seed is the innermost dimension: consecutive jobs differ only in seed
+	// within one group.
+	if jobs[0].GroupLabel() != jobs[1].GroupLabel() || jobs[0].Seed == jobs[1].Seed {
+		t.Errorf("jobs 0/1 should share a group and differ in seed: %+v vs %+v", jobs[0], jobs[1])
+	}
+}
+
+func TestBuildScenarioDeterministic(t *testing.T) {
+	jobs, err := quickSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs[0]
+	a, err := BuildScenario(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildScenario(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.BrokenNodes) != len(b.BrokenNodes) || len(a.BrokenEdges) != len(b.BrokenEdges) {
+		t.Errorf("broken sets differ between identical builds: %d/%d vs %d/%d",
+			len(a.BrokenNodes), len(a.BrokenEdges), len(b.BrokenNodes), len(b.BrokenEdges))
+	}
+	if a.Demand.TotalFlow() != b.Demand.TotalFlow() {
+		t.Errorf("demand differs between identical builds")
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the core determinism guarantee:
+// the aggregated results must be byte-identical for any worker count.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := quickSpec()
+	fingerprints := make([]string, 0, 3)
+	for _, workers := range []int{1, 4, 16} {
+		spec.Workers = workers
+		report, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if report.Jobs != 24 || report.Failures != 0 {
+			t.Fatalf("workers=%d: jobs=%d failures=%d (results: %+v)", workers, report.Jobs, report.Failures, failedResults(report))
+		}
+		fingerprints = append(fingerprints, report.Fingerprint())
+	}
+	if fingerprints[0] != fingerprints[1] || fingerprints[1] != fingerprints[2] {
+		t.Errorf("fingerprints differ across worker counts:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s\n--- 16 workers ---\n%s",
+			fingerprints[0], fingerprints[1], fingerprints[2])
+	}
+}
+
+// TestRunConcurrentSharedSpec runs two sweeps of the same spec concurrently
+// (exercised under -race) and checks the aggregated results are
+// byte-identical.
+func TestRunConcurrentSharedSpec(t *testing.T) {
+	spec := quickSpec()
+	spec.Workers = 4
+	var wg sync.WaitGroup
+	outs := make([]string, 2)
+	errs := make([]error, 2)
+	for i := range outs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			report, err := Run(context.Background(), spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = report.Fingerprint()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("concurrent sweeps of the same spec disagree:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunCancellationStopsPromptly(t *testing.T) {
+	spec := quickSpec()
+	spec.Seeds = SeedRange(1, 50) // 400 jobs: far more than can finish instantly
+	spec.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := &Engine{Spec: spec}
+	var seen atomic.Int64
+	eng.OnResult = func(JobResult) {
+		if seen.Add(1) == 2 {
+			cancel()
+		}
+	}
+	start := time.Now()
+	report, err := eng.Run(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned (%v, %v), want context.Canceled", report, err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt stop", elapsed)
+	}
+}
+
+// panicSolver implements heuristics.Solver and always panics.
+type panicSolver struct{}
+
+func (panicSolver) Name() string { return "PANIC" }
+func (panicSolver) Solve(context.Context, *scenario.Scenario) (*scenario.Plan, error) {
+	panic("injected solver panic")
+}
+
+func TestPanicIsolation(t *testing.T) {
+	spec := quickSpec()
+	spec.Workers = 4
+	eng := &Engine{
+		Spec: spec,
+		newSolver: func(alg string) (heuristics.Solver, error) {
+			if alg == "SRT" {
+				return panicSolver{}, nil
+			}
+			return heuristics.New(alg)
+		},
+	}
+	report, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("a panicking job must not abort the sweep: %v", err)
+	}
+	wantFailures := 0
+	for _, res := range report.Results {
+		if res.Job.Algorithm == "SRT" {
+			wantFailures++
+			if !strings.Contains(res.Err, "panic: injected solver panic") {
+				t.Errorf("job %d: err = %q, want recorded panic", res.Job.Index, res.Err)
+			}
+		} else if res.Err != "" {
+			t.Errorf("job %d unexpectedly failed: %s", res.Job.Index, res.Err)
+		}
+	}
+	if report.Failures != wantFailures || wantFailures == 0 {
+		t.Errorf("failures = %d, want %d (> 0)", report.Failures, wantFailures)
+	}
+}
+
+// stallSolver blocks until the context fires, simulating a hung solver.
+type stallSolver struct{}
+
+func (stallSolver) Name() string { return "STALL" }
+func (stallSolver) Solve(ctx context.Context, _ *scenario.Scenario) (*scenario.Plan, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestJobTimeoutIsolatesSlowJobs(t *testing.T) {
+	spec := quickSpec()
+	spec.Algorithms = []string{"ISP"}
+	spec.Seeds = SeedRange(1, 1)
+	spec.JobTimeout = 50 * time.Millisecond
+	eng := &Engine{
+		Spec:      spec,
+		newSolver: func(string) (heuristics.Solver, error) { return stallSolver{}, nil },
+	}
+	report, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("timed-out jobs must not abort the sweep: %v", err)
+	}
+	if report.Failures != report.Jobs {
+		t.Fatalf("failures = %d, want all %d jobs", report.Failures, report.Jobs)
+	}
+	for _, res := range report.Results {
+		if !strings.Contains(res.Err, "deadline") {
+			t.Errorf("job %d: err = %q, want a deadline error", res.Job.Index, res.Err)
+		}
+	}
+}
+
+func TestRunRecordsUnknownAlgorithm(t *testing.T) {
+	spec := quickSpec()
+	spec.Algorithms = []string{"NO-SUCH-ALGO"}
+	spec.Seeds = SeedRange(1, 1)
+	report, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("unknown algorithms must fail per job, not abort: %v", err)
+	}
+	if report.Failures != report.Jobs {
+		t.Errorf("failures = %d, want %d", report.Failures, report.Jobs)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	t.Run("runs every index once", func(t *testing.T) {
+		const n = 100
+		var hits [n]atomic.Int64
+		err := ForEach(context.Background(), 7, n, func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("index %d ran %d times", i, got)
+			}
+		}
+	})
+	t.Run("propagates first error", func(t *testing.T) {
+		boom := errors.New("boom")
+		err := ForEach(context.Background(), 3, 50, func(_ context.Context, i int) error {
+			if i == 10 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	})
+	t.Run("converts panics to errors", func(t *testing.T) {
+		err := ForEach(context.Background(), 2, 4, func(_ context.Context, i int) error {
+			if i == 1 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("err = %v, want recovered panic", err)
+		}
+	})
+	t.Run("honours cancellation", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ran := atomic.Int64{}
+		err := ForEach(ctx, 2, 1000, func(_ context.Context, i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if ran.Load() > 4 {
+			t.Errorf("%d jobs ran after cancellation", ran.Load())
+		}
+	})
+	t.Run("bounds concurrency", func(t *testing.T) {
+		const workers = 3
+		var inFlight, peak atomic.Int64
+		err := ForEach(context.Background(), workers, 60, func(_ context.Context, i int) error {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak.Load() > workers {
+			t.Errorf("peak concurrency %d exceeds %d workers", peak.Load(), workers)
+		}
+	})
+}
+
+// TestHundredJobSweep is the acceptance scenario of the issue: 2 topologies
+// × 5 variances × 2 algorithms × 5 seeds = 100 jobs, run serially and on 4+
+// workers, deterministic across both, with the wall-clock ratio logged.
+func TestHundredJobSweep(t *testing.T) {
+	spec := Spec{
+		Name:       "acceptance",
+		Topologies: []Topology{{Kind: TopoBellCanada}, {Kind: TopoGrid, Rows: 5, Cols: 5}},
+		Disruptions: []Disruption{
+			{Kind: DisruptGeographic, Variance: 10},
+			{Kind: DisruptGeographic, Variance: 25},
+			{Kind: DisruptGeographic, Variance: 50},
+			{Kind: DisruptGeographic, Variance: 75},
+			{Kind: DisruptGeographic, Variance: 100},
+		},
+		Demands:    []Demand{{Pairs: 3, FlowPerPair: 10}},
+		Algorithms: []string{"ISP", "SRT"},
+		Seeds:      SeedRange(1, 5),
+		FastISP:    true,
+	}
+
+	spec.Workers = 1
+	serialStart := time.Now()
+	serial, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTime := time.Since(serialStart)
+
+	spec.Workers = 4
+	parallelStart := time.Now()
+	parallel, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelTime := time.Since(parallelStart)
+
+	if serial.Jobs != 100 || parallel.Jobs != 100 {
+		t.Fatalf("jobs = %d / %d, want 100", serial.Jobs, parallel.Jobs)
+	}
+	if serial.Failures != 0 || parallel.Failures != 0 {
+		t.Fatalf("failures: serial=%d parallel=%d (serial: %v, parallel: %v)",
+			serial.Failures, parallel.Failures, failedResults(serial), failedResults(parallel))
+	}
+	if serial.Fingerprint() != parallel.Fingerprint() {
+		t.Errorf("serial and parallel sweeps disagree")
+	}
+	speedup := float64(serialTime) / float64(parallelTime)
+	t.Logf("100 jobs: serial %v, 4 workers %v, speedup %.2fx (GOMAXPROCS=%d)",
+		serialTime.Round(time.Millisecond), parallelTime.Round(time.Millisecond), speedup, runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 1.0 {
+		t.Errorf("4-worker sweep slower than serial (%.2fx) on a %d-core machine", speedup, runtime.GOMAXPROCS(0))
+	}
+}
+
+// failedResults extracts the failed job results for diagnostics.
+func failedResults(r *Report) []string {
+	var out []string
+	for _, res := range r.Results {
+		if res.Err != "" {
+			out = append(out, fmt.Sprintf("job %d (%s): %s", res.Job.Index, res.Job.GroupLabel(), res.Err))
+		}
+	}
+	return out
+}

@@ -23,8 +23,10 @@
 package netrecovery
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"netrecovery/internal/core"
@@ -281,11 +283,18 @@ type RecoverOptions struct {
 // Recover runs the selected algorithm on the current network state and
 // returns its repair plan.
 func (n *Network) Recover(alg Algorithm) (*Plan, error) {
-	return n.RecoverWithOptions(alg, RecoverOptions{})
+	return n.RecoverContext(context.Background(), alg, RecoverOptions{})
 }
 
 // RecoverWithOptions runs the selected algorithm with explicit options.
 func (n *Network) RecoverWithOptions(alg Algorithm, opts RecoverOptions) (*Plan, error) {
+	return n.RecoverContext(context.Background(), alg, opts)
+}
+
+// RecoverContext runs the selected algorithm with explicit options under a
+// context: cancelling the context (or letting its deadline fire) stops the
+// solver promptly and returns the context's error.
+func (n *Network) RecoverContext(ctx context.Context, alg Algorithm, opts RecoverOptions) (*Plan, error) {
 	sc := n.scenario()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -308,7 +317,7 @@ func (n *Network) RecoverWithOptions(alg Algorithm, opts RecoverOptions) (*Plan,
 			return nil, err
 		}
 	}
-	plan, err := solver.Solve(sc)
+	plan, err := solver.Solve(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +350,7 @@ func (p *Plan) RepairedNodes() []int {
 	for v := range p.inner.RepairedNodes {
 		out = append(out, int(v))
 	}
-	sortInts(out)
+	sort.Ints(out)
 	return out
 }
 
@@ -351,7 +360,7 @@ func (p *Plan) RepairedLinks() []int {
 	for e := range p.inner.RepairedEdges {
 		out = append(out, int(e))
 	}
-	sortInts(out)
+	sort.Ints(out)
 	return out
 }
 
@@ -380,12 +389,4 @@ func (p *Plan) Summary() string {
 	nodes, links, total := p.Repairs()
 	return fmt.Sprintf("%s: repair %d nodes + %d links (%d total, cost %.1f), %.1f%% of demand served in %v",
 		p.Algorithm(), nodes, links, total, p.Cost(), 100*p.SatisfiedDemandRatio(), p.Runtime().Round(time.Millisecond))
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

@@ -1,0 +1,62 @@
+package netrecovery
+
+import (
+	"context"
+
+	"netrecovery/internal/sweep"
+)
+
+// The sweep engine runs a declarative grid of recovery experiments —
+// topologies × disruption models × demand configurations × algorithms ×
+// seeds — concurrently on a bounded worker pool with deterministic per-job
+// seeding, and aggregates the results into per-group statistics with JSON
+// and CSV emitters. The types below alias the engine's spec and report
+// types so callers outside the module can use them through the facade.
+type (
+	// SweepSpec declares the grid. See the field documentation of the
+	// aliased type for every knob (workers, per-job timeout, solver limits).
+	SweepSpec = sweep.Spec
+	// SweepTopology, SweepDisruption and SweepDemand are the grid's
+	// dimension declarations.
+	SweepTopology   = sweep.Topology
+	SweepDisruption = sweep.Disruption
+	SweepDemand     = sweep.Demand
+	// SweepReport is the aggregated outcome; it offers WriteJSON, WriteCSV
+	// and a deterministic Fingerprint.
+	SweepReport = sweep.Report
+	// SweepJobResult is the per-job outcome streamed to OnResult observers
+	// and embedded in the report.
+	SweepJobResult = sweep.JobResult
+)
+
+// Topology, disruption and placement kinds understood by SweepSpec.
+const (
+	SweepTopoBellCanada = sweep.TopoBellCanada
+	SweepTopoGrid       = sweep.TopoGrid
+	SweepTopoErdosRenyi = sweep.TopoErdosRenyi
+	SweepTopoCAIDA      = sweep.TopoCAIDA
+
+	SweepDisruptComplete   = sweep.DisruptComplete
+	SweepDisruptGeographic = sweep.DisruptGeographic
+	SweepDisruptRandom     = sweep.DisruptRandom
+	SweepDisruptEdges      = sweep.DisruptEdges
+
+	SweepPlaceFarApart = sweep.PlaceFarApart
+	SweepPlaceUniform  = sweep.PlaceUniform
+)
+
+// SweepSeeds returns n consecutive seeds starting at base, a convenience for
+// filling SweepSpec.Seeds.
+func SweepSeeds(base int64, n int) []int64 { return sweep.SeedRange(base, n) }
+
+// Sweep expands the spec into jobs and runs them on the engine's worker
+// pool. Cancelling the context stops the remaining jobs promptly and returns
+// the context's error; individual job failures (solver errors, per-job
+// timeouts, panics) are isolated and reported per group instead of aborting
+// the sweep. Results are deterministic for fixed seeds regardless of the
+// worker count, with one caveat: OPT's branch and bound stops on a
+// wall-clock time limit, so when that limit binds, the incumbent it returns
+// can vary with CPU contention.
+func Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, error) {
+	return sweep.Run(ctx, spec)
+}
