@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"netrecovery/internal/experiments"
+	"netrecovery/internal/heuristics"
 	"netrecovery/internal/sweep"
 )
 
@@ -55,7 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		// Declarative sweep mode.
 		doSweep    = fs.Bool("sweep", false, "run a declarative scenario sweep instead of a figure")
 		topologies = fs.String("topologies", "bell-canada", "comma-separated topologies: bell-canada | grid:RxC | erdos-renyi:N:P | caida")
-		algorithms = fs.String("algorithms", "ISP,SRT", "comma-separated solver names")
+		algorithms = fs.String("algorithms", "ISP,SRT", "comma-separated solver names: "+strings.Join(heuristics.Names(), ", "))
 		variances  = fs.String("variances", "", "comma-separated geographic-disruption variances (empty = complete destruction)")
 		pairs      = fs.Int("pairs", 4, "sweep: demand pairs per scenario")
 		flowUnits  = fs.Float64("flow", 10, "sweep: flow units per demand pair")

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
+//	nrecover -list
 //	nrecover -topology bell.json -pairs 4 -flow 10 -variance 50 -solver ISP
 //	nrecover -topology er.json -destroy-all -pairs 5 -flow 1 -solver SRT
 //	nrecover -topology bell.json -pairs 3 -flow 10 -variance 40 -compare
 //
-// With -compare every available solver is run and a comparison table is
-// printed instead of a single plan.
+// With -list the registered solvers and their metadata are printed. With
+// -compare every available solver is run and a comparison table is printed
+// instead of a single plan.
 package main
 
 import (
@@ -19,9 +21,9 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
-	"netrecovery/internal/core"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
 	"netrecovery/internal/experiments"
@@ -44,7 +46,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("nrecover", flag.ContinueOnError)
 	var (
 		topoPath   = fs.String("topology", "", "topology JSON file (default: built-in Bell-Canada)")
-		solverName = fs.String("solver", "ISP", "solver: ISP | OPT | SRT | GRD-COM | GRD-NC | ALL")
+		solverName = fs.String("solver", "ISP", "solver: "+strings.Join(heuristics.Names(), " | "))
+		list       = fs.Bool("list", false, "list the registered solvers with their metadata and exit")
 		pairs      = fs.Int("pairs", 4, "number of far-apart demand pairs to generate")
 		flowUnits  = fs.Float64("flow", 10, "flow units per demand pair")
 		variance   = fs.Float64("variance", 50, "variance of the geographic disruption")
@@ -59,6 +62,10 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		printSolvers(stdout)
+		return nil
 	}
 	if *pairs <= 0 || *flowUnits <= 0 {
 		return fmt.Errorf("need a positive number of demand pairs (-pairs) and flow units (-flow)")
@@ -185,20 +192,24 @@ func topologyRead(r io.Reader, path string) (*graph.Graph, string, error) {
 	return g, name, nil
 }
 
-func buildSolver(name string, fast bool, optTime time.Duration) (heuristics.Solver, error) {
-	switch name {
-	case core.SolverName:
-		opts := core.Options{}
-		if fast {
-			opts.SplitMode = core.SplitGreedy
-			opts.Routability = flow.Options{Mode: flow.ModeAuto}
+// printSolvers renders the registry metadata: one row per solver with its
+// kind (exact vs heuristic), scalability hint and description.
+func printSolvers(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %-10s %-55s %s\n", "solver", "kind", "scalability", "description")
+	for _, info := range heuristics.Infos() {
+		kind := "heuristic"
+		if info.Exact {
+			kind = "exact"
 		}
-		return &heuristics.ISPSolver{Options: opts}, nil
-	case heuristics.OptName:
-		return &heuristics.Opt{TimeLimit: optTime}, nil
-	default:
-		return heuristics.New(name)
+		fmt.Fprintf(w, "%-8s %-10s %-55s %s\n", info.Name, kind, info.Scalability, info.Description)
 	}
+}
+
+// buildSolver resolves the solver through the registry; the CLI knobs ride
+// along as registry params, so custom solvers are constructed exactly like
+// the built-ins.
+func buildSolver(name string, fast bool, optTime time.Duration) (heuristics.Solver, error) {
+	return heuristics.New(name, heuristics.Params{Fast: fast, OPTTimeLimit: optTime})
 }
 
 func printPlan(w io.Writer, s *scenario.Scenario, plan *scenario.Plan) {

@@ -111,6 +111,25 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunListSolvers(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, name := range []string{"ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("-list output missing solver %s: %q", name, text)
+		}
+	}
+	if !strings.Contains(text, "exact") || !strings.Contains(text, "heuristic") {
+		t.Errorf("-list output missing exact/heuristic kinds: %q", text)
+	}
+	if !strings.Contains(text, "Iterative Split and Prune") {
+		t.Errorf("-list output missing descriptions: %q", text)
+	}
+}
+
 func TestBuildSolverVariants(t *testing.T) {
 	if s, err := buildSolver("ISP", true, 0); err != nil || s.Name() != "ISP" {
 		t.Errorf("buildSolver ISP fast: %v, %v", s, err)

@@ -7,9 +7,12 @@ import (
 	"netrecovery"
 )
 
-// ExampleNetwork_Recover restores a single mission-critical flow on a fully
-// destroyed grid and prints the size of the repair plan.
-func ExampleNetwork_Recover() {
+// ExamplePlanner restores a single mission-critical flow on a fully
+// destroyed grid: the Network builds the state, Snapshot freezes it into an
+// immutable Scenario, and a Planner configured with functional options
+// solves it — streaming progress events and computing a progressive repair
+// timeline along the way.
+func ExamplePlanner() {
 	net, err := netrecovery.Grid(3, 3, 20)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -21,7 +24,17 @@ func ExampleNetwork_Recover() {
 	}
 	net.ApplyCompleteDestruction()
 
-	plan, err := net.Recover(netrecovery.ISP)
+	iterations := 0
+	planner := netrecovery.NewPlanner(
+		netrecovery.WithAlgorithm(netrecovery.ISP),
+		netrecovery.WithProgress(func(ev netrecovery.ProgressEvent) {
+			if ev.Kind == netrecovery.EventIteration {
+				iterations++
+			}
+		}),
+		netrecovery.WithSchedule(3),
+	)
+	plan, err := planner.Plan(context.Background(), net.Snapshot())
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -29,9 +42,31 @@ func ExampleNetwork_Recover() {
 	nodes, links, total := plan.Repairs()
 	fmt.Printf("repairs: %d nodes + %d links = %d elements\n", nodes, links, total)
 	fmt.Printf("demand served: %.0f%%\n", 100*plan.SatisfiedDemandRatio())
+	fmt.Printf("progress streamed: %v\n", iterations > 0)
+	fmt.Printf("stages under budget 3: %d\n", len(plan.Stages()))
 	// Output:
 	// repairs: 5 nodes + 4 links = 9 elements
 	// demand served: 100%
+	// progress streamed: true
+	// stages under budget 3: 3
+}
+
+// ExampleNetwork_Snapshot shows that a snapshot is detached from its source
+// network: the network keeps mutating (and could be solved concurrently)
+// while the scenario stays frozen.
+func ExampleNetwork_Snapshot() {
+	net, err := netrecovery.Grid(3, 3, 20)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	net.BreakNode(4)
+	scenario := net.Snapshot()
+	net.BreakNode(0) // after the snapshot: the scenario does not see it
+	fmt.Printf("network: %d broken, scenario: %d broken\n",
+		net.Broken().BrokenNodes, scenario.Broken().BrokenNodes)
+	// Output:
+	// network: 2 broken, scenario: 1 broken
 }
 
 // ExampleNetwork_AddDemand shows the named-node API on the built-in
@@ -46,6 +81,21 @@ func ExampleNetwork_AddDemand() {
 		net.NumNodes(), net.NumLinks(), net.TotalDemand())
 	// Output:
 	// 48 nodes, 64 links, 10 units of demand
+}
+
+// ExampleSolvers lists the registered algorithms with their metadata; custom
+// algorithms added through RegisterSolver appear here too.
+func ExampleSolvers() {
+	for _, info := range netrecovery.Solvers()[:2] {
+		kind := "heuristic"
+		if info.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("%s (%s)\n", info.Name, kind)
+	}
+	// Output:
+	// ISP (heuristic)
+	// OPT (exact)
 }
 
 // ExampleSweep runs a small declarative scenario sweep — a grid of
@@ -76,35 +126,4 @@ func ExampleSweep() {
 	// jobs: 6, failures: 0
 	// ISP on grid-3x3: mean repairs 5.7, mean satisfied 100%
 	// ALL on grid-3x3: mean repairs 21.0, mean satisfied 100%
-}
-
-// ExamplePlan_ScheduleProgressively spreads a repair plan over stages with a
-// limited per-stage budget and prints how the served demand ramps up.
-func ExamplePlan_ScheduleProgressively() {
-	net, err := netrecovery.Grid(3, 3, 20)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	if err := net.AddDemandByID(0, 8, 10); err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	net.ApplyCompleteDestruction()
-	plan, err := net.Recover(netrecovery.ISP)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	stages, err := plan.ScheduleProgressively(3)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	fmt.Printf("stages: %d\n", len(stages))
-	last := stages[len(stages)-1]
-	fmt.Printf("served after the last stage: %.0f%%\n", 100*last.SatisfiedDemandRatio)
-	// Output:
-	// stages: 3
-	// served after the last stage: 100%
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,30 +27,25 @@ func main() {
 func run() error {
 	const seed = 28717
 
-	build := func() (*netrecovery.Network, error) {
-		net := netrecovery.CAIDALike(25, seed)
-		if err := net.AddFarApartDemands(6, 22, seed); err != nil {
-			return nil, err
-		}
-		net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 400, Seed: seed})
-		return net, nil
-	}
-
-	probe, err := build()
-	if err != nil {
+	net := netrecovery.CAIDALike(25, seed)
+	if err := net.AddFarApartDemands(6, 22, seed); err != nil {
 		return err
 	}
-	broken := probe.Broken()
+	net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 400, Seed: seed})
+
+	// A single immutable snapshot serves both algorithms.
+	scenario := net.Snapshot()
+	broken := scenario.Broken()
 	fmt.Printf("backbone: %d routers, %d links; disaster broke %d routers and %d links\n\n",
-		probe.NumNodes(), probe.NumLinks(), broken.BrokenNodes, broken.BrokenEdges)
+		scenario.NumNodes(), scenario.NumLinks(), broken.BrokenNodes, broken.BrokenEdges)
 
 	for _, alg := range []netrecovery.Algorithm{netrecovery.ISP, netrecovery.SRT} {
-		net, err := build()
-		if err != nil {
-			return err
-		}
+		planner := netrecovery.NewPlanner(
+			netrecovery.WithAlgorithm(alg),
+			netrecovery.WithFastISP(),
+		)
 		start := time.Now()
-		plan, err := net.RecoverWithOptions(alg, netrecovery.RecoverOptions{FastISP: true})
+		plan, err := planner.Plan(context.Background(), scenario)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,48 +29,39 @@ func main() {
 func run() error {
 	const seed = 2016
 
-	// Build a fresh network per algorithm so each one sees the same initial
-	// conditions (the disruption and demands are seeded deterministically).
-	build := func() (*netrecovery.Network, error) {
-		net := netrecovery.BellCanada()
-		// Mission-critical flows between far-apart cities.
-		for _, d := range []struct {
-			from, to string
-			units    float64
-		}{
-			{"Victoria", "Halifax", 10},
-			{"Vancouver", "Quebec", 10},
-			{"Calgary", "Montreal", 10},
-			{"Edmonton", "Ottawa", 10},
-		} {
-			if err := net.AddDemand(d.from, d.to, d.units); err != nil {
-				return nil, err
-			}
+	net := netrecovery.BellCanada()
+	// Mission-critical flows between far-apart cities.
+	for _, d := range []struct {
+		from, to string
+		units    float64
+	}{
+		{"Victoria", "Halifax", 10},
+		{"Vancouver", "Quebec", 10},
+		{"Calgary", "Montreal", 10},
+		{"Edmonton", "Ottawa", 10},
+	} {
+		if err := net.AddDemand(d.from, d.to, d.units); err != nil {
+			return err
 		}
-		// A wide geographically-correlated disaster centred on the middle of
-		// the country.
-		net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 60, Seed: seed})
-		return net, nil
 	}
+	// A wide geographically-correlated disaster centred on the middle of
+	// the country.
+	net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 60, Seed: seed})
 
-	probe, err := build()
-	if err != nil {
-		return err
-	}
-	broken := probe.Broken()
+	// One immutable snapshot serves every algorithm: scenarios are safe to
+	// share, so there is no need to rebuild the network per solver.
+	scenario := net.Snapshot()
+	broken := scenario.Broken()
 	fmt.Printf("disaster: %d nodes and %d links destroyed out of %d/%d\n\n",
-		broken.BrokenNodes, broken.BrokenEdges, probe.NumNodes(), probe.NumLinks())
+		broken.BrokenNodes, broken.BrokenEdges, scenario.NumNodes(), scenario.NumLinks())
 
 	fmt.Printf("%-10s %8s %8s %8s %12s %10s\n", "algorithm", "nodes", "links", "total", "satisfied", "runtime")
 	for _, alg := range netrecovery.Algorithms() {
-		net, err := build()
-		if err != nil {
-			return err
-		}
-		plan, err := net.RecoverWithOptions(alg, netrecovery.RecoverOptions{
-			OPTTimeLimit: 30 * time.Second,
-			OPTMaxNodes:  500,
-		})
+		planner := netrecovery.NewPlanner(
+			netrecovery.WithAlgorithm(alg),
+			netrecovery.WithOPTBudget(30*time.Second, 500),
+		)
+		plan, err := planner.Plan(context.Background(), scenario)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,6 +27,10 @@ func run() error {
 	variances := []float64{10, 25, 50, 75, 100, 150}
 	const runsPerPoint = 3
 
+	// One Planner is reused for every scenario: planners are immutable and
+	// safe for concurrent (and repeated) use.
+	planner := netrecovery.NewPlanner(netrecovery.WithAlgorithm(netrecovery.ISP))
+
 	fmt.Printf("%-10s %12s %12s %12s %12s\n", "variance", "broken", "ISP repairs", "ALL repairs", "served %")
 	for _, variance := range variances {
 		var brokenSum, ispSum, allSum, servedSum float64
@@ -38,7 +43,7 @@ func run() error {
 			net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: variance, Seed: seed})
 			broken := net.Broken()
 
-			plan, err := net.Recover(netrecovery.ISP)
+			plan, err := planner.Plan(context.Background(), net.Snapshot())
 			if err != nil {
 				return err
 			}

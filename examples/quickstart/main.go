@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,8 +38,12 @@ func run() error {
 	report := net.ApplyCompleteDestruction()
 	fmt.Printf("disaster: %d nodes and %d links destroyed\n", report.BrokenNodes, report.BrokenEdges)
 
-	// Ask ISP for the cheapest set of repairs that restores the flow.
-	plan, err := net.Recover(netrecovery.ISP)
+	// Freeze the state into an immutable scenario and ask ISP for the
+	// cheapest set of repairs that restores the flow. The same snapshot can
+	// be solved by any number of planners concurrently.
+	ctx := context.Background()
+	scenario := net.Snapshot()
+	plan, err := netrecovery.NewPlanner(netrecovery.WithAlgorithm(netrecovery.ISP)).Plan(ctx, scenario)
 	if err != nil {
 		return err
 	}
@@ -50,8 +55,8 @@ func run() error {
 	fmt.Println("nodes to repair:", plan.RepairedNodes())
 	fmt.Println("links to repair:", plan.RepairedLinks())
 
-	// Compare against repairing everything.
-	allPlan, err := net.Recover(netrecovery.All)
+	// Compare against repairing everything — on the very same snapshot.
+	allPlan, err := netrecovery.NewPlanner(netrecovery.WithAlgorithm(netrecovery.All)).Plan(ctx, scenario)
 	if err != nil {
 		return err
 	}

@@ -60,6 +60,9 @@ func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.P
 			return nil, st.stats, fmt.Errorf("isp: %w", err)
 		}
 		st.stats.Iterations = iter
+		if opts.Progress != nil {
+			opts.Progress(iter, len(st.repairedNodes)+len(st.repairedEdges))
+		}
 		if iter >= opts.MaxIterations {
 			st.stats.HitIteration = true
 			break

@@ -70,6 +70,23 @@ type Options struct {
 	// Timeout bounds the wall-clock time; zero means no limit. When the
 	// timeout is hit ISP returns the best partial plan built so far.
 	Timeout time.Duration
+	// Progress, when set, is invoked at the top of every iteration of the
+	// main loop with the 0-based iteration number and the number of elements
+	// scheduled for repair so far, so long solves can stream liveness
+	// information to an observer. The callback runs synchronously on the
+	// solver goroutine and must be cheap.
+	Progress func(iteration, repairs int)
+}
+
+// FastOptions returns the greedy-split configuration recommended for
+// networks with hundreds of nodes: dx is estimated from the centrality path
+// set instead of the exact LP, and the routability test picks its mode
+// automatically.
+func FastOptions() Options {
+	return Options{
+		SplitMode:   SplitGreedy,
+		Routability: flow.Options{Mode: flow.ModeAuto},
+	}
 }
 
 func (o Options) withDefaults(instanceSize int) Options {

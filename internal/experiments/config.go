@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"netrecovery/internal/core"
-	"netrecovery/internal/flow"
 	"netrecovery/internal/heuristics"
 )
 
@@ -147,8 +146,7 @@ func (c Config) withDefaults() Config {
 func (c Config) ispSolver() heuristics.Solver {
 	opts := core.Options{}
 	if c.FastISP {
-		opts.SplitMode = core.SplitGreedy
-		opts.Routability = flow.Options{Mode: flow.ModeAuto}
+		opts = core.FastOptions()
 	}
 	return &heuristics.ISPSolver{Options: opts}
 }

@@ -48,7 +48,7 @@ func gridScenario(t *testing.T) *scenario.Scenario {
 
 func TestNewAndNames(t *testing.T) {
 	for _, name := range Names() {
-		solver, err := New(name)
+		solver, err := New(name, Params{})
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
 		}
@@ -56,8 +56,107 @@ func TestNewAndNames(t *testing.T) {
 			t.Errorf("Name() = %q, want %q", solver.Name(), name)
 		}
 	}
-	if _, err := New("nope"); err == nil {
+	if _, err := New("nope", Params{}); err == nil {
 		t.Error("expected error for unknown solver")
+	}
+}
+
+// TestInfosMetadata checks that every registered solver carries metadata and
+// that exactly OPT is marked exact among the built-ins.
+func TestInfosMetadata(t *testing.T) {
+	infos := Infos()
+	if len(infos) != len(Names()) {
+		t.Fatalf("Infos() has %d entries, Names() %d", len(infos), len(Names()))
+	}
+	for i, info := range infos {
+		if info.Name != Names()[i] {
+			t.Errorf("Infos()[%d].Name = %q, want %q", i, info.Name, Names()[i])
+		}
+		if info.Description == "" || info.Scalability == "" {
+			t.Errorf("%s: empty metadata: %+v", info.Name, info)
+		}
+		if info.Exact != (info.Name == OptName) {
+			t.Errorf("%s: Exact = %v", info.Name, info.Exact)
+		}
+	}
+}
+
+// TestParamsThreadedThroughRegistry checks that the factory params reach the
+// constructed solvers: Fast selects ISP's greedy split mode and the OPT
+// budget lands on the Opt solver.
+func TestParamsThreadedThroughRegistry(t *testing.T) {
+	fast, err := New(core.SolverName, Params{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fast.(*ISPSolver).Options.SplitMode; got != core.SplitGreedy {
+		t.Errorf("Fast ISP split mode = %v, want SplitGreedy", got)
+	}
+	slow, err := New(core.SolverName, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slow.(*ISPSolver).Options.SplitMode; got != core.SplitMode(0) {
+		t.Errorf("default ISP split mode = %v, want zero (exact)", got)
+	}
+	opt, err := New(OptName, Params{OPTTimeLimit: 5 * time.Second, OPTMaxNodes: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := opt.(*Opt); o.TimeLimit != 5*time.Second || o.MaxNodes != 77 {
+		t.Errorf("OPT budget = (%v, %d), want (5s, 77)", o.TimeLimit, o.MaxNodes)
+	}
+}
+
+// TestProgressEvents checks that ISP streams iteration events and OPT
+// streams incumbent/bound events through the registry's Progress param.
+func TestProgressEvents(t *testing.T) {
+	var events []ProgressEvent
+	record := func(ev ProgressEvent) { events = append(events, ev) }
+
+	isp, err := New(core.SolverName, Params{Progress: record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := isp.Solve(context.Background(), gridScenario(t)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("ISP emitted no progress events")
+	}
+	for i, ev := range events {
+		if ev.Solver != core.SolverName || ev.Kind != EventIteration {
+			t.Fatalf("event %d = %+v, want an ISP iteration event", i, ev)
+		}
+		if ev.Iteration != i {
+			t.Errorf("event %d has iteration %d", i, ev.Iteration)
+		}
+	}
+
+	events = nil
+	opt, err := New(OptName, Params{Progress: record, OPTTimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable the warm start so the search itself must find an incumbent.
+	opt.(*Opt).DisableWarmStart = true
+	if _, err := opt.Solve(context.Background(), diamondScenario(t, 8)); err != nil {
+		t.Fatal(err)
+	}
+	sawIncumbent := false
+	for _, ev := range events {
+		if ev.Solver != OptName || (ev.Kind != EventIncumbent && ev.Kind != EventBound) {
+			t.Fatalf("event %+v, want an OPT incumbent/bound event", ev)
+		}
+		if ev.Kind == EventIncumbent {
+			sawIncumbent = true
+			if ev.Incumbent <= 0 {
+				t.Errorf("incumbent event with objective %f", ev.Incumbent)
+			}
+		}
+	}
+	if !sawIncumbent {
+		t.Error("OPT emitted no incumbent event")
 	}
 }
 

@@ -8,7 +8,6 @@ import (
 
 	"netrecovery/internal/core"
 	"netrecovery/internal/demand"
-	"netrecovery/internal/flow"
 	"netrecovery/internal/graph"
 	"netrecovery/internal/lp"
 	"netrecovery/internal/milp"
@@ -37,6 +36,9 @@ type Opt struct {
 	// DisableWarmStart turns off the ISP warm start (used by tests to
 	// exercise the cold-start path).
 	DisableWarmStart bool
+	// Progress, when set, receives EventIncumbent / EventBound events from
+	// the branch-and-bound search.
+	Progress ProgressFunc
 }
 
 var _ Solver = (*Opt)(nil)
@@ -89,15 +91,28 @@ func (o *Opt) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, 
 	model := buildOptModel(s)
 
 	opts := milp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit}
+	if o.Progress != nil {
+		progress := o.Progress
+		opts.Progress = func(incumbent, bound float64, nodes int, improved bool) {
+			kind := EventBound
+			if improved {
+				kind = EventIncumbent
+			}
+			progress(ProgressEvent{
+				Solver:    OptName,
+				Kind:      kind,
+				Incumbent: incumbent,
+				Bound:     bound,
+				Nodes:     nodes,
+			})
+		}
+	}
 	var warmPlan *scenario.Plan
 	if !o.DisableWarmStart {
 		// The warm start only needs a feasible incumbent quickly, so ISP runs
 		// in its greedy split mode here regardless of how the caller
 		// configures the stand-alone ISP solver.
-		warmSolver := &ISPSolver{Options: core.Options{
-			SplitMode:   core.SplitGreedy,
-			Routability: flow.Options{Mode: flow.ModeAuto},
-		}}
+		warmSolver := &ISPSolver{Options: core.FastOptions()}
 		if wp, werr := warmSolver.Solve(ctx, s); werr == nil && wp.SatisfactionRatio() >= 1-1e-9 {
 			// Only the warm-start objective participates in pruning; the
 			// binary assignment itself is recovered from warmPlan if the

@@ -78,7 +78,18 @@ type Options struct {
 	WarmStart []float64
 	// WarmStartObjective is the objective value of the warm start.
 	WarmStartObjective float64
+	// Progress, when set, streams search progress: it is invoked whenever a
+	// new incumbent is accepted (improved true) and every
+	// progressInterval explored nodes (improved false), with the current
+	// incumbent objective (±Inf while none exists), the best known bound and
+	// the number of explored nodes. The callback runs on the solver
+	// goroutine and must be cheap.
+	Progress func(incumbent, bound float64, nodes int, improved bool)
 }
+
+// progressInterval is the node-count period of the non-incumbent Progress
+// callbacks.
+const progressInterval = 100
 
 func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
@@ -182,6 +193,9 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 		}
 		cur := heap.Pop(queue).(*node)
 		nodes++
+		if opts.Progress != nil && nodes%progressInterval == 0 {
+			opts.Progress(incumbentObj, cur.bound, nodes, false)
+		}
 
 		relax := solveRelaxation(p, cur.fixed)
 		switch relax.Status {
@@ -215,12 +229,12 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 		}
 		if branchVar < 0 {
 			// Integral solution: candidate incumbent.
-			if incumbentValues == nil && opts.WarmStart == nil {
+			if (incumbentValues == nil && opts.WarmStart == nil) || better(relax.Objective, incumbentObj) {
 				incumbentObj = relax.Objective
 				incumbentValues = append([]float64(nil), relax.Values...)
-			} else if better(relax.Objective, incumbentObj) {
-				incumbentObj = relax.Objective
-				incumbentValues = append([]float64(nil), relax.Values...)
+				if opts.Progress != nil {
+					opts.Progress(incumbentObj, cur.bound, nodes, true)
+				}
 			}
 			continue
 		}

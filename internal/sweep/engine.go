@@ -7,10 +7,8 @@ import (
 	"sync"
 	"time"
 
-	"netrecovery/internal/core"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
-	"netrecovery/internal/flow"
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
@@ -129,21 +127,16 @@ func (e *Engine) runJob(ctx context.Context, job Job) (res JobResult) {
 	return res
 }
 
-// buildSolver resolves an algorithm name through the heuristics registry,
-// applying the spec's solver knobs (FastISP, OPT limits).
+// buildSolver resolves an algorithm name through the heuristics registry.
+// The spec's solver knobs (FastISP, OPT limits) are threaded through the
+// registry params, so no per-algorithm special case exists here: custom
+// solvers registered by callers are constructed exactly like the built-ins.
 func (e *Engine) buildSolver(alg string) (heuristics.Solver, error) {
-	switch alg {
-	case core.SolverName:
-		if e.Spec.FastISP {
-			return &heuristics.ISPSolver{Options: core.Options{
-				SplitMode:   core.SplitGreedy,
-				Routability: flow.Options{Mode: flow.ModeAuto},
-			}}, nil
-		}
-	case heuristics.OptName:
-		return &heuristics.Opt{MaxNodes: e.Spec.OptMaxNodes, TimeLimit: e.Spec.OptTimeLimit}, nil
-	}
-	return heuristics.New(alg)
+	return heuristics.New(alg, heuristics.Params{
+		Fast:         e.Spec.FastISP,
+		OPTTimeLimit: e.Spec.OptTimeLimit,
+		OPTMaxNodes:  e.Spec.OptMaxNodes,
+	})
 }
 
 // Seed-stream discriminators: every random aspect of a job draws from its

@@ -202,7 +202,7 @@ func TestPanicIsolation(t *testing.T) {
 			if alg == "SRT" {
 				return panicSolver{}, nil
 			}
-			return heuristics.New(alg)
+			return heuristics.New(alg, heuristics.Params{})
 		},
 	}
 	report, err := eng.Run(context.Background())

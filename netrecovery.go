@@ -11,12 +11,31 @@
 //
 // Typical usage:
 //
-//	net := netrecovery.BellCanada()
-//	net.AddDemand("Victoria", "Halifax", 10)
+//	net := netrecovery.BellCanada()                  // 1. build a network
+//	net.AddDemand("Victoria", "Halifax", 10)         // 2. add demand flows
 //	net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 40, Seed: 1})
-//	plan, err := net.Recover(netrecovery.ISP)
+//	sc := net.Snapshot()                             // 3. freeze a Scenario
+//	planner := netrecovery.NewPlanner(               // 4. configure a Planner
+//		netrecovery.WithAlgorithm(netrecovery.ISP),
+//	)
+//	plan, err := planner.Plan(ctx, sc)               // 5. solve
 //	if err != nil { ... }
 //	fmt.Println(plan.Summary())
+//
+// A Network is the mutable builder; Snapshot freezes it into an immutable
+// Scenario that is safe to share across goroutines and to solve while the
+// source network keeps mutating. A Planner is configured once with
+// functional options (WithAlgorithm, WithFastISP, WithOPTBudget,
+// WithProgress, WithSchedule) and reused for any number of concurrent Plan
+// calls. Additional algorithms plug in through RegisterSolver.
+//
+// # API stability and deprecation policy
+//
+// The Scenario / Planner surface is the stable API. Older entry points
+// (Recover, RecoverWithOptions, RecoverContext, Plan.ScheduleProgressively)
+// remain as thin shims over the Planner, are marked Deprecated, produce
+// identical plans, and will not be removed before a v2; new code should not
+// use them.
 //
 // The heavy lifting lives in the internal packages; this package only wires
 // them together behind a stable API.
@@ -27,12 +46,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
-	"netrecovery/internal/core"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
-	"netrecovery/internal/flow"
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
@@ -66,10 +84,16 @@ func Algorithms() []Algorithm {
 	return out
 }
 
-// Network is a supply network together with its demand and disruption state.
-// Build one with New or one of the topology constructors, add demands,
-// apply a disruption and call Recover.
+// Network is a supply network together with its demand and disruption
+// state: the mutable builder of Scenario snapshots. Build one with New or
+// one of the topology constructors, add demands, apply a disruption, then
+// call Snapshot and hand the scenario to a Planner.
+//
+// A Network is safe for concurrent use: mutators and snapshotting are
+// serialised by an internal lock. Solvers never see the live network — they
+// operate on immutable snapshots.
 type Network struct {
+	mu        sync.RWMutex
 	graph     *graph.Graph
 	demands   *demand.Graph
 	broken    disruption.Disruption
@@ -135,6 +159,8 @@ func CAIDALike(capacity float64, seed int64) *Network {
 // AddNode adds a node and returns its ID. Names must be unique when used
 // with the name-based helpers.
 func (n *Network) AddNode(name string, x, y, repairCost float64) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	id := n.graph.AddNode(name, x, y, repairCost)
 	if name != "" {
 		n.nodeNames[name] = id
@@ -144,24 +170,38 @@ func (n *Network) AddNode(name string, x, y, repairCost float64) int {
 
 // AddLink adds an undirected link between two node IDs.
 func (n *Network) AddLink(from, to int, capacity, repairCost float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	_, err := n.graph.AddEdge(graph.NodeID(from), graph.NodeID(to), capacity, repairCost)
 	return err
 }
 
 // NumNodes and NumLinks report the supply-network size.
-func (n *Network) NumNodes() int { return n.graph.NumNodes() }
+func (n *Network) NumNodes() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.graph.NumNodes()
+}
 
 // NumLinks reports the number of links of the supply network.
-func (n *Network) NumLinks() int { return n.graph.NumEdges() }
+func (n *Network) NumLinks() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.graph.NumEdges()
+}
 
 // NodeID resolves a node name to its ID.
 func (n *Network) NodeID(name string) (int, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	id, ok := n.nodeNames[name]
 	return int(id), ok
 }
 
 // AddDemand adds a demand flow between two named nodes.
 func (n *Network) AddDemand(source, target string, flowUnits float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	s, ok := n.nodeNames[source]
 	if !ok {
 		return fmt.Errorf("netrecovery: unknown node %q", source)
@@ -176,6 +216,8 @@ func (n *Network) AddDemand(source, target string, flowUnits float64) error {
 
 // AddDemandByID adds a demand flow between two node IDs.
 func (n *Network) AddDemandByID(source, target int, flowUnits float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	_, err := n.demands.Add(graph.NodeID(source), graph.NodeID(target), flowUnits)
 	return err
 }
@@ -184,6 +226,8 @@ func (n *Network) AddDemandByID(source, target int, flowUnits float64) error {
 // at hop distance of at least half the network diameter (the paper's demand
 // selection rule).
 func (n *Network) AddFarApartDemands(numPairs int, flowUnits float64, seed int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	dg, err := demand.GenerateFarApartPairs(n.graph, numPairs, flowUnits, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return err
@@ -197,15 +241,33 @@ func (n *Network) AddFarApartDemands(numPairs int, flowUnits float64, seed int64
 }
 
 // TotalDemand returns the total demand flow added so far.
-func (n *Network) TotalDemand() float64 { return n.demands.TotalFlow() }
+func (n *Network) TotalDemand() float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.demands.TotalFlow()
+}
+
+// Epicenter pins the centre of a geographic disruption to explicit
+// coordinates — including the origin (0, 0), which the legacy
+// EpicenterX/EpicenterY fields cannot express.
+type Epicenter struct {
+	X, Y float64
+}
 
 // DisruptionConfig parameterises ApplyGeographicDisruption.
 type DisruptionConfig struct {
 	// Variance of the bi-variate Gaussian failure probability (larger =
 	// wider destruction). Required.
 	Variance float64
-	// EpicenterX/Y override the epicentre; when both are zero the network
-	// barycentre is used.
+	// Epicenter, when non-nil, pins the epicentre to explicit coordinates;
+	// nil means the network barycentre (the paper's setting). Unlike the
+	// legacy EpicenterX/Y fields it can express an epicentre at the origin.
+	Epicenter *Epicenter
+	// EpicenterX/Y override the epicentre when Epicenter is nil; when both
+	// are zero the network barycentre is used, which makes a real epicentre
+	// at (0, 0) unexpressible.
+	//
+	// Deprecated: set Epicenter instead.
 	EpicenterX, EpicenterY float64
 	// PeakProbability is the failure probability at the epicentre (default 1).
 	PeakProbability float64
@@ -216,20 +278,29 @@ type DisruptionConfig struct {
 // ApplyGeographicDisruption breaks nodes and links according to a
 // geographically-correlated bi-variate Gaussian failure model.
 func (n *Network) ApplyGeographicDisruption(cfg DisruptionConfig) DisruptionReport {
-	auto := cfg.EpicenterX == 0 && cfg.EpicenterY == 0
-	d := disruption.Geographic(n.graph, disruption.GeographicConfig{
-		EpicenterX:      cfg.EpicenterX,
-		EpicenterY:      cfg.EpicenterY,
-		Auto:            auto,
+	gcfg := disruption.GeographicConfig{
 		Variance:        cfg.Variance,
 		PeakProbability: cfg.PeakProbability,
-	}, rand.New(rand.NewSource(cfg.Seed)))
+	}
+	switch {
+	case cfg.Epicenter != nil:
+		gcfg.EpicenterX, gcfg.EpicenterY = cfg.Epicenter.X, cfg.Epicenter.Y
+	case cfg.EpicenterX == 0 && cfg.EpicenterY == 0:
+		gcfg.Auto = true
+	default:
+		gcfg.EpicenterX, gcfg.EpicenterY = cfg.EpicenterX, cfg.EpicenterY
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := disruption.Geographic(n.graph, gcfg, rand.New(rand.NewSource(cfg.Seed)))
 	n.mergeDisruption(d)
 	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
 }
 
 // ApplyCompleteDestruction breaks every node and link.
 func (n *Network) ApplyCompleteDestruction() DisruptionReport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	d := disruption.Complete(n.graph)
 	n.mergeDisruption(d)
 	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
@@ -238,17 +309,28 @@ func (n *Network) ApplyCompleteDestruction() DisruptionReport {
 // ApplyRandomDisruption breaks each node / link independently with the given
 // probabilities.
 func (n *Network) ApplyRandomDisruption(pNode, pEdge float64, seed int64) DisruptionReport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	d := disruption.Random(n.graph, pNode, pEdge, rand.New(rand.NewSource(seed)))
 	n.mergeDisruption(d)
 	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
 }
 
 // BreakNode marks a single node as broken.
-func (n *Network) BreakNode(id int) { n.broken.Nodes[graph.NodeID(id)] = true }
+func (n *Network) BreakNode(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.broken.Nodes[graph.NodeID(id)] = true
+}
 
 // BreakLink marks a single link as broken.
-func (n *Network) BreakLink(id int) { n.broken.Edges[graph.EdgeID(id)] = true }
+func (n *Network) BreakLink(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.broken.Edges[graph.EdgeID(id)] = true
+}
 
+// mergeDisruption folds d into the broken sets; callers hold n.mu.
 func (n *Network) mergeDisruption(d disruption.Disruption) {
 	for v := range d.Nodes {
 		n.broken.Nodes[v] = true
@@ -266,10 +348,15 @@ type DisruptionReport struct {
 
 // Broken returns the current number of broken nodes and links.
 func (n *Network) Broken() DisruptionReport {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return DisruptionReport{BrokenNodes: len(n.broken.Nodes), BrokenEdges: len(n.broken.Edges)}
 }
 
 // RecoverOptions tune a Recover call.
+//
+// Deprecated: configure a Planner with functional options (WithFastISP,
+// WithOPTBudget) instead.
 type RecoverOptions struct {
 	// OPTTimeLimit / OPTMaxNodes bound the branch-and-bound search of the
 	// OPT algorithm (defaults: 120s / 4000 nodes).
@@ -280,13 +367,30 @@ type RecoverOptions struct {
 	FastISP bool
 }
 
-// Recover runs the selected algorithm on the current network state and
-// returns its repair plan.
+// plannerOptions translates legacy RecoverOptions into Planner options.
+func (opts RecoverOptions) plannerOptions(alg Algorithm) []PlannerOption {
+	popts := []PlannerOption{WithAlgorithm(alg)}
+	if opts.FastISP {
+		popts = append(popts, WithFastISP())
+	}
+	if opts.OPTTimeLimit != 0 || opts.OPTMaxNodes != 0 {
+		popts = append(popts, WithOPTBudget(opts.OPTTimeLimit, opts.OPTMaxNodes))
+	}
+	return popts
+}
+
+// Recover runs the selected algorithm on a snapshot of the current network
+// state and returns its repair plan.
+//
+// Deprecated: use NewPlanner(WithAlgorithm(alg)).Plan(ctx, net.Snapshot()).
 func (n *Network) Recover(alg Algorithm) (*Plan, error) {
 	return n.RecoverContext(context.Background(), alg, RecoverOptions{})
 }
 
 // RecoverWithOptions runs the selected algorithm with explicit options.
+//
+// Deprecated: use a Planner configured with the equivalent functional
+// options (WithFastISP, WithOPTBudget).
 func (n *Network) RecoverWithOptions(alg Algorithm, opts RecoverOptions) (*Plan, error) {
 	return n.RecoverContext(context.Background(), alg, opts)
 }
@@ -294,50 +398,20 @@ func (n *Network) RecoverWithOptions(alg Algorithm, opts RecoverOptions) (*Plan,
 // RecoverContext runs the selected algorithm with explicit options under a
 // context: cancelling the context (or letting its deadline fire) stops the
 // solver promptly and returns the context's error.
+//
+// Deprecated: use Planner.Plan, which takes a context. This shim snapshots
+// the network and delegates to a Planner; it produces identical plans.
 func (n *Network) RecoverContext(ctx context.Context, alg Algorithm, opts RecoverOptions) (*Plan, error) {
-	sc := n.scenario()
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	var solver heuristics.Solver
-	switch alg {
-	case ISP:
-		ispOpts := core.Options{}
-		if opts.FastISP {
-			ispOpts.SplitMode = core.SplitGreedy
-			ispOpts.Routability = flow.Options{Mode: flow.ModeAuto}
-		}
-		solver = &heuristics.ISPSolver{Options: ispOpts}
-	case OPT:
-		solver = &heuristics.Opt{MaxNodes: opts.OPTMaxNodes, TimeLimit: opts.OPTTimeLimit}
-	default:
-		var err error
-		solver, err = heuristics.New(string(alg))
-		if err != nil {
-			return nil, err
-		}
-	}
-	plan, err := solver.Solve(ctx, sc)
-	if err != nil {
-		return nil, err
-	}
-	return &Plan{inner: plan, scen: sc}, nil
+	return NewPlanner(opts.plannerOptions(alg)...).Plan(ctx, n.Snapshot())
 }
 
-// scenario builds the internal scenario snapshot of the network state.
-func (n *Network) scenario() *scenario.Scenario {
-	return &scenario.Scenario{
-		Supply:      n.graph,
-		Demand:      n.demands,
-		BrokenNodes: n.broken.Nodes,
-		BrokenEdges: n.broken.Edges,
-	}
-}
-
-// Plan is a recovery plan produced by Recover.
+// Plan is a recovery plan produced by Planner.Plan.
 type Plan struct {
 	inner *scenario.Plan
 	scen  *scenario.Scenario
+	// stages is the progressive timeline computed when the Planner was
+	// configured with WithSchedule.
+	stages []RecoveryStage
 }
 
 // Algorithm returns the name of the algorithm that produced the plan.

@@ -1,0 +1,359 @@
+package netrecovery
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"netrecovery/internal/graph"
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/scenario"
+)
+
+// Scenario is an immutable snapshot of a MinR problem instance: the supply
+// network, the demand flows and the broken-element sets at one point in
+// time. Build one with Network.Snapshot — the Network is the builder:
+// construct or load a topology, add demands, apply disruptions, then
+// snapshot. A Scenario deep-copies everything it references, so it is safe
+// to share across goroutines and to solve concurrently while the source
+// Network keeps mutating.
+type Scenario struct {
+	inner *scenario.Scenario
+}
+
+// Snapshot returns an immutable deep copy of the network's current state.
+// The snapshot is detached from the Network: later mutations (AddDemand,
+// BreakNode, Apply*Disruption, ...) do not affect it, and any number of
+// goroutines may solve it concurrently.
+func (n *Network) Snapshot() *Scenario {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	live := &scenario.Scenario{
+		Supply:      n.graph,
+		Demand:      n.demands,
+		BrokenNodes: n.broken.Nodes,
+		BrokenEdges: n.broken.Edges,
+	}
+	return &Scenario{inner: live.Clone()}
+}
+
+// NumNodes and NumLinks report the snapshot's supply-network size.
+func (sc *Scenario) NumNodes() int { return sc.inner.Supply.NumNodes() }
+
+// NumLinks reports the number of links of the snapshot's supply network.
+func (sc *Scenario) NumLinks() int { return sc.inner.Supply.NumEdges() }
+
+// TotalDemand returns the snapshot's total demand flow.
+func (sc *Scenario) TotalDemand() float64 { return sc.inner.Demand.TotalFlow() }
+
+// Broken returns the number of broken nodes and links in the snapshot.
+func (sc *Scenario) Broken() DisruptionReport {
+	nodes, edges := sc.inner.NumBroken()
+	return DisruptionReport{BrokenNodes: nodes, BrokenEdges: edges}
+}
+
+// BrokenNodeIDs returns the IDs of the broken nodes in ascending order.
+func (sc *Scenario) BrokenNodeIDs() []int {
+	out := make([]int, 0, len(sc.inner.BrokenNodes))
+	for v := range sc.inner.BrokenNodes {
+		out = append(out, int(v))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BrokenLinkIDs returns the IDs of the broken links in ascending order.
+func (sc *Scenario) BrokenLinkIDs() []int {
+	out := make([]int, 0, len(sc.inner.BrokenEdges))
+	for e := range sc.inner.BrokenEdges {
+		out = append(out, int(e))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks the snapshot's internal consistency (broken elements and
+// demand endpoints must exist in the supply graph).
+func (sc *Scenario) Validate() error { return sc.inner.Validate() }
+
+// ProgressEvent is one observability event streamed by a long-running
+// solver to a Planner's WithProgress callback: ISP reports its main-loop
+// iterations, OPT reports the incumbent and bound updates of its
+// branch-and-bound search.
+type ProgressEvent struct {
+	// Solver is the name of the emitting algorithm.
+	Solver string
+	// Kind is "iteration" (ISP), "incumbent" or "bound" (OPT).
+	Kind string
+	// Iteration and Repairs accompany iteration events: the 0-based
+	// main-loop iteration and the number of elements scheduled for repair so
+	// far.
+	Iteration int
+	Repairs   int
+	// Incumbent, Bound and Nodes accompany incumbent/bound events: the
+	// incumbent objective (±Inf while none exists), the best proven bound
+	// and the number of explored branch-and-bound nodes.
+	Incumbent float64
+	Bound     float64
+	Nodes     int
+}
+
+// Progress event kinds, mirroring the solver events.
+const (
+	EventIteration = heuristics.EventIteration
+	EventIncumbent = heuristics.EventIncumbent
+	EventBound     = heuristics.EventBound
+)
+
+// plannerConfig is the resolved option set of a Planner.
+type plannerConfig struct {
+	alg          Algorithm
+	fast         bool
+	optTimeLimit time.Duration
+	optMaxNodes  int
+	progress     func(ProgressEvent)
+	schedule     bool
+	stageBudget  float64
+}
+
+// PlannerOption configures a Planner. Options are applied by NewPlanner in
+// order.
+type PlannerOption func(*plannerConfig)
+
+// WithAlgorithm selects the recovery algorithm (default ISP). Any name in
+// the solver registry is accepted, including solvers added with
+// RegisterSolver.
+func WithAlgorithm(alg Algorithm) PlannerOption {
+	return func(c *plannerConfig) { c.alg = alg }
+}
+
+// WithFastISP prefers speed over solution quality where the algorithm
+// offers the trade-off: ISP switches to its greedy split mode, recommended
+// for networks with hundreds of nodes. Other built-in algorithms ignore it;
+// custom solvers receive it as SolverConfig.Fast.
+func WithFastISP() PlannerOption {
+	return func(c *plannerConfig) { c.fast = true }
+}
+
+// WithOPTBudget bounds OPT's branch-and-bound search by wall-clock time and
+// explored nodes. Zero values keep the solver defaults (120s / 4000 nodes).
+func WithOPTBudget(limit time.Duration, maxNodes int) PlannerOption {
+	return func(c *plannerConfig) {
+		c.optTimeLimit = limit
+		c.optMaxNodes = maxNodes
+	}
+}
+
+// WithProgress streams solver progress events (ISP iterations, OPT
+// incumbent/bound updates) to fn, for observability under long solves. The
+// callback runs synchronously on the solver goroutine and must be cheap;
+// concurrent Plan calls invoke it from multiple goroutines.
+func WithProgress(fn func(ProgressEvent)) PlannerOption {
+	return func(c *plannerConfig) { c.progress = fn }
+}
+
+// WithSchedule additionally spreads every computed plan over progressive
+// recovery stages with at most stageBudget repair cost per stage (the
+// progressive-recovery extension of Wang, Qiao & Yu, INFOCOM 2011); the
+// timeline is available from Plan.Stages.
+// The budget must be positive and at least as large as the most expensive
+// single element of the plan; Plan returns an error otherwise.
+func WithSchedule(stageBudget float64) PlannerOption {
+	return func(c *plannerConfig) {
+		c.schedule = true
+		c.stageBudget = stageBudget
+	}
+}
+
+// Planner computes recovery plans for scenarios. A Planner is configured
+// once with functional options and is immutable afterwards: it is safe for
+// concurrent use, and one Planner may solve many scenarios (and the same
+// Scenario many times) from multiple goroutines.
+type Planner struct {
+	cfg plannerConfig
+}
+
+// NewPlanner returns a Planner configured by the given options. With no
+// options it plans with ISP in its exact (paper) configuration.
+func NewPlanner(opts ...PlannerOption) *Planner {
+	cfg := plannerConfig{alg: ISP}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Planner{cfg: cfg}
+}
+
+// Plan runs the configured algorithm on the scenario and returns its repair
+// plan. Every algorithm — built-in or registered with RegisterSolver — is
+// constructed through the solver registry with the Planner's options.
+// Cancelling the context (or letting its deadline fire) stops the solver
+// promptly and returns the context's error.
+func (p *Planner) Plan(ctx context.Context, sc *Scenario) (*Plan, error) {
+	if sc == nil || sc.inner == nil {
+		return nil, fmt.Errorf("netrecovery: Plan called with a nil scenario")
+	}
+	if err := sc.inner.Validate(); err != nil {
+		return nil, err
+	}
+	params := heuristics.Params{
+		Fast:         p.cfg.fast,
+		OPTTimeLimit: p.cfg.optTimeLimit,
+		OPTMaxNodes:  p.cfg.optMaxNodes,
+	}
+	if p.cfg.progress != nil {
+		fn := p.cfg.progress
+		params.Progress = func(ev heuristics.ProgressEvent) { fn(ProgressEvent(ev)) }
+	}
+	solver, err := heuristics.New(string(p.cfg.alg), params)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := solver.Solve(ctx, sc.inner)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{inner: inner, scen: sc.inner}
+	if p.cfg.schedule {
+		stages, err := buildStages(sc.inner, inner, p.cfg.stageBudget)
+		if err != nil {
+			return nil, err
+		}
+		plan.stages = stages
+	}
+	return plan, nil
+}
+
+// SolverInfo describes a registered recovery algorithm.
+type SolverInfo struct {
+	// Name is the registry key, usable as an Algorithm with WithAlgorithm.
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Exact reports whether the algorithm produces provably optimal plans
+	// (given enough search budget) as opposed to a heuristic.
+	Exact bool
+	// Scalability hints at the instance sizes the algorithm handles.
+	Scalability string
+}
+
+// Solvers returns the metadata of every registered algorithm — built-in and
+// custom — in registration (presentation) order.
+func Solvers() []SolverInfo {
+	infos := heuristics.Infos()
+	out := make([]SolverInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, SolverInfo(info))
+	}
+	return out
+}
+
+// SolverConfig carries the Planner options relevant to a custom solver.
+type SolverConfig struct {
+	// Fast mirrors WithFastISP: prefer speed over solution quality.
+	Fast bool
+	// OPTTimeLimit / OPTMaxNodes mirror WithOPTBudget; custom exact solvers
+	// may honour them as their own search budget.
+	OPTTimeLimit time.Duration
+	OPTMaxNodes  int
+	// Progress mirrors WithProgress; custom solvers may stream their own
+	// events through it.
+	Progress func(ProgressEvent)
+}
+
+// Solver is the interface a custom recovery algorithm implements to
+// participate in the registry. Solve must not retain or mutate the scenario
+// and must honour context cancellation.
+type Solver interface {
+	// Name returns the algorithm's display name.
+	Name() string
+	// Solve computes the repair decisions for the scenario.
+	Solve(ctx context.Context, sc *Scenario) (*PlanSpec, error)
+}
+
+// PlanSpec is the raw outcome a custom Solver reports: the repair decisions
+// and the demand it claims to serve. The registry turns it into a full Plan,
+// computing costs and runtime against the scenario.
+type PlanSpec struct {
+	// RepairedNodes and RepairedLinks are the element IDs to repair; they
+	// must be subsets of the scenario's broken sets.
+	RepairedNodes []int
+	RepairedLinks []int
+	// SatisfiedDemand is the demand flow (in flow units) the repairs allow
+	// to be served.
+	SatisfiedDemand float64
+}
+
+// SolverFactory constructs a fresh instance of a custom solver configured
+// from the Planner's options. Factories must return independent values so
+// concurrent plans never share solver state.
+type SolverFactory func(cfg SolverConfig) Solver
+
+// RegisterSolver adds a custom recovery algorithm under the given name,
+// making it available to every consumer of the registry: Planner
+// (WithAlgorithm), sweeps (SweepSpec.Algorithms), the legacy Recover shims
+// and the CLI tools. It registers placeholder metadata; use
+// RegisterSolverWithInfo to describe the algorithm. It panics when the name
+// is empty or already taken, mirroring database/sql.Register semantics.
+func RegisterSolver(name string, factory SolverFactory) {
+	RegisterSolverWithInfo(SolverInfo{
+		Name:        name,
+		Description: "custom solver",
+		Scalability: "unknown",
+	}, factory)
+}
+
+// RegisterSolverWithInfo is RegisterSolver with explicit metadata, surfaced
+// by Solvers() and `nrecover -list`.
+func RegisterSolverWithInfo(info SolverInfo, factory SolverFactory) {
+	if factory == nil {
+		panic("netrecovery: RegisterSolver with nil factory")
+	}
+	name := info.Name
+	heuristics.Register(heuristics.Info(info), func(p heuristics.Params) heuristics.Solver {
+		cfg := SolverConfig{
+			Fast:         p.Fast,
+			OPTTimeLimit: p.OPTTimeLimit,
+			OPTMaxNodes:  p.OPTMaxNodes,
+		}
+		if p.Progress != nil {
+			progress := p.Progress
+			cfg.Progress = func(ev ProgressEvent) { progress(heuristics.ProgressEvent(ev)) }
+		}
+		return &customSolver{name: name, impl: factory(cfg)}
+	})
+}
+
+// customSolver adapts a public Solver to the internal registry interface.
+type customSolver struct {
+	name string
+	impl Solver
+}
+
+// Name implements heuristics.Solver.
+func (c *customSolver) Name() string { return c.name }
+
+// Solve implements heuristics.Solver: it hands the custom solver a
+// read-only view of the scenario and assembles its PlanSpec into a plan.
+func (c *customSolver) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, error) {
+	start := time.Now()
+	spec, err := c.impl.Solve(ctx, &Scenario{inner: s})
+	if err != nil {
+		return nil, err
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("netrecovery: solver %q returned a nil plan", c.name)
+	}
+	plan := scenario.NewPlan(c.name)
+	plan.Routing = nil
+	plan.TotalDemand = s.Demand.TotalFlow()
+	plan.SatisfiedDemand = spec.SatisfiedDemand
+	for _, v := range spec.RepairedNodes {
+		plan.RepairedNodes[graph.NodeID(v)] = true
+	}
+	for _, e := range spec.RepairedLinks {
+		plan.RepairedEdges[graph.EdgeID(e)] = true
+	}
+	plan.Runtime = time.Since(start)
+	return plan, nil
+}

@@ -2,6 +2,7 @@ package netrecovery
 
 import (
 	"netrecovery/internal/progressive"
+	"netrecovery/internal/scenario"
 )
 
 // RecoveryStage is one step of a progressive recovery timeline: the repairs
@@ -20,12 +21,13 @@ type RecoveryStage struct {
 	SatisfiedDemandRatio float64
 }
 
-// ScheduleProgressively spreads the plan's repairs over stages with at most
+// buildStages schedules the plan's repairs over stages with at most
 // stageBudget repair cost per stage, ordering repairs so that the
 // mission-critical demand is restored as early as possible (the
-// progressive-recovery extension; see the progressive package).
-func (p *Plan) ScheduleProgressively(stageBudget float64) ([]RecoveryStage, error) {
-	sched, err := progressive.Build(p.scen, p.inner, progressive.Options{StageBudget: stageBudget})
+// progressive-recovery extension of Wang, Qiao & Yu; see the progressive
+// package).
+func buildStages(scen *scenario.Scenario, plan *scenario.Plan, stageBudget float64) ([]RecoveryStage, error) {
+	sched, err := progressive.Build(scen, plan, progressive.Options{StageBudget: stageBudget})
 	if err != nil {
 		return nil, err
 	}
@@ -46,4 +48,24 @@ func (p *Plan) ScheduleProgressively(stageBudget float64) ([]RecoveryStage, erro
 		out = append(out, rs)
 	}
 	return out, nil
+}
+
+// Stages returns the progressive recovery timeline computed alongside the
+// plan when the Planner was configured with WithSchedule, or nil otherwise.
+// The returned slice is a copy; mutating it does not affect the plan.
+func (p *Plan) Stages() []RecoveryStage {
+	if p.stages == nil {
+		return nil
+	}
+	return append([]RecoveryStage(nil), p.stages...)
+}
+
+// ScheduleProgressively spreads the plan's repairs over stages with at most
+// stageBudget repair cost per stage.
+//
+// Deprecated: configure the Planner with WithSchedule(stageBudget) and read
+// the timeline from Plan.Stages; this shim computes the identical schedule
+// on demand.
+func (p *Plan) ScheduleProgressively(stageBudget float64) ([]RecoveryStage, error) {
+	return buildStages(p.scen, p.inner, stageBudget)
 }

@@ -1,0 +1,247 @@
+package netrecovery
+
+// Equivalence tests for the deprecated shims: every legacy entry point must
+// produce byte-identical plans to the Planner path on the invariants-test
+// topologies. These tests live in the declaring package on purpose — the
+// deprecated API is their subject.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fingerprint renders every deterministic aspect of a plan (runtime is
+// excluded: it is wall-clock measured and never reproducible).
+func fingerprint(p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s\n", p.Algorithm())
+	fmt.Fprintf(&b, "nodes=%v\n", p.RepairedNodes())
+	fmt.Fprintf(&b, "links=%v\n", p.RepairedLinks())
+	fmt.Fprintf(&b, "cost=%.9f\n", p.Cost())
+	fmt.Fprintf(&b, "satisfied=%.9f\n", p.SatisfiedDemandRatio())
+	fmt.Fprintf(&b, "optimal=%v\n", p.Optimal())
+	return b.String()
+}
+
+// stageFingerprint renders a progressive timeline.
+func stageFingerprint(stages []RecoveryStage) string {
+	var b strings.Builder
+	for _, s := range stages {
+		fmt.Fprintf(&b, "stage %d: nodes=%v links=%v cost=%.9f ratio=%.9f\n",
+			s.Index, s.RepairedNodes, s.RepairedLinks, s.Cost, s.SatisfiedDemandRatio)
+	}
+	return b.String()
+}
+
+// TestLegacyShimsMatchPlanner checks Recover, RecoverWithOptions and
+// RecoverContext against the Planner on the invariants-test topologies for
+// every built-in algorithm.
+func TestLegacyShimsMatchPlanner(t *testing.T) {
+	topologies := []string{"bell-canada", "grid", "erdos-renyi"}
+	algorithms := []Algorithm{ISP, SRT, GreedyCommit, GreedyNoCommit, All, OPT}
+	opts := RecoverOptions{OPTTimeLimit: 30 * time.Second, OPTMaxNodes: 300}
+
+	for _, topology := range topologies {
+		for _, alg := range algorithms {
+			t.Run(fmt.Sprintf("%s/%s", topology, alg), func(t *testing.T) {
+				planner := NewPlanner(
+					WithAlgorithm(alg),
+					WithOPTBudget(opts.OPTTimeLimit, opts.OPTMaxNodes),
+				)
+				want, err := planner.Plan(context.Background(), invariantNetwork(t, topology, 1).Snapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantFP := fingerprint(want)
+
+				legacy := map[string]func() (*Plan, error){
+					"RecoverWithOptions": func() (*Plan, error) {
+						return invariantNetwork(t, topology, 1).RecoverWithOptions(alg, opts)
+					},
+					"RecoverContext": func() (*Plan, error) {
+						return invariantNetwork(t, topology, 1).RecoverContext(context.Background(), alg, opts)
+					},
+				}
+				// Recover takes no options; OPT without a node budget can be
+				// slow, so only the cheap algorithms exercise it.
+				if alg != OPT {
+					legacy["Recover"] = func() (*Plan, error) {
+						return invariantNetwork(t, topology, 1).Recover(alg)
+					}
+				}
+				for name, call := range legacy {
+					got, err := call()
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if gotFP := fingerprint(got); gotFP != wantFP {
+						t.Errorf("%s diverges from Planner:\nlegacy:\n%s\nplanner:\n%s", name, gotFP, wantFP)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScheduleShimMatchesWithSchedule checks that the deprecated
+// Plan.ScheduleProgressively produces the identical timeline to a Planner
+// configured with WithSchedule.
+func TestScheduleShimMatchesWithSchedule(t *testing.T) {
+	for _, topology := range []string{"bell-canada", "grid", "erdos-renyi"} {
+		t.Run(topology, func(t *testing.T) {
+			const budget = 5.0
+			planner := NewPlanner(WithAlgorithm(ISP), WithSchedule(budget))
+			plan, err := planner.Plan(context.Background(), invariantNetwork(t, topology, 1).Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := stageFingerprint(plan.Stages())
+			if _, _, total := plan.Repairs(); total > 0 && want == "" {
+				t.Fatal("WithSchedule produced an empty timeline for a plan with repairs")
+			}
+
+			legacyPlan, err := invariantNetwork(t, topology, 1).Recover(ISP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stages, err := legacyPlan.ScheduleProgressively(budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := stageFingerprint(stages); got != want {
+				t.Errorf("ScheduleProgressively diverges:\nlegacy:\n%s\nplanner:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestConcurrentLegacyRecoverAndMutation is the race-detector regression
+// test for the satellite fix: Recover used to alias the live broken maps
+// into the solver's scenario, so concurrent Recover + BreakNode was a data
+// race. The shim now snapshots under the network lock; run with -race to
+// make this meaningful.
+func TestConcurrentLegacyRecoverAndMutation(t *testing.T) {
+	net, err := Grid(4, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddDemandByID(0, 15, 10); err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyCompleteDestruction()
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := net.Recover(SRT); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			net.BreakNode(i % 16)
+			net.BreakLink(i % 24)
+			net.ApplyRandomDisruption(0.1, 0.1, int64(i))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLegacyShimResolvesCustomSolver checks that the deprecated entry
+// points construct registry-added solvers exactly like the Planner does.
+func TestLegacyShimResolvesCustomSolver(t *testing.T) {
+	build := func() *Network {
+		net, err := Grid(3, 3, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddDemandByID(0, 8, 10); err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyCompleteDestruction()
+		return net
+	}
+	const name = "TEST-ALL" // registered by planner_test.go
+	want, err := NewPlanner(WithAlgorithm(Algorithm(name))).Plan(context.Background(), build().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := build().RecoverContext(context.Background(), Algorithm(name), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(got) != fingerprint(want) {
+		t.Errorf("legacy shim diverges for the custom solver:\nlegacy:\n%s\nplanner:\n%s", fingerprint(got), fingerprint(want))
+	}
+}
+
+// TestGeographicEpicenterAtOrigin is the regression test for the
+// auto-barycentre fix: an explicit epicentre at (0, 0) must be expressible
+// through the Epicenter field, while the legacy zero-value coordinates keep
+// meaning "auto" for backward compatibility.
+func TestGeographicEpicenterAtOrigin(t *testing.T) {
+	build := func() *Network {
+		net := New()
+		// A small cluster at the origin and a larger one far away, so the
+		// barycentre is near the far cluster and an origin epicentre behaves
+		// observably differently from the auto barycentre.
+		net.AddNode("o1", 0, 0, 1)
+		net.AddNode("o2", 1, 0, 1)
+		net.AddNode("o3", 0, 1, 1)
+		net.AddNode("f1", 99, 100, 1)
+		net.AddNode("f2", 100, 99, 1)
+		net.AddNode("f3", 100, 100, 1)
+		net.AddNode("f4", 101, 100, 1)
+		net.AddNode("f5", 100, 101, 1)
+		return net
+	}
+
+	cfg := DisruptionConfig{Variance: 4, Seed: 3}
+
+	// Legacy semantics: zero coordinates mean "auto barycentre", which is
+	// near the far cluster — nothing near the origin breaks, and with this
+	// small variance nothing at all breaks (every node is ~50 units away).
+	auto := build().ApplyGeographicDisruption(cfg)
+	if auto.BrokenNodes != 0 {
+		t.Fatalf("auto-epicentre broke %d nodes, want 0 (barycentre far from every node)", auto.BrokenNodes)
+	}
+
+	// New semantics: Epicenter pins the centre, including the origin. The
+	// node exactly at (0, 0) has failure probability 1, so at least it must
+	// break, and the far cluster must stay intact.
+	cfg.Epicenter = &Epicenter{X: 0, Y: 0}
+	net := build()
+	origin := net.ApplyGeographicDisruption(cfg)
+	if origin.BrokenNodes == 0 {
+		t.Fatal("origin epicentre broke nothing; (0,0) must be expressible")
+	}
+	for _, id := range net.Snapshot().BrokenNodeIDs() {
+		if id > 2 {
+			t.Errorf("node %d of the far cluster broke under an origin epicentre", id)
+		}
+	}
+
+	// Explicit non-zero epicentres keep working through the legacy fields.
+	far := build().ApplyGeographicDisruption(DisruptionConfig{Variance: 4, Seed: 3, EpicenterX: 100, EpicenterY: 100})
+	if far.BrokenNodes == 0 {
+		t.Error("legacy explicit epicentre at the far cluster broke nothing")
+	}
+}
