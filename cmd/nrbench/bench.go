@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/lp"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// benchRecord is one row of the BENCH_lp.json trajectory file: a named
+// micro-benchmark with its per-operation cost. Future performance PRs append
+// their numbers to EXPERIMENTS.md by re-running `nrbench -bench-json`.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Reps        int     `json:"reps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go_version"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// measure runs fn reps times and records wall time and heap allocations.
+func measure(name string, reps int, fn func()) benchRecord {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchRecord{
+		Name:        name,
+		Reps:        reps,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(reps),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(reps),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(reps),
+	}
+}
+
+// lpTransportation builds the 25x25 transportation LP used by the LP rows of
+// the trajectory (mirrors internal/lp's BenchmarkLP_SparseCold).
+func lpTransportation(seed int64) *lp.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	const s, d = 25, 25
+	p := lp.New(lp.Minimize)
+	for i := 0; i < s*d; i++ {
+		p.AddVariable(1+rng.Float64()*9, "")
+	}
+	demands := make([]float64, d)
+	total := 0.0
+	for j := range demands {
+		demands[j] = 1 + rng.Float64()*9
+		total += demands[j]
+	}
+	terms := make([]lp.Term, 0, s*d)
+	for i := 0; i < s; i++ {
+		terms = terms[:0]
+		for j := 0; j < d; j++ {
+			terms = append(terms, lp.Term{Var: i*d + j, Coef: 1})
+		}
+		if err := p.AddConstraint(terms, lp.LessEq, total/s+rng.Float64()*3, ""); err != nil {
+			panic(err)
+		}
+	}
+	for j := 0; j < d; j++ {
+		terms = terms[:0]
+		for i := 0; i < s; i++ {
+			terms = append(terms, lp.Term{Var: i*d + j, Coef: 1})
+		}
+		if err := p.AddConstraint(terms, lp.Equal, demands[j], ""); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// benchLPScenario is the Quick-profile Bell-Canada scenario of the ISP rows.
+func benchLPScenario() (*scenario.Scenario, error) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(1))
+	dg, err := demand.GenerateFarApartPairs(g, 4, 10, rng)
+	if err != nil {
+		return nil, err
+	}
+	d := disruption.Complete(g)
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}, nil
+}
+
+// runBenchJSON executes the LP/ISP micro-benchmark suite and writes the
+// trajectory file (canonically BENCH_lp.json) so that future performance PRs
+// have a recorded baseline to compare against.
+func runBenchJSON(ctx context.Context, path string) error {
+	s, err := benchLPScenario()
+	if err != nil {
+		return err
+	}
+	mustSolve := func(opts core.Options) func() {
+		return func() {
+			if _, _, err := core.Solve(ctx, s, opts); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	report := benchReport{Suite: "lp", GoVersion: runtime.Version()}
+	prob := lpTransportation(3)
+	solver := lp.NewSolver()
+	report.Benchmarks = append(report.Benchmarks,
+		measure("lp_transportation_sparse_cold", 20, func() {
+			if sol := solver.Solve(prob, lp.Options{}); sol.Status != lp.StatusOptimal {
+				panic(sol.Status)
+			}
+		}),
+		measure("lp_transportation_dense_cold", 5, func() {
+			if sol := prob.SolveWithOptions(lp.Options{Dense: true}); sol.Status != lp.StatusOptimal {
+				panic(sol.Status)
+			}
+		}),
+	)
+	warm := solver.Solve(prob, lp.Options{})
+	if warm.Status != lp.StatusOptimal {
+		return fmt.Errorf("bench-json: warm-up solve failed: %v", warm.Status)
+	}
+	basis := warm.Basis
+	rng := rand.New(rand.NewSource(9))
+	report.Benchmarks = append(report.Benchmarks,
+		measure("lp_transportation_warm_resolve", 200, func() {
+			_ = prob.SetRHS(25+rng.Intn(25), 1+rng.Float64()*9)
+			sol := solver.Solve(prob, lp.Options{WarmStart: basis})
+			if sol.Status != lp.StatusOptimal {
+				panic(sol.Status)
+			}
+			basis = sol.Basis
+		}),
+		measure("isp_iteration_exact", 3, mustSolve(core.Options{Routability: flow.Options{Mode: flow.ModeExact}})),
+		measure("isp_iteration_fast", 10, mustSolve(core.FastOptions())),
+	)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

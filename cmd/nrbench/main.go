@@ -12,9 +12,12 @@
 //	nrbench -sweep -topologies bell-canada,grid:4x4 -algorithms ISP,SRT \
 //	        -variances 20,60 -pairs 3 -flow 10 -seeds 5 -workers 8 -csv
 //
+//	nrbench -bench-json BENCH_lp.json  # LP/ISP micro-benchmark trajectory
+//
 // Figure output is a fixed-width table per sub-figure (use -csv for CSV);
 // sweep output is the aggregated report as JSON (use -csv for one CSV row
-// per grid point).
+// per grid point); -bench-json writes the machine-readable performance
+// trajectory recorded in EXPERIMENTS.md.
 package main
 
 import (
@@ -53,6 +56,9 @@ func run(args []string, stdout io.Writer) error {
 		workers    = fs.Int("workers", 0, "worker goroutines for figure cells and sweep jobs (0 = GOMAXPROCS)")
 		timeout    = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 
+		// Micro-benchmark trajectory mode.
+		benchJSON = fs.String("bench-json", "", "run the LP/ISP micro-benchmarks and write the trajectory JSON to this file (canonically BENCH_lp.json), then exit")
+
 		// Declarative sweep mode.
 		doSweep    = fs.Bool("sweep", false, "run a declarative scenario sweep instead of a figure")
 		topologies = fs.String("topologies", "bell-canada", "comma-separated topologies: bell-canada | grid:RxC | erdos-renyi:N:P | caida")
@@ -73,6 +79,14 @@ func run(args []string, stdout io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(ctx, *benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote benchmark trajectory to %s\n", *benchJSON)
+		return nil
 	}
 
 	if *doSweep {

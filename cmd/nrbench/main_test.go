@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -106,5 +109,36 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("expected flag parse error")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_lp.json")
+	var out bytes.Buffer
+	if err := run([]string{"-bench-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.Suite != "lp" || len(report.Benchmarks) < 5 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+	names := map[string]bool{}
+	for _, b := range report.Benchmarks {
+		names[b.Name] = true
+		if b.NsPerOp <= 0 || b.Reps <= 0 {
+			t.Errorf("benchmark %s has non-positive metrics: %+v", b.Name, b)
+		}
+	}
+	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %q in %v", want, names)
+		}
 	}
 }

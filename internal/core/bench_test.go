@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// benchScenario builds the Quick-profile Bell-Canada scenario used by the
+// ISP hot-loop benchmarks: 4 far-apart demand pairs of 10 units each under
+// complete destruction (the Fig. 4 setting at its default point).
+func benchScenario(b *testing.B) *scenario.Scenario {
+	b.Helper()
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(1))
+	dg, err := demand.GenerateFarApartPairs(g, 4, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := disruption.Complete(g)
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+}
+
+// benchISP runs full ISP solves and reports both the whole-solve time and a
+// derived per-iteration metric (ns/isp-iter), since the LP-backed
+// routability test per iteration is the hot path this package optimises.
+func benchISP(b *testing.B, opts Options) {
+	s := benchScenario(b)
+	ctx := context.Background()
+	totalIters := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := Solve(ctx, s, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalIters += stats.Iterations + 1
+	}
+	b.StopTimer()
+	if totalIters > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalIters), "ns/isp-iter")
+	}
+}
+
+// BenchmarkISP_Iteration is the headline hot-loop benchmark: ISP with the
+// exact LP routability test (the paper's configuration) on the Quick
+// profile, warm-started by the sparse revised simplex.
+func BenchmarkISP_Iteration(b *testing.B) {
+	benchISP(b, Options{Routability: flow.Options{Mode: flow.ModeExact}})
+}
+
+// BenchmarkISP_IterationDenseLP is the pre-rewrite comparison point: the
+// same run forced onto the legacy dense tableau LP solver (no warm starts).
+func BenchmarkISP_IterationDenseLP(b *testing.B) {
+	benchISP(b, Options{Routability: flow.Options{Mode: flow.ModeExact, DenseLP: true}})
+}
+
+// BenchmarkISP_IterationGreedySplit measures the fast configuration (greedy
+// split amounts, auto routability) used on large topologies.
+func BenchmarkISP_IterationGreedySplit(b *testing.B) {
+	benchISP(b, FastOptions())
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// equivalenceScenario builds the invariants-test topologies (Bell-Canada,
+// 4x4 grid, 16-node Erdős–Rényi) with far-apart demands and a geographic
+// disruption, mirroring the cross-algorithm invariants suite at the root of
+// the repository.
+func equivalenceScenario(t *testing.T, topo string, seed int64) *scenario.Scenario {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch topo {
+	case "bell-canada":
+		g = topology.BellCanada()
+	case "grid":
+		g, err = topology.Grid(4, 4, topology.DefaultConfig(20))
+	case "erdos-renyi":
+		g, err = topology.ErdosRenyi(16, 0.3, topology.DefaultConfig(20), rng)
+	default:
+		t.Fatalf("unknown topology %q", topo)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := demand.GenerateFarApartPairs(g, 2, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: 30, PeakProbability: 1}, rng)
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+}
+
+// TestISPSparseMatchesDenseLP runs full ISP (exact routability, exact
+// splits) with the sparse warm-started LP solver and with the legacy dense
+// tableau on the invariants topologies, and requires the same objectives:
+// identical repaired sets and satisfied demand within 1e-6. The two solvers
+// may return different optimal routings (alternative optima), but every
+// repair/split/prune decision is driven by LP answers that are unique at the
+// optimum, so the plans must agree.
+func TestISPSparseMatchesDenseLP(t *testing.T) {
+	ctx := context.Background()
+	for _, topo := range []string{"bell-canada", "grid", "erdos-renyi"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			sparsePlan, _, err := Solve(ctx, equivalenceScenario(t, topo, seed),
+				Options{Routability: flow.Options{Mode: flow.ModeExact}})
+			if err != nil {
+				t.Fatalf("%s/%d sparse: %v", topo, seed, err)
+			}
+			densePlan, _, err := Solve(ctx, equivalenceScenario(t, topo, seed),
+				Options{Routability: flow.Options{Mode: flow.ModeExact, DenseLP: true}})
+			if err != nil {
+				t.Fatalf("%s/%d dense: %v", topo, seed, err)
+			}
+			if math.Abs(sparsePlan.SatisfiedDemand-densePlan.SatisfiedDemand) > 1e-6 {
+				t.Errorf("%s/%d: satisfied demand sparse=%.9f dense=%.9f",
+					topo, seed, sparsePlan.SatisfiedDemand, densePlan.SatisfiedDemand)
+			}
+			if len(sparsePlan.RepairedNodes) != len(densePlan.RepairedNodes) ||
+				len(sparsePlan.RepairedEdges) != len(densePlan.RepairedEdges) {
+				t.Errorf("%s/%d: repairs sparse=(%d nodes, %d edges) dense=(%d nodes, %d edges)",
+					topo, seed,
+					len(sparsePlan.RepairedNodes), len(sparsePlan.RepairedEdges),
+					len(densePlan.RepairedNodes), len(densePlan.RepairedEdges))
+			}
+			for v := range densePlan.RepairedNodes {
+				if !sparsePlan.RepairedNodes[v] {
+					t.Errorf("%s/%d: node %d repaired by dense but not sparse", topo, seed, v)
+				}
+			}
+			for e := range densePlan.RepairedEdges {
+				if !sparsePlan.RepairedEdges[e] {
+					t.Errorf("%s/%d: edge %d repaired by dense but not sparse", topo, seed, e)
+				}
+			}
+		}
+	}
+}

@@ -80,8 +80,10 @@ func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.P
 		}
 
 		// Termination test: is the residual demand routable through the
-		// working network?
-		res := flow.CheckRoutability(st.workingInstance(), opts.Routability)
+		// working network? The tester warm-starts each LP from the previous
+		// iteration's optimal basis, so consecutive tests (which differ by a
+		// single repair, prune or split) re-solve in a few dual pivots.
+		res := st.tester.Check(st.workingInstance(), opts.Routability)
 		if res.Routable {
 			st.commitFinalRouting(res)
 			st.stats.FinalRouted = true
@@ -124,6 +126,7 @@ func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.P
 	if !st.stats.FinalRouted {
 		st.bestEffortRouting()
 	}
+	st.stats.Routability = st.tester.Stats
 	plan := st.buildPlan(start)
 	return plan, st.stats, nil
 }
@@ -154,7 +157,8 @@ func (st *state) bestEffortRouting() {
 			continue
 		}
 		scale := routed / value
-		scaled := make(map[graph.EdgeID]float64, len(assignment))
+		scaled := st.scaledBuf
+		clear(scaled)
 		for eid, f := range assignment {
 			if v := f * scale; math.Abs(v) > epsilon {
 				scaled[eid] = v
@@ -230,7 +234,8 @@ func (st *state) commitFinalRouting(res flow.Result) {
 func (st *state) repairDirectLinks() bool {
 	repaired := false
 	caps := st.workingCapacityMap()
-	pairs := st.working.Active()
+	st.repairBuf = st.working.ActiveInto(st.repairBuf)
+	pairs := st.repairBuf
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ID < pairs[j].ID })
 	for _, p := range pairs {
 		direct := st.brokenDirectEdge(p)
@@ -257,7 +262,7 @@ func (st *state) repairDirectLinks() bool {
 func (st *state) brokenDirectEdge(p demand.Pair) graph.EdgeID {
 	best := graph.InvalidEdge
 	bestCap := math.Inf(-1)
-	for _, eid := range st.scen.Supply.IncidentEdges(p.Source) {
+	for _, eid := range st.scen.Supply.AdjacentEdges(p.Source) {
 		e := st.scen.Supply.Edge(eid)
 		if e.Other(p.Source) != p.Target || !st.brokenEdges[eid] {
 			continue
@@ -271,9 +276,11 @@ func (st *state) brokenDirectEdge(p demand.Pair) graph.EdgeID {
 }
 
 // workingCapacityMap returns the residual capacity of every edge usable in
-// the working network (0 for unusable edges), for max-flow queries.
+// the working network (0 for unusable edges), for max-flow queries. The map
+// is pooled: it is refilled (and therefore invalidated) by the next call.
 func (st *state) workingCapacityMap() map[graph.EdgeID]float64 {
-	caps := make(map[graph.EdgeID]float64, st.scen.Supply.NumEdges())
+	caps := st.capsBuf
+	clear(caps)
 	for i := 0; i < st.scen.Supply.NumEdges(); i++ {
 		id := graph.EdgeID(i)
 		if st.edgeUsableWorking(id) {

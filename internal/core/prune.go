@@ -18,7 +18,8 @@ func (st *state) pruneAll() int {
 	for {
 		pruned := false
 		// Deterministic order: by working pair ID.
-		pairs := st.working.Active()
+		st.pruneBuf = st.working.ActiveInto(st.pruneBuf)
+		pairs := st.pruneBuf
 		sort.Slice(pairs, func(i, j int) bool { return pairs[i].ID < pairs[j].ID })
 		for _, p := range pairs {
 			if st.pruneOne(p) {
@@ -51,8 +52,10 @@ func (st *state) pruneOne(p demand.Pair) bool {
 	}
 
 	// Max flow from source to target restricted to the bubble's working
-	// edges with residual capacities.
-	caps := make(map[graph.EdgeID]float64, st.scen.Supply.NumEdges())
+	// edges with residual capacities. The capacity map is pooled across
+	// prune attempts.
+	caps := st.pruneCaps
+	clear(caps)
 	for i := 0; i < st.scen.Supply.NumEdges(); i++ {
 		id := graph.EdgeID(i)
 		e := st.scen.Supply.Edge(id)
@@ -69,7 +72,8 @@ func (st *state) pruneOne(p demand.Pair) bool {
 	}
 	// Scale the assignment to the pruned amount and commit it.
 	scale := prunable / value
-	scaled := make(map[graph.EdgeID]float64, len(assignment))
+	scaled := st.scaledBuf
+	clear(scaled)
 	for eid, f := range assignment {
 		if v := f * scale; math.Abs(v) > epsilon {
 			scaled[eid] = v
@@ -94,9 +98,13 @@ func (st *state) findBubble(p demand.Pair) map[graph.NodeID]bool {
 	if st.brokenNodes[p.Source] {
 		return nil
 	}
-	// Endpoints of other active demands are barriers.
-	barrier := make(map[graph.NodeID]bool)
-	for _, other := range st.working.Active() {
+	// Endpoints of other active demands are barriers. Both the barrier and
+	// visited maps are pooled: the returned map is invalidated by the next
+	// findBubble call.
+	barrier := st.bubbleWall
+	clear(barrier)
+	st.barrierBuf = st.working.ActiveInto(st.barrierBuf)
+	for _, other := range st.barrierBuf {
 		if other.ID == p.ID {
 			continue
 		}
@@ -106,16 +114,17 @@ func (st *state) findBubble(p demand.Pair) map[graph.NodeID]bool {
 	delete(barrier, p.Source)
 	delete(barrier, p.Target)
 
-	visited := map[graph.NodeID]bool{p.Source: true}
-	queue := []graph.NodeID{p.Source}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	visited := st.bubbleSeen
+	clear(visited)
+	visited[p.Source] = true
+	queue := append(st.bubbleQueue[:0], p.Source)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		if barrier[u] {
 			// Barrier nodes are not expanded (and not part of the bubble).
 			continue
 		}
-		for _, eid := range st.scen.Supply.IncidentEdges(u) {
+		for _, eid := range st.scen.Supply.AdjacentEdges(u) {
 			if !st.edgeUsableWorking(eid) {
 				continue
 			}
@@ -127,5 +136,6 @@ func (st *state) findBubble(p demand.Pair) map[graph.NodeID]bool {
 			queue = append(queue, v)
 		}
 	}
+	st.bubbleQueue = queue
 	return visited
 }

@@ -92,7 +92,7 @@ func (st *state) splitAmount(cand splitCandidate, rank centrality.Result) float6
 	case SplitGreedy:
 		return st.greedySplitAmount(cand, rank)
 	default:
-		dx, err := flow.MaxSplit(st.potentialInstance(), cand.pair, cand.via)
+		dx, err := flow.MaxSplitUsing(st.splitSolver, st.potentialInstance(), cand.pair, cand.via)
 		if err != nil {
 			return 0
 		}

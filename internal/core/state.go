@@ -6,6 +6,7 @@ import (
 	"netrecovery/internal/demand"
 	"netrecovery/internal/flow"
 	"netrecovery/internal/graph"
+	"netrecovery/internal/lp"
 	"netrecovery/internal/scenario"
 )
 
@@ -45,6 +46,30 @@ type state struct {
 	// by prune actions and by the final routability test.
 	routing scenario.Routing
 
+	// tester runs the per-iteration exact routability tests, warm-starting
+	// each LP from the previous iteration's basis.
+	tester *flow.RoutabilityTester
+	// splitSolver is the reusable LP solver behind the exact split LPs.
+	splitSolver *lp.Solver
+
+	// Pooled buffers for the per-iteration hot paths. Each buffer is owned
+	// by exactly one call site (see the field comments); the slices/maps are
+	// reused across iterations and must not be retained past the call that
+	// filled them.
+	capsBuf     map[graph.EdgeID]float64 // workingCapacityMap
+	pruneCaps   map[graph.EdgeID]float64 // pruneOne's bubble-restricted capacities
+	scaledBuf   map[graph.EdgeID]float64 // pruneOne / bestEffortRouting scaled flows
+	bubbleSeen  map[graph.NodeID]bool    // findBubble visited set
+	bubbleWall  map[graph.NodeID]bool    // findBubble barrier set
+	bubbleQueue []graph.NodeID           // findBubble BFS queue
+	pruneBuf    []demand.Pair            // pruneAll's per-round pair snapshot
+	repairBuf   []demand.Pair            // repairDirectLinks' pair snapshot
+	barrierBuf  []demand.Pair            // findBubble's active-pair snapshot
+	workBuf     []demand.Pair            // workingInstance demands
+	potBuf      []demand.Pair            // potentialInstance demands
+	workInst    flow.Instance            // reused Instance for workingInstance
+	potInst     flow.Instance            // reused Instance for potentialInstance
+
 	// stats collects per-run counters for diagnostics and tests.
 	stats Stats
 }
@@ -60,6 +85,9 @@ type Stats struct {
 	FinalRouted  bool
 	HitIteration bool
 	HitTimeout   bool
+	// Routability reports how the per-iteration LP-backed routability tests
+	// were resolved (warm starts, rebuilds, constructive fallbacks).
+	Routability flow.TesterStats
 }
 
 func newState(s *scenario.Scenario, opts Options) *state {
@@ -74,6 +102,13 @@ func newState(s *scenario.Scenario, opts Options) *state {
 		repairedNodes: make(map[graph.NodeID]bool),
 		repairedEdges: make(map[graph.EdgeID]bool),
 		routing:       make(scenario.Routing),
+		tester:        flow.NewRoutabilityTester(),
+		splitSolver:   lp.NewSolver(),
+		capsBuf:       make(map[graph.EdgeID]float64, s.Supply.NumEdges()),
+		pruneCaps:     make(map[graph.EdgeID]float64, s.Supply.NumEdges()),
+		scaledBuf:     make(map[graph.EdgeID]float64),
+		bubbleSeen:    make(map[graph.NodeID]bool),
+		bubbleWall:    make(map[graph.NodeID]bool),
 	}
 	for i := 0; i < s.Supply.NumEdges(); i++ {
 		id := graph.EdgeID(i)
@@ -122,27 +157,33 @@ func (st *state) repairEdge(e graph.EdgeID) {
 
 // workingInstance returns the flow instance of the currently working network
 // G^(n): broken-and-not-repaired elements excluded, residual capacities, and
-// the active working demands.
+// the active working demands. The returned instance (and its demand slice)
+// is pooled and invalidated by the next workingInstance call.
 func (st *state) workingInstance() *flow.Instance {
-	return &flow.Instance{
+	st.workBuf = st.working.ActiveInto(st.workBuf)
+	st.workInst = flow.Instance{
 		Graph:         st.scen.Supply,
 		Capacities:    st.residual,
 		ExcludedNodes: st.brokenNodes,
 		ExcludedEdges: st.brokenEdges,
-		Demands:       st.working.Active(),
+		Demands:       st.workBuf,
 	}
+	return &st.workInst
 }
 
 // potentialInstance returns the flow instance of the complete supply graph
 // (broken elements usable) with residual capacities: the graph on which
 // centrality, max-flow f* and the split LP are computed, since any element
-// may still be repaired.
+// may still be repaired. The returned instance is pooled like
+// workingInstance's.
 func (st *state) potentialInstance() *flow.Instance {
-	return &flow.Instance{
+	st.potBuf = st.working.ActiveInto(st.potBuf)
+	st.potInst = flow.Instance{
 		Graph:      st.scen.Supply,
 		Capacities: st.residual,
-		Demands:    st.working.Active(),
+		Demands:    st.potBuf,
 	}
+	return &st.potInst
 }
 
 // pathMetric returns the edge-length metric of §IV-D at the current

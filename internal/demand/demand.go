@@ -125,6 +125,20 @@ func (g *Graph) Active() []Pair {
 	return out
 }
 
+// ActiveInto appends the pairs with strictly positive residual flow, in ID
+// order, to buf[:0] and returns the result. Hot paths use it instead of
+// Active to reuse one buffer across calls; the returned slice aliases buf
+// and is invalidated by the next ActiveInto call with the same buffer.
+func (g *Graph) ActiveInto(buf []Pair) []Pair {
+	buf = buf[:0]
+	for _, p := range g.pairs {
+		if p.Flow > flowEpsilon {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}
+
 // All returns every pair ever added, including zero-flow ones, in ID order.
 func (g *Graph) All() []Pair {
 	out := make([]Pair, len(g.pairs))

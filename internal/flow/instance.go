@@ -2,7 +2,8 @@
 // recovery algorithms: the routability test of §IV-A (system (2)), the
 // maximum-split LP of §IV-C (Decision 2), the multi-commodity relaxation of
 // §VI-A (problem (8)) and a constructive per-demand routing fallback used on
-// instances too large for the dense LP solver.
+// instances too large for the exact LP. RoutabilityTester warm-starts the
+// per-iteration routability LPs across an ISP run.
 package flow
 
 import (
@@ -66,6 +67,18 @@ func (in *Instance) UsableEdges() []graph.EdgeID {
 	return out
 }
 
+// NumUsableEdges returns the number of edges with positive usable capacity
+// without materialising the list.
+func (in *Instance) NumUsableEdges() int {
+	n := 0
+	for i := 0; i < in.Graph.NumEdges(); i++ {
+		if in.Capacity(graph.EdgeID(i)) > capacityEpsilon {
+			n++
+		}
+	}
+	return n
+}
+
 // TotalDemand returns the sum of the demand flows.
 func (in *Instance) TotalDemand() float64 {
 	total := 0.0
@@ -84,6 +97,19 @@ func (in *Instance) ActiveDemands() []demand.Pair {
 		}
 	}
 	return out
+}
+
+// ActiveDemandsInto appends the demands with strictly positive flow to
+// buf[:0] and returns the result. The returned slice aliases buf; hot paths
+// use it to avoid the per-call allocation of ActiveDemands.
+func (in *Instance) ActiveDemandsInto(buf []demand.Pair) []demand.Pair {
+	buf = buf[:0]
+	for _, d := range in.Demands {
+		if d.Flow > capacityEpsilon {
+			buf = append(buf, d)
+		}
+	}
+	return buf
 }
 
 // Validate checks that every demand endpoint exists and is not excluded.
@@ -129,6 +155,10 @@ type Options struct {
 	// MaxLPVariables bounds the LP size in ModeAuto; above it the
 	// constructive test is used. Zero means 40000.
 	MaxLPVariables int
+	// DenseLP forces the legacy dense tableau LP solver (no warm starts).
+	// It is a testing fallback used to cross-check the sparse revised
+	// simplex end to end; production paths leave it false.
+	DenseLP bool
 }
 
 func (o Options) withDefaults() Options {
@@ -213,7 +243,7 @@ func buildRoutabilityLP(in *Instance) (*lp.Problem, map[arcVar]int, []graph.Edge
 				continue
 			}
 			var terms []lp.Term
-			for _, eid := range in.Graph.IncidentEdges(node) {
+			for _, eid := range in.Graph.AdjacentEdges(node) {
 				if in.Capacity(eid) <= capacityEpsilon {
 					continue
 				}

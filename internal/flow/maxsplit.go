@@ -21,6 +21,15 @@ import (
 //
 // It returns dx = 0 (with no error) when nothing can be split through via.
 func MaxSplit(in *Instance, split demand.Pair, via graph.NodeID) (float64, error) {
+	return MaxSplitUsing(nil, in, split, via)
+}
+
+// MaxSplitUsing is MaxSplit with a caller-supplied reusable LP solver. The
+// split LP is rebuilt on every call (its commodity set changes between ISP
+// iterations), but a long-lived solver keeps its factorisation and work
+// buffers, eliminating the dominant per-call allocations. A nil solver
+// behaves like MaxSplit.
+func MaxSplitUsing(solver *lp.Solver, in *Instance, split demand.Pair, via graph.NodeID) (float64, error) {
 	if split.Flow <= capacityEpsilon {
 		return 0, nil
 	}
@@ -65,30 +74,42 @@ func MaxSplit(in *Instance, split demand.Pair, via graph.NodeID) (float64, error
 		commodity{via, split.Target, 0, 1},
 	)
 
+	prob.Reserve(1+2*len(usable)*(len(commodities)), len(usable)+in.Graph.NumNodes()*len(commodities))
 	dx := prob.AddBoundedVariable(1, split.Flow, "dx")
 
-	type arcKey struct {
-		commodity int
-		edge      graph.EdgeID
-		forward   bool
+	// Arc variables are laid out positionally (commodity-major, then usable
+	// edge, then direction) instead of through a map: this LP is rebuilt in
+	// every ISP iteration that takes the exact split path, and the map was a
+	// confirmed allocation hot spot.
+	edgePos := make([]int32, in.Graph.NumEdges())
+	for i := range edgePos {
+		edgePos[i] = -1
 	}
-	vars := make(map[arcKey]int, 2*len(usable)*len(commodities))
-	for ci := range commodities {
-		for _, eid := range usable {
-			fwd := prob.AddVariable(0, "")
-			bwd := prob.AddVariable(0, "")
-			vars[arcKey{ci, eid, true}] = fwd
-			vars[arcKey{ci, eid, false}] = bwd
+	for pos, eid := range usable {
+		edgePos[eid] = int32(pos)
+	}
+	arcVar := func(ci int, eid graph.EdgeID, forward bool) int {
+		idx := 1 + 2*(ci*len(usable)+int(edgePos[eid]))
+		if !forward {
+			idx++
+		}
+		return idx
+	}
+	for range commodities {
+		for range usable {
+			_ = prob.AddVariable(0, "") // forward arc
+			_ = prob.AddVariable(0, "") // backward arc
 		}
 	}
 
 	// Capacity rows.
+	terms := make([]lp.Term, 0, 2*len(commodities))
 	for _, eid := range usable {
-		terms := make([]lp.Term, 0, 2*len(commodities))
+		terms = terms[:0]
 		for ci := range commodities {
 			terms = append(terms,
-				lp.Term{Var: vars[arcKey{ci, eid, true}], Coef: 1},
-				lp.Term{Var: vars[arcKey{ci, eid, false}], Coef: 1},
+				lp.Term{Var: arcVar(ci, eid, true), Coef: 1},
+				lp.Term{Var: arcVar(ci, eid, false), Coef: 1},
 			)
 		}
 		if err := prob.AddConstraint(terms, lp.LessEq, in.Capacity(eid), ""); err != nil {
@@ -103,14 +124,14 @@ func MaxSplit(in *Instance, split demand.Pair, via graph.NodeID) (float64, error
 			if in.ExcludedNodes[node] && node != c.source && node != c.target {
 				continue
 			}
-			var terms []lp.Term
-			for _, eid := range in.Graph.IncidentEdges(node) {
+			terms = terms[:0]
+			for _, eid := range in.Graph.AdjacentEdges(node) {
 				if in.Capacity(eid) <= capacityEpsilon {
 					continue
 				}
 				e := in.Graph.Edge(eid)
-				outVar := vars[arcKey{ci, eid, e.From == node}]
-				inVar := vars[arcKey{ci, eid, e.From != node}]
+				outVar := arcVar(ci, eid, e.From == node)
+				inVar := arcVar(ci, eid, e.From != node)
 				terms = append(terms,
 					lp.Term{Var: outVar, Coef: 1},
 					lp.Term{Var: inVar, Coef: -1},
@@ -142,7 +163,10 @@ func MaxSplit(in *Instance, split demand.Pair, via graph.NodeID) (float64, error
 		}
 	}
 
-	sol := prob.Solve()
+	if solver == nil {
+		solver = lp.NewSolver()
+	}
+	sol := solver.Solve(prob, lp.Options{})
 	if sol.Status != lp.StatusOptimal {
 		return 0, nil
 	}

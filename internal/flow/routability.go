@@ -32,11 +32,11 @@ func CheckRoutability(in *Instance, opts Options) Result {
 
 	useExact := opts.Mode == ModeExact
 	if opts.Mode == ModeAuto {
-		numVars := 2 * len(in.UsableEdges()) * len(in.ActiveDemands())
+		numVars := 2 * in.NumUsableEdges() * len(in.ActiveDemands())
 		useExact = numVars <= opts.MaxLPVariables
 	}
 	if useExact {
-		return checkRoutabilityLP(in)
+		return checkRoutabilityLP(in, opts)
 	}
 	routing, ok := ConstructiveRouting(in)
 	return Result{Routable: ok, Exact: false, Routing: routing}
@@ -71,15 +71,23 @@ func usableCapacityMap(in *Instance) map[graph.EdgeID]float64 {
 }
 
 // checkRoutabilityLP solves the exact feasibility LP of system (2).
-func checkRoutabilityLP(in *Instance) Result {
+func checkRoutabilityLP(in *Instance, opts Options) Result {
 	prob, vars, usable := buildRoutabilityLP(in)
-	sol := prob.Solve()
-	if sol.Status != lp.StatusOptimal {
+	sol := prob.SolveWithOptions(lp.Options{Dense: opts.DenseLP})
+	switch sol.Status {
+	case lp.StatusOptimal:
+		return Result{
+			Routable: true,
+			Exact:    true,
+			Routing:  extractRouting(in, sol, vars, usable),
+		}
+	case lp.StatusInfeasible:
 		return Result{Routable: false, Exact: true}
-	}
-	return Result{
-		Routable: true,
-		Exact:    true,
-		Routing:  extractRouting(in, sol, vars, usable),
+	default:
+		// An iteration-limited solve proves nothing either way; answer with
+		// the sufficient (but inexact) constructive test instead of
+		// conflating the limit with infeasibility.
+		routing, ok := ConstructiveRouting(in)
+		return Result{Routable: ok, Exact: false, Routing: routing}
 	}
 }

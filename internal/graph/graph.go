@@ -157,6 +157,12 @@ func (g *Graph) IncidentEdges(v NodeID) []EdgeID {
 	return out
 }
 
+// AdjacentEdges returns the IDs of the edges incident to v without copying.
+// The returned slice is owned by the graph and MUST be treated as
+// read-only; hot paths use it to avoid the per-call allocation of
+// IncidentEdges.
+func (g *Graph) AdjacentEdges(v NodeID) []EdgeID { return g.adj[v] }
+
 // Degree returns the number of edges incident to v.
 func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
 

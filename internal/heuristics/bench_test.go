@@ -1,0 +1,52 @@
+package heuristics
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/milp"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// optBenchScenario mirrors the Quick-profile Bell-Canada setting used by the
+// ISP benchmarks (4 far-apart pairs, 10 units each, complete destruction).
+func optBenchScenario(b *testing.B) *scenario.Scenario {
+	b.Helper()
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(1))
+	dg, err := demand.GenerateFarApartPairs(g, 4, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := disruption.Complete(g)
+	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+}
+
+// BenchmarkOPT_NodeThroughput measures branch-and-bound node throughput on
+// the MinR MILP: every node is one LP relaxation, warm-started from its
+// parent's basis, so nodes/sec tracks the LP re-solve cost directly.
+func BenchmarkOPT_NodeThroughput(b *testing.B) {
+	s := optBenchScenario(b)
+	model := buildOptModel(s)
+	ctx := context.Background()
+	totalNodes := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := milp.Solve(ctx, milp.Problem{LP: model.problem, Binary: model.binaries},
+			milp.Options{MaxNodes: 300, TimeLimit: 5 * time.Minute})
+		if sol.Status == milp.StatusUnbounded {
+			b.Fatalf("unexpected status %v", sol.Status)
+		}
+		totalNodes += sol.NodesExplored
+	}
+	b.StopTimer()
+	if totalNodes > 0 {
+		b.ReportMetric(float64(totalNodes)/b.Elapsed().Seconds(), "nodes/sec")
+	}
+}

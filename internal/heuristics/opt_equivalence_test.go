@@ -1,0 +1,65 @@
+package heuristics
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/disruption"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/milp"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/topology"
+)
+
+// TestOptMILPSparseMatchesDenseLP solves the MinR MILP on the invariants
+// topologies with both LP backends for the branch-and-bound relaxations:
+// the warm-started sparse revised simplex and the legacy dense tableau.
+// The explored trees may differ (different optimal vertices steer the
+// branching), but the proven optimal objective must agree within 1e-6.
+func TestOptMILPSparseMatchesDenseLP(t *testing.T) {
+	ctx := context.Background()
+	for _, topo := range []string{"grid", "erdos-renyi"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			var (
+				g   *graph.Graph
+				err error
+			)
+			if topo == "grid" {
+				g, err = topology.Grid(3, 3, topology.DefaultConfig(20))
+			} else {
+				g, err = topology.ErdosRenyi(10, 0.4, topology.DefaultConfig(20), rng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			dg, err := demand.GenerateFarApartPairs(g, 2, 5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := disruption.Geographic(g, disruption.GeographicConfig{Auto: true, Variance: 30, PeakProbability: 1}, rng)
+			s := &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}
+
+			model := buildOptModel(s)
+			base := milp.Options{MaxNodes: 20000, TimeLimit: time.Minute}
+			sparseOpts, denseOpts := base, base
+			denseOpts.DenseLP = true
+			sparse := milp.Solve(ctx, milp.Problem{LP: model.problem, Binary: model.binaries}, sparseOpts)
+			dense := milp.Solve(ctx, milp.Problem{LP: model.problem, Binary: model.binaries}, denseOpts)
+			if sparse.Status != dense.Status {
+				t.Fatalf("%s/%d: status sparse=%v dense=%v", topo, seed, sparse.Status, dense.Status)
+			}
+			if sparse.Status != milp.StatusOptimal {
+				continue // both hit a limit or proved infeasibility: agreement is enough
+			}
+			if math.Abs(sparse.Objective-dense.Objective) > 1e-6*(1+math.Abs(dense.Objective)) {
+				t.Errorf("%s/%d: objective sparse=%.9f dense=%.9f",
+					topo, seed, sparse.Objective, dense.Objective)
+			}
+		}
+	}
+}

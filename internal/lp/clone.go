@@ -12,12 +12,13 @@ func (p *Problem) CloneStructure() *Problem {
 		sense:     p.sense,
 		objective: append([]float64(nil), p.objective...),
 		upper:     append([]float64(nil), p.upper...),
+		lower:     append([]float64(nil), p.lower...),
 		names:     append([]string(nil), p.names...),
 		rows:      make([]Constraint, len(p.rows)),
 	}
 	for i, r := range p.rows {
 		c.rows[i] = Constraint{
-			Terms: append([]Term(nil), r.Terms...),
+			Terms: c.copyTerms(r.Terms),
 			Op:    r.Op,
 			RHS:   r.RHS,
 			Name:  r.Name,

@@ -1,20 +1,29 @@
-// Package lp implements a self-contained dense two-phase primal simplex
-// solver for linear programs in the form
+// Package lp implements a self-contained sparse revised simplex solver for
+// linear programs in the form
 //
 //	optimise   c^T x
 //	subject to a_i^T x {<=, =, >=} b_i   for every constraint i
-//	           0 <= x_j <= u_j           for every variable j
+//	           l_j <= x_j <= u_j         for every variable j
 //
 // It is the optimisation substrate of the network-recovery library: the
 // routability test of §IV-A, the maximum-split LP of §IV-C, the
 // multi-commodity relaxation of §VI-A and the branch-and-bound MILP used for
 // the OPT baseline are all built on top of it.
 //
-// The solver is deliberately simple (dense tableau, Bland's anti-cycling
-// rule after a Dantzig warm-up) but entirely dependency-free. Problem sizes
-// in this repository stay within a few thousand rows and columns; callers
-// that may exceed that (the routability test on very large topologies) use a
-// constructive fallback in the flow package.
+// The solver is a bounded-variable revised simplex over a CSC (column
+// compressed) matrix: finite variable bounds are handled natively in the
+// ratio test (no synthetic bound rows), the basis inverse is maintained
+// explicitly with rank-one updates and periodic refactorisation, pricing is
+// rotating-partial Dantzig with a Bland's-rule fallback for termination, and
+// a dual simplex restores feasibility after bound or right-hand-side changes
+// under a warm-started basis. Callers on hot paths hold a Solver (and pass
+// Options.WarmStart) so that factorisations, work buffers and bases survive
+// across related solves; one-shot callers use Problem.Solve.
+//
+// The previous dense two-phase tableau implementation is retained behind
+// Options.Dense as an internal fallback and as the reference oracle for the
+// differential tests in equivalence_test.go. It remains entirely
+// dependency-free, like the rest of the package.
 package lp
 
 import (
@@ -93,8 +102,55 @@ type Problem struct {
 	sense     Sense
 	objective []float64
 	upper     []float64 // +Inf when unbounded above
+	lower     []float64 // nil when every lower bound is zero
 	names     []string
 	rows      []Constraint
+
+	// termArena chunk-allocates the Terms storage of constraint rows so that
+	// building a problem costs one allocation per few thousand terms instead
+	// of one per row (the split LP is rebuilt every ISP iteration).
+	termArena []Term
+
+	// version counts structural mutations (new variables or rows). A Solver
+	// reuses its standard-form matrix and factorisation while the version is
+	// unchanged, so bound/cost/RHS edits between solves stay cheap.
+	version int
+}
+
+// Reserve pre-allocates capacity for nVars additional variables and nRows
+// additional constraint rows, eliminating incremental slice growth when the
+// final problem size is known up front.
+func (p *Problem) Reserve(nVars, nRows int) {
+	if want := len(p.objective) + nVars; cap(p.objective) < want {
+		p.objective = append(make([]float64, 0, want), p.objective...)
+		p.upper = append(make([]float64, 0, want), p.upper...)
+		p.names = append(make([]string, 0, want), p.names...)
+		if p.lower != nil {
+			p.lower = append(make([]float64, 0, want), p.lower...)
+		}
+	}
+	if want := len(p.rows) + nRows; cap(p.rows) < want {
+		p.rows = append(make([]Constraint, 0, want), p.rows...)
+	}
+}
+
+// copyTerms stores a private copy of terms in the problem's chunked arena.
+// Chunks are never grown in place, so previously returned slices stay valid.
+func (p *Problem) copyTerms(terms []Term) []Term {
+	n := len(terms)
+	if n == 0 {
+		return nil
+	}
+	if len(p.termArena)+n > cap(p.termArena) {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		p.termArena = make([]Term, 0, size)
+	}
+	start := len(p.termArena)
+	p.termArena = append(p.termArena, terms...)
+	return p.termArena[start : start+n : start+n]
 }
 
 // New returns an empty problem with the given optimisation sense.
@@ -115,7 +171,11 @@ func (p *Problem) AddBoundedVariable(objCoef, upper float64, name string) int {
 	idx := len(p.objective)
 	p.objective = append(p.objective, objCoef)
 	p.upper = append(p.upper, upper)
+	if p.lower != nil {
+		p.lower = append(p.lower, 0)
+	}
 	p.names = append(p.names, name)
+	p.version++
 	return idx
 }
 
@@ -140,6 +200,53 @@ func (p *Problem) SetUpperBound(v int, upper float64) error {
 // UpperBound returns the upper bound of variable v (+Inf if unbounded).
 func (p *Problem) UpperBound(v int) float64 { return p.upper[v] }
 
+// SetBounds overwrites both bounds of variable v. The lower bound must be
+// finite and not exceed the upper bound. Setting lower == upper fixes the
+// variable, which the branch-and-bound MILP solver uses to impose integer
+// fixings without altering the problem structure (so a parent basis stays
+// warm-startable in the children).
+func (p *Problem) SetBounds(v int, lower, upper float64) error {
+	if v < 0 || v >= len(p.objective) {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	if math.IsInf(lower, 0) || math.IsNaN(lower) || math.IsNaN(upper) || lower > upper {
+		return fmt.Errorf("lp: invalid bounds [%g, %g] for variable %d", lower, upper, v)
+	}
+	if p.lower == nil {
+		if lower == 0 {
+			p.upper[v] = upper
+			return nil
+		}
+		p.lower = make([]float64, len(p.objective))
+	}
+	p.lower[v] = lower
+	p.upper[v] = upper
+	return nil
+}
+
+// LowerBound returns the lower bound of variable v (zero unless overridden
+// with SetBounds).
+func (p *Problem) LowerBound(v int) float64 { return p.lowerOf(v) }
+
+func (p *Problem) lowerOf(v int) float64 {
+	if p.lower == nil {
+		return 0
+	}
+	return p.lower[v]
+}
+
+// SetRHS overwrites the right-hand side of constraint row i. Like SetBounds
+// it does not change the problem structure, so warm starts across the edit
+// remain valid; the flow package uses it to refresh residual capacities
+// between consecutive routability tests.
+func (p *Problem) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.rows) {
+		return fmt.Errorf("lp: constraint %d out of range", i)
+	}
+	p.rows[i].RHS = rhs
+	return nil
+}
+
 // NumVariables returns the number of variables added so far.
 func (p *Problem) NumVariables() int { return len(p.objective) }
 
@@ -155,12 +262,13 @@ func (p *Problem) AddConstraint(terms []Term, op ConstraintOp, rhs float64, name
 		}
 	}
 	row := Constraint{
-		Terms: append([]Term(nil), terms...),
+		Terms: p.copyTerms(terms),
 		Op:    op,
 		RHS:   rhs,
 		Name:  name,
 	}
 	p.rows = append(p.rows, row)
+	p.version++
 	return nil
 }
 
@@ -170,6 +278,11 @@ type Solution struct {
 	Objective  float64
 	Values     []float64
 	Iterations int
+	// Basis, set on optimal solves by the sparse solver, snapshots the final
+	// simplex basis. Passing it back via Options.WarmStart to a later solve
+	// of a same-structured problem (bounds, costs and right-hand sides may
+	// differ) typically re-solves in a handful of pivots.
+	Basis *Basis
 }
 
 // Value returns the value of variable v in the solution (0 when the solution
@@ -184,11 +297,25 @@ func (s Solution) Value(v int) float64 {
 // Options tune the solver.
 type Options struct {
 	// MaxIterations bounds the total number of pivots across both phases.
-	// Zero means a generous default proportional to the problem size.
+	// Zero means a generous default proportional to the sparse problem size
+	// (constraint rows plus structural and slack columns; variable bounds are
+	// handled natively and no longer inflate the count). Exhausting the
+	// budget yields StatusIterLimit, which is distinct from
+	// StatusInfeasible: callers that need a definitive feasibility answer
+	// must treat it as "unknown", not "no".
 	MaxIterations int
 	// Tolerance is the numerical tolerance for optimality and feasibility
 	// tests. Zero means 1e-9.
 	Tolerance float64
+	// WarmStart, when non-nil, is a basis snapshot from a previous solve of
+	// a problem with identical structure. Invalid or stale bases are
+	// detected and silently fall back to a cold start.
+	WarmStart *Basis
+	// Dense forces the legacy dense two-phase tableau solver. It is kept as
+	// an internal fallback and for differential testing against the sparse
+	// revised simplex; it ignores WarmStart and expands finite bounds into
+	// explicit rows.
+	Dense bool
 }
 
 func (o Options) withDefaults(rows, cols int) Options {
@@ -206,9 +333,63 @@ func (p *Problem) Solve() Solution {
 	return p.SolveWithOptions(Options{})
 }
 
-// SolveWithOptions solves the problem with the given options.
+// SolveWithOptions solves the problem with the given options using the
+// sparse revised simplex (or the legacy dense tableau when opts.Dense is
+// set). Callers that solve many related problems should hold a Solver and
+// call its Solve method instead, which reuses buffers and factorisations
+// across solves.
 func (p *Problem) SolveWithOptions(opts Options) Solution {
+	if opts.Dense {
+		return solveDense(p, opts)
+	}
+	return NewSolver().Solve(p, opts)
+}
+
+// solveDense runs the legacy dense two-phase tableau solver. The tableau
+// models only 0 <= x <= u, so non-zero lower bounds are handled by the exact
+// variable shift y = x - l (bounds become 0 <= y <= u-l, each row's RHS
+// drops sum(a_ij * l_j)), and the solution is shifted back afterwards. This
+// keeps the dense path a faithful oracle for any bounds the sparse solver
+// accepts, including negative lower bounds.
+func solveDense(p *Problem, opts Options) Solution {
+	shifted := false
+	if p.lower != nil {
+		for _, lo := range p.lower {
+			if lo != 0 {
+				shifted = true
+				break
+			}
+		}
+	}
+	orig := p
+	if shifted {
+		c := p.CloneStructure()
+		c.lower = nil
+		for v, lo := range p.lower {
+			if lo != 0 {
+				c.upper[v] = p.upper[v] - lo // +Inf stays +Inf
+			}
+		}
+		for i := range c.rows {
+			adj := 0.0
+			for _, t := range c.rows[i].Terms {
+				adj += t.Coef * p.lowerOf(t.Var)
+			}
+			c.rows[i].RHS -= adj
+		}
+		p = c
+	}
 	t := newTableau(p)
-	opts = opts.withDefaults(t.m, t.n)
-	return t.solve(opts)
+	o := opts
+	o.WarmStart = nil
+	o = o.withDefaults(t.m, t.n)
+	sol := t.solve(o)
+	if shifted && sol.Status == StatusOptimal {
+		for v := range sol.Values {
+			lo := orig.lowerOf(v)
+			sol.Values[v] += lo
+			sol.Objective += orig.objective[v] * lo
+		}
+	}
+	return sol
 }

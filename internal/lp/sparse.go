@@ -1,0 +1,207 @@
+package lp
+
+import "math"
+
+// stdForm is the sparse standard-form snapshot of a Problem:
+//
+//	A x = b,  lower <= x <= upper
+//
+// where x is [structural | slack/surplus] and A is stored column-wise (CSC).
+// Inequality rows receive one slack (<=, coefficient +1) or surplus (>=,
+// coefficient -1) variable bounded to [0, +Inf); equality rows receive none.
+// Finite variable bounds are NOT expanded into rows: the bounded-variable
+// simplex of Solver handles them natively in the ratio test.
+//
+// The sparsity pattern (colPtr/rowIdx/colVal) depends only on the problem
+// structure (variables and constraint rows); bounds, costs and right-hand
+// sides are refreshed from the Problem before every solve so that callers may
+// mutate them (SetBounds, SetObjectiveCoef, SetRHS) between solves without a
+// rebuild.
+type stdForm struct {
+	m       int // constraint rows
+	nStruct int // structural variables
+	nStd    int // structural + slack/surplus variables
+
+	colPtr []int32
+	rowIdx []int32
+	colVal []float64
+
+	// slackOf[i] is the slack/surplus column of row i, -1 for equality rows.
+	// slackSign[i] is its coefficient (+1 for <=, -1 for >=).
+	slackOf   []int32
+	slackSign []float64
+
+	// Refreshed per solve. The arrays are sized nStd+m so that the solver can
+	// use the trailing m entries for phase-1 artificial variables.
+	lower, upper []float64
+	cost         []float64
+	b            []float64
+}
+
+// build (re)constructs the sparsity pattern from the problem structure.
+func (sf *stdForm) build(p *Problem) {
+	sf.m = len(p.rows)
+	sf.nStruct = len(p.objective)
+
+	// Count slack columns and per-column nonzeros.
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.Op != Equal {
+			nSlack++
+		}
+	}
+	sf.nStd = sf.nStruct + nSlack
+
+	counts := make([]int32, sf.nStd)
+	for _, r := range p.rows {
+		for _, t := range r.Terms {
+			counts[t.Var]++
+		}
+	}
+	slackCol := sf.nStruct
+	sf.slackOf = resizeInt32(sf.slackOf, sf.m)
+	sf.slackSign = resizeFloat(sf.slackSign, sf.m)
+	for i, r := range p.rows {
+		if r.Op == Equal {
+			sf.slackOf[i] = -1
+			sf.slackSign[i] = 0
+			continue
+		}
+		counts[slackCol] = 1
+		sf.slackOf[i] = int32(slackCol)
+		if r.Op == LessEq {
+			sf.slackSign[i] = 1
+		} else {
+			sf.slackSign[i] = -1
+		}
+		slackCol++
+	}
+
+	sf.colPtr = resizeInt32(sf.colPtr, sf.nStd+1)
+	sf.colPtr[0] = 0
+	for j := 0; j < sf.nStd; j++ {
+		sf.colPtr[j+1] = sf.colPtr[j] + counts[j]
+	}
+	nnz := int(sf.colPtr[sf.nStd])
+	sf.rowIdx = resizeInt32(sf.rowIdx, nnz)
+	sf.colVal = resizeFloat(sf.colVal, nnz)
+
+	// Fill: walk rows, scatter into columns. Duplicate variables within a row
+	// are summed (matching the dense tableau's semantics), which requires a
+	// merge pass per column afterwards; rows with duplicates are rare, so we
+	// first scatter raw entries and then compact duplicates in place.
+	next := make([]int32, sf.nStd)
+	copy(next, sf.colPtr[:sf.nStd])
+	for i, r := range p.rows {
+		for _, t := range r.Terms {
+			k := next[t.Var]
+			sf.rowIdx[k] = int32(i)
+			sf.colVal[k] = t.Coef
+			next[t.Var] = k + 1
+		}
+		if sc := sf.slackOf[i]; sc >= 0 {
+			k := next[sc]
+			sf.rowIdx[k] = int32(i)
+			sf.colVal[k] = sf.slackSign[i]
+			next[sc] = k + 1
+		}
+	}
+	sf.compactDuplicates()
+
+	total := sf.nStd + sf.m
+	sf.lower = resizeFloat(sf.lower, total)
+	sf.upper = resizeFloat(sf.upper, total)
+	sf.cost = resizeFloat(sf.cost, total)
+	sf.b = resizeFloat(sf.b, sf.m)
+}
+
+// compactDuplicates merges repeated row entries within each column (a row
+// listing the same variable twice contributes the summed coefficient). The
+// column entries produced by build are ordered by row already, except that a
+// duplicate appears adjacent to its sibling only if the duplicates were
+// adjacent in the row; handle the general case with a small per-column merge.
+func (sf *stdForm) compactDuplicates() {
+	write := int32(0)
+	newPtr := make([]int32, sf.nStd+1)
+	for j := 0; j < sf.nStd; j++ {
+		newPtr[j] = write
+		start, end := sf.colPtr[j], sf.colPtr[j+1]
+		for k := start; k < end; k++ {
+			row, val := sf.rowIdx[k], sf.colVal[k]
+			merged := false
+			for w := newPtr[j]; w < write; w++ {
+				if sf.rowIdx[w] == row {
+					sf.colVal[w] += val
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				sf.rowIdx[write] = row
+				sf.colVal[write] = val
+				write++
+			}
+		}
+	}
+	newPtr[sf.nStd] = write
+	copy(sf.colPtr, newPtr)
+	sf.rowIdx = sf.rowIdx[:write]
+	sf.colVal = sf.colVal[:write]
+}
+
+// refresh re-reads bounds, costs and right-hand sides from the problem. Costs
+// are normalised to minimisation. Artificial entries (the trailing m slots)
+// are reset to fixed-at-zero with zero cost; the solver re-opens them as
+// needed during phase 1.
+func (sf *stdForm) refresh(p *Problem) {
+	for j := 0; j < sf.nStruct; j++ {
+		sf.lower[j] = p.lowerOf(j)
+		sf.upper[j] = p.upper[j]
+		if p.sense == Maximize {
+			sf.cost[j] = -p.objective[j]
+		} else {
+			sf.cost[j] = p.objective[j]
+		}
+	}
+	for j := sf.nStruct; j < sf.nStd; j++ {
+		sf.lower[j] = 0
+		sf.upper[j] = math.Inf(1)
+		sf.cost[j] = 0
+	}
+	for j := sf.nStd; j < sf.nStd+sf.m; j++ {
+		sf.lower[j] = 0
+		sf.upper[j] = 0
+		sf.cost[j] = 0
+	}
+	for i, r := range p.rows {
+		sf.b[i] = r.RHS
+	}
+}
+
+// nnz returns the number of stored nonzeros.
+func (sf *stdForm) nnz() int { return len(sf.colVal) }
+
+// column invokes fn(row, value) for every nonzero of standard-form column j,
+// including artificial columns (a single ±1 entry supplied by the solver's
+// sign array).
+//
+// It is written as a method returning slices rather than a callback so the
+// hot loops below can iterate without closure overhead.
+func (sf *stdForm) column(j int) ([]int32, []float64) {
+	start, end := sf.colPtr[j], sf.colPtr[j+1]
+	return sf.rowIdx[start:end], sf.colVal[start:end]
+}
+
+func resizeFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

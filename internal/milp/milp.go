@@ -85,11 +85,24 @@ type Options struct {
 	// the number of explored nodes. The callback runs on the solver
 	// goroutine and must be cheap.
 	Progress func(incumbent, bound float64, nodes int, improved bool)
+	// DenseLP forces the legacy dense tableau solver for every LP
+	// relaxation (no warm starts). Testing fallback used to cross-check the
+	// sparse revised simplex; production paths leave it false.
+	DenseLP bool
+	// lpMaxIterations overrides the pivot budget of every LP relaxation
+	// (0 = solver default). Unexported: used by tests to exercise the
+	// iteration-limited-relaxation path deterministically.
+	lpMaxIterations int
 }
 
 // progressInterval is the node-count period of the non-incumbent Progress
 // callbacks.
 const progressInterval = 100
+
+// warmBasisQueueCap bounds how many open nodes may carry a warm-start basis
+// snapshot: each basis is O(rows) in size, so an unbounded best-first heap
+// would otherwise retain unbounded warm-start memory on hard instances.
+const warmBasisQueueCap = 8192
 
 func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
@@ -116,10 +129,14 @@ type Solution struct {
 	Gap float64
 }
 
-// node is a branch-and-bound tree node: a set of fixed binary variables.
+// node is a branch-and-bound tree node: a set of fixed binary variables plus
+// the parent's optimal LP basis, which warm-starts the node's relaxation
+// (the child differs from the parent by a single bound tightening, the
+// textbook dual-simplex re-solve).
 type node struct {
 	fixed map[int]float64
 	bound float64 // parent LP bound (for best-first ordering)
+	basis *lp.Basis
 }
 
 type nodeQueue struct {
@@ -174,16 +191,25 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 	queue := &nodeQueue{min: minimize}
 	heap.Init(queue)
 	rootBound := math.Inf(-1)
-	if minimize {
-		rootBound = math.Inf(-1)
-	} else {
+	if !minimize {
 		rootBound = math.Inf(1)
 	}
 	heap.Push(queue, &node{fixed: map[int]float64{}, bound: rootBound})
 
+	relaxer := newRelaxer(p, opts)
+
 	nodes := 0
 	bestBound := rootBound
 	sawFeasibleRelaxation := false
+	sawIterLimit := false
+	// iterDropBound tracks the best bound among subtrees dropped because
+	// their relaxation hit the LP iteration limit: the parent's objective is
+	// still a valid bound for the discarded subtree, and folding it into the
+	// final bound keeps Bound/Gap honest about the unexplored work.
+	iterDropBound := math.Inf(1)
+	if !minimize {
+		iterDropBound = math.Inf(-1)
+	}
 	hitLimit := false
 
 	for queue.Len() > 0 {
@@ -197,14 +223,22 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 			opts.Progress(incumbentObj, cur.bound, nodes, false)
 		}
 
-		relax := solveRelaxation(p, cur.fixed)
+		relax := relaxer.solve(cur)
 		switch relax.Status {
 		case lp.StatusInfeasible:
 			continue
 		case lp.StatusUnbounded:
 			return Solution{Status: StatusUnbounded, NodesExplored: nodes}
 		case lp.StatusIterLimit:
-			// Treat as unexplorable; prune conservatively.
+			// The relaxation's answer is unknown, not "infeasible": drop the
+			// node but remember that the search is no longer exhaustive and
+			// keep the subtree's bound alive for the final gap computation.
+			sawIterLimit = true
+			if minimize {
+				iterDropBound = math.Min(iterDropBound, cur.bound)
+			} else {
+				iterDropBound = math.Max(iterDropBound, cur.bound)
+			}
 			continue
 		}
 		sawFeasibleRelaxation = true
@@ -239,9 +273,17 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 			continue
 		}
 
-		// Branch: fix the variable to 0 and to 1.
+		// Branch: fix the variable to 0 and to 1. Both children share this
+		// node's optimal basis as their warm start. On very deep searches the
+		// open-node heap can hold tens of thousands of nodes; beyond a cap
+		// the children are queued without a basis (they cold-start if ever
+		// explored) so the retained warm-start memory stays bounded.
+		childBasis := relax.Basis
+		if queue.Len() >= warmBasisQueueCap {
+			childBasis = nil
+		}
 		for _, fixVal := range []float64{0, 1} {
-			child := &node{fixed: make(map[int]float64, len(cur.fixed)+1), bound: relax.Objective}
+			child := &node{fixed: make(map[int]float64, len(cur.fixed)+1), bound: relax.Objective, basis: childBasis}
 			for k, v := range cur.fixed {
 				child.fixed[k] = v
 			}
@@ -251,7 +293,8 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 	}
 
 	// Best remaining bound: the better of the open-node bounds (if the search
-	// stopped early) or the incumbent itself (if the tree was exhausted).
+	// stopped early) or the incumbent itself (if the tree was exhausted),
+	// weakened by any subtree dropped on an LP iteration limit.
 	if queue.Len() > 0 {
 		bestBound = queue.items[0].bound
 		for _, n := range queue.items {
@@ -265,17 +308,26 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 	} else {
 		bestBound = incumbentObj
 	}
+	if sawIterLimit {
+		if minimize {
+			bestBound = math.Min(bestBound, iterDropBound)
+		} else {
+			bestBound = math.Max(bestBound, iterDropBound)
+		}
+	}
 
 	haveIncumbent := incumbentValues != nil || opts.WarmStart != nil
 	switch {
-	case !haveIncumbent && !sawFeasibleRelaxation && !hitLimit:
+	case !haveIncumbent && !sawFeasibleRelaxation && !hitLimit && !sawIterLimit:
 		return Solution{Status: StatusInfeasible, NodesExplored: nodes}
 	case !haveIncumbent:
 		return Solution{Status: StatusLimit, NodesExplored: nodes, Bound: bestBound}
 	}
 
 	status := StatusOptimal
-	if hitLimit && queue.Len() > 0 {
+	if (hitLimit && queue.Len() > 0) || sawIterLimit {
+		// A drained tree with dropped subtrees is NOT a proof of optimality:
+		// a better integer solution may live in a discarded subtree.
 		status = StatusFeasible
 	}
 	gap := math.Abs(incumbentObj-bestBound) / math.Max(1, math.Abs(incumbentObj))
@@ -293,28 +345,73 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 	}
 }
 
-// solveRelaxation solves the LP relaxation with the given binary fixings.
-// Fixings are imposed with temporary bounds on a clone of the problem.
-func solveRelaxation(p Problem, fixed map[int]float64) lp.Solution {
-	prob := cloneForRelaxation(p, fixed)
-	return prob.Solve()
+// relaxer solves the per-node LP relaxations on ONE shared clone of the
+// problem, imposing binary fixings as temporary equal bounds instead of
+// extra equality rows. Because fixings never change the problem structure,
+// every node's relaxation can warm-start from its parent's optimal basis
+// (a single tightened bound away) and the underlying lp.Solver reuses its
+// factorisation and work buffers across the whole tree.
+type relaxer struct {
+	prob   *lp.Problem
+	binary []int
+	pos    map[int]int // variable index -> position in binary/baseLo/baseUp
+	baseLo []float64   // relaxation bounds of the binary variables
+	baseUp []float64
+	solver *lp.Solver
+	dense  bool
+	lpIter int // LP pivot budget override (0 = solver default); set by tests
 }
 
-// cloneForRelaxation rebuilds the LP with binary variables bounded to [0,1]
-// and fixed variables pinned via equality constraints.
-func cloneForRelaxation(p Problem, fixed map[int]float64) *lp.Problem {
-	clone := p.LP.CloneStructure()
-	for _, v := range p.Binary {
-		if clone.UpperBound(v) > 1 {
-			_ = clone.SetUpperBound(v, 1)
+func newRelaxer(p Problem, opts Options) *relaxer {
+	r := &relaxer{
+		prob:   p.LP.CloneStructure(),
+		binary: p.Binary,
+		pos:    make(map[int]int, len(p.Binary)),
+		baseLo: make([]float64, len(p.Binary)),
+		baseUp: make([]float64, len(p.Binary)),
+		solver: lp.NewSolver(),
+		dense:  opts.DenseLP,
+		lpIter: opts.lpMaxIterations,
+	}
+	for i, v := range p.Binary {
+		up := r.prob.UpperBound(v)
+		if up > 1 {
+			up = 1
+		}
+		lo := r.prob.LowerBound(v)
+		_ = r.prob.SetBounds(v, lo, up)
+		r.baseLo[i], r.baseUp[i] = lo, up
+		r.pos[v] = i
+	}
+	return r
+}
+
+// solve runs the node's LP relaxation: apply the fixings, solve (warm-started
+// from the parent basis when available), restore the relaxation bounds. A
+// fixing outside the variable's declared bounds makes the node infeasible
+// outright — overwriting the bound would silently widen the model (a binary
+// variable may carry a tighter bound, e.g. an upper bound of 0).
+func (r *relaxer) solve(cur *node) lp.Solution {
+	for v, val := range cur.fixed {
+		i := r.pos[v]
+		if val < r.baseLo[i] || val > r.baseUp[i] {
+			return lp.Solution{Status: lp.StatusInfeasible}
 		}
 	}
-	for v, val := range fixed {
-		// Pin with an equality row; simpler than bound surgery and the row
-		// count stays small because fixings grow one per tree level.
-		_ = clone.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.Equal, val, "fix")
+	for v, val := range cur.fixed {
+		_ = r.prob.SetBounds(v, val, val)
 	}
-	return clone
+	opts := lp.Options{Dense: r.dense, MaxIterations: r.lpIter}
+	if !r.dense {
+		opts.WarmStart = cur.basis
+	}
+	sol := r.solver.Solve(r.prob, opts)
+	for i, v := range r.binary {
+		if _, ok := cur.fixed[v]; ok {
+			_ = r.prob.SetBounds(v, r.baseLo[i], r.baseUp[i])
+		}
+	}
+	return sol
 }
 
 // senseOf exposes the optimisation sense of an lp.Problem via its public

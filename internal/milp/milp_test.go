@@ -185,3 +185,55 @@ func mustAdd(t *testing.T, p *lp.Problem, terms []lp.Term, op lp.ConstraintOp, r
 		t.Fatal(err)
 	}
 }
+
+// TestFixingOutsideDeclaredBoundsPrunesChild pins the bound-fixing guard: a
+// binary variable may carry a tighter declared bound (here an upper bound of
+// 0.5), and the val=1 branch must be pruned as infeasible instead of
+// silently widening the bound to [1,1].
+func TestFixingOutsideDeclaredBoundsPrunesChild(t *testing.T) {
+	prob := lp.New(lp.Maximize)
+	x := prob.AddBoundedVariable(1, 0.5, "x")
+	y := prob.AddVariable(0, "y")
+	if err := prob.AddConstraint([]lp.Term{{Var: y, Coef: 1}}, lp.LessEq, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{x}}, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	// The only integral value inside [0, 0.5] is 0.
+	if sol.Objective > 1e-9 || sol.Values[x] > 1e-9 {
+		t.Errorf("objective = %f x = %f, want 0 (x=1 violates its declared bound)",
+			sol.Objective, sol.Values[x])
+	}
+}
+
+// TestIterationLimitedRelaxationNotClaimedOptimal pins the exhaustiveness
+// accounting: when a subtree is dropped because its LP relaxation hit the
+// pivot budget, the search must not report the incumbent as proven optimal
+// with a zero gap.
+func TestIterationLimitedRelaxationNotClaimedOptimal(t *testing.T) {
+	prob := lp.New(lp.Minimize)
+	x := prob.AddBoundedVariable(1, 1, "x")
+	y := prob.AddBoundedVariable(1, 1, "y")
+	if err := prob.AddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.GreaterEq, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		// One pivot is never enough for the phase-1 start, so every
+		// relaxation is dropped on StatusIterLimit.
+		lpMaxIterations:    1,
+		WarmStart:          []float64{1, 1},
+		WarmStartObjective: 2,
+	}
+	sol := Solve(context.Background(), Problem{LP: prob, Binary: []int{x, y}}, opts)
+	if sol.Status == StatusOptimal {
+		t.Fatalf("claimed optimality although the root subtree was dropped on an iteration limit: %+v", sol)
+	}
+	if sol.Status == StatusInfeasible {
+		t.Fatalf("iteration limit conflated with infeasibility: %+v", sol)
+	}
+	if sol.Gap == 0 {
+		t.Errorf("gap = 0 despite an unexplored subtree: %+v", sol)
+	}
+}
