@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -13,7 +15,9 @@ import (
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
 	"netrecovery/internal/flow"
+	"netrecovery/internal/heuristics"
 	"netrecovery/internal/lp"
+	"netrecovery/internal/milp"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/topology"
 )
@@ -37,20 +41,41 @@ type benchReport struct {
 }
 
 // measure runs fn reps times and records wall time and heap allocations.
+// The reps are split into up to three chunks and ns/op is the fastest
+// chunk's: the rows feed the CI regression gate, where a transient burst of
+// scheduler contention on a shared runner must not read as a code
+// regression. Allocation counts are averaged over every rep (they do not
+// suffer timing noise).
 func measure(name string, reps int, fn func()) benchRecord {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < reps; i++ {
-		fn()
+	chunks := 3
+	if reps < chunks {
+		chunks = reps
 	}
-	elapsed := time.Since(start)
+	per := reps / chunks
+	bestNs := math.Inf(1)
+	done := 0
+	for c := 0; c < chunks; c++ {
+		n := per
+		if c == chunks-1 {
+			n = reps - done
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / float64(n); ns < bestNs {
+			bestNs = ns
+		}
+		done += n
+	}
 	runtime.ReadMemStats(&after)
 	return benchRecord{
 		Name:        name,
 		Reps:        reps,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(reps),
+		NsPerOp:     bestNs,
 		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(reps),
 		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(reps),
 	}
@@ -105,13 +130,14 @@ func benchLPScenario() (*scenario.Scenario, error) {
 	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}, nil
 }
 
-// runBenchJSON executes the LP/ISP micro-benchmark suite and writes the
-// trajectory file (canonically BENCH_lp.json) so that future performance PRs
-// have a recorded baseline to compare against.
-func runBenchJSON(ctx context.Context, path string) error {
+// runBenchSuite executes the LP/ISP/OPT micro-benchmark suite and returns
+// the trajectory report. The suite backs both `-bench-json` (record the
+// baseline) and `-compare` (the CI benchmark-regression gate).
+func runBenchSuite(ctx context.Context) (benchReport, error) {
+	report := benchReport{Suite: "lp", GoVersion: runtime.Version()}
 	s, err := benchLPScenario()
 	if err != nil {
-		return err
+		return report, err
 	}
 	mustSolve := func(opts core.Options) func() {
 		return func() {
@@ -121,40 +147,98 @@ func runBenchJSON(ctx context.Context, path string) error {
 		}
 	}
 
-	report := benchReport{Suite: "lp", GoVersion: runtime.Version()}
 	prob := lpTransportation(3)
+	// The cold row and the warm row use SEPARATE solvers: the warm row needs
+	// a priming solve to obtain its starting basis, and running that on the
+	// cold row's solver would pre-allocate its factorisation buffers and
+	// silently turn "cold" into a warm-buffer measurement.
 	solver := lp.NewSolver()
-	report.Benchmarks = append(report.Benchmarks,
-		measure("lp_transportation_sparse_cold", 20, func() {
-			if sol := solver.Solve(prob, lp.Options{}); sol.Status != lp.StatusOptimal {
-				panic(sol.Status)
-			}
-		}),
-		measure("lp_transportation_dense_cold", 5, func() {
-			if sol := prob.SolveWithOptions(lp.Options{Dense: true}); sol.Status != lp.StatusOptimal {
-				panic(sol.Status)
-			}
-		}),
-	)
-	warm := solver.Solve(prob, lp.Options{})
+	warmSolver := lp.NewSolver()
+	warm := warmSolver.Solve(prob, lp.Options{})
 	if warm.Status != lp.StatusOptimal {
-		return fmt.Errorf("bench-json: warm-up solve failed: %v", warm.Status)
+		return report, fmt.Errorf("bench: warm-up solve failed: %v", warm.Status)
 	}
 	basis := warm.Basis
 	rng := rand.New(rand.NewSource(9))
-	report.Benchmarks = append(report.Benchmarks,
-		measure("lp_transportation_warm_resolve", 200, func() {
+
+	milpProb := heuristics.OptMILP(s)
+	milpSolve := func(workers int) func() {
+		opts := milp.Options{MaxNodes: 300, TimeLimit: 5 * time.Minute, Workers: workers}
+		return func() {
+			// A limit status is fine — these are node-throughput rows, the
+			// 300-node budget binds long before optimality on this MILP. The
+			// parallel search explores the identical tree for every worker
+			// count, so the w4 row tracks pure parallel speedup (flat on a
+			// single-core machine, where it measures the round-barrier
+			// overhead instead).
+			sol := milp.Solve(ctx, milpProb, opts)
+			if sol.Status == milp.StatusUnbounded || sol.Status == milp.StatusInfeasible {
+				panic(sol.Status)
+			}
+		}
+	}
+
+	rows := []struct {
+		name string
+		reps int
+		fn   func()
+	}{
+		{"lp_transportation_sparse_cold", 20, func() {
+			if sol := solver.Solve(prob, lp.Options{}); sol.Status != lp.StatusOptimal {
+				panic(sol.Status)
+			}
+		}},
+		{"lp_transportation_dense_cold", 5, func() {
+			if sol := prob.SolveWithOptions(lp.Options{Dense: true}); sol.Status != lp.StatusOptimal {
+				panic(sol.Status)
+			}
+		}},
+		{"lp_transportation_warm_resolve", 200, func() {
 			_ = prob.SetRHS(25+rng.Intn(25), 1+rng.Float64()*9)
-			sol := solver.Solve(prob, lp.Options{WarmStart: basis})
+			sol := warmSolver.Solve(prob, lp.Options{WarmStart: basis})
 			if sol.Status != lp.StatusOptimal {
 				panic(sol.Status)
 			}
 			basis = sol.Basis
-		}),
-		measure("isp_iteration_exact", 3, mustSolve(core.Options{Routability: flow.Options{Mode: flow.ModeExact}})),
-		measure("isp_iteration_fast", 10, mustSolve(core.FastOptions())),
-	)
+		}},
+		{"isp_iteration_exact", 3, mustSolve(core.Options{Routability: flow.Options{Mode: flow.ModeExact}})},
+		{"isp_iteration_fast", 10, mustSolve(core.FastOptions())},
+		{"opt_search300_w1", 1, milpSolve(1)},
+		{"opt_search300_w4", 1, milpSolve(4)},
+	}
 
+	// Every row is measured in TWO passes over the whole suite, keeping the
+	// faster sample: a CPU-steal burst on a shared runner easily outlasts a
+	// single measurement (the within-measurement best-of-chunks cannot help
+	// then), but rarely recurs at the same row many seconds later. Without
+	// this the CI regression gate reads machine bursts as code regressions.
+	for _, row := range rows {
+		report.Benchmarks = append(report.Benchmarks, measure(row.name, row.reps, row.fn))
+	}
+	for i, row := range rows {
+		if again := measure(row.name, row.reps, row.fn); again.NsPerOp < report.Benchmarks[i].NsPerOp {
+			report.Benchmarks[i].NsPerOp = again.NsPerOp
+		}
+	}
+	return report, nil
+}
+
+// readBenchReport loads a trajectory file written by writeBenchReport.
+func readBenchReport(path string) (benchReport, error) {
+	var report benchReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report, fmt.Errorf("compare: %w", err)
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return report, fmt.Errorf("compare: parse %s: %w", path, err)
+	}
+	return report, nil
+}
+
+// writeBenchReport writes the trajectory file (canonically BENCH_lp.json) so
+// that future performance PRs have a recorded baseline to compare against.
+func writeBenchReport(report benchReport, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -166,4 +250,47 @@ func runBenchJSON(ctx context.Context, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// compareBench is the benchmark-regression gate: it checks every tracked
+// metric of the baseline file against the fresh report and returns an error
+// (non-zero exit) when any ns/op regressed by more than the tolerance
+// (fractional, e.g. 0.25 allows +25%). A baseline metric missing from the
+// fresh run also fails — a silently dropped benchmark must not pass the
+// gate — while new metrics are reported informationally and pass.
+func compareBench(w io.Writer, baselineName string, baseline, fresh benchReport, tolerance float64) error {
+	freshByName := make(map[string]benchRecord, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshByName[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "%-32s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "fresh ns/op", "delta", "status")
+	regressions := 0
+	for _, base := range baseline.Benchmarks {
+		got, ok := freshByName[base.Name]
+		delete(freshByName, base.Name)
+		if !ok {
+			regressions++
+			fmt.Fprintf(w, "%-32s %14.0f %14s %8s  MISSING\n", base.Name, base.NsPerOp, "-", "-")
+			continue
+		}
+		delta := got.NsPerOp/base.NsPerOp - 1
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%%  %s\n", base.Name, base.NsPerOp, got.NsPerOp, 100*delta, status)
+	}
+	for _, b := range fresh.Benchmarks {
+		if _, isNew := freshByName[b.Name]; isNew {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s  new\n", b.Name, "-", b.NsPerOp, "-")
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("benchmark regression gate: %d metric(s) regressed beyond %.0f%% of %s",
+			regressions, 100*tolerance, baselineName)
+	}
+	fmt.Fprintf(w, "benchmark regression gate: all tracked metrics within %.0f%% of %s\n", 100*tolerance, baselineName)
+	return nil
 }

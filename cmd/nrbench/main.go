@@ -12,12 +12,16 @@
 //	nrbench -sweep -topologies bell-canada,grid:4x4 -algorithms ISP,SRT \
 //	        -variances 20,60 -pairs 3 -flow 10 -seeds 5 -workers 8 -csv
 //
-//	nrbench -bench-json BENCH_lp.json  # LP/ISP micro-benchmark trajectory
+//	nrbench -bench-json BENCH_lp.json  # LP/ISP/OPT micro-benchmark trajectory
+//	nrbench -compare BENCH_lp.json -tolerance 0.25   # CI regression gate
 //
 // Figure output is a fixed-width table per sub-figure (use -csv for CSV);
 // sweep output is the aggregated report as JSON (use -csv for one CSV row
 // per grid point); -bench-json writes the machine-readable performance
-// trajectory recorded in EXPERIMENTS.md.
+// trajectory recorded in EXPERIMENTS.md, and -compare re-runs the suite and
+// exits non-zero when a tracked metric regressed past the tolerance against
+// a recorded baseline (the bench-smoke CI job runs it against the committed
+// BENCH_lp.json).
 package main
 
 import (
@@ -54,10 +58,13 @@ func run(args []string, stdout io.Writer) error {
 		optTime    = fs.Duration("opt-time", 0, "time limit per OPT invocation")
 		csv        = fs.Bool("csv", false, "emit CSV instead of a text table / JSON report")
 		workers    = fs.Int("workers", 0, "worker goroutines for figure cells and sweep jobs (0 = GOMAXPROCS)")
+		optWorkers = fs.Int("opt-workers", 0, "per-solve branch-and-bound workers for OPT (figures: 0 = 1, cells are already parallel; sweeps: 0 = GOMAXPROCS/workers)")
 		timeout    = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 
 		// Micro-benchmark trajectory mode.
-		benchJSON = fs.String("bench-json", "", "run the LP/ISP micro-benchmarks and write the trajectory JSON to this file (canonically BENCH_lp.json), then exit")
+		benchJSON = fs.String("bench-json", "", "run the LP/ISP/OPT micro-benchmarks and write the trajectory JSON to this file (canonically BENCH_lp.json), then exit")
+		compareTo = fs.String("compare", "", "run the micro-benchmarks and compare against this baseline trajectory JSON; exit non-zero when a tracked metric regresses past -tolerance (combine with -bench-json to also record the fresh run)")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression for -compare (0.25 = +25%)")
 
 		// Declarative sweep mode.
 		doSweep    = fs.Bool("sweep", false, "run a declarative scenario sweep instead of a figure")
@@ -81,11 +88,30 @@ func run(args []string, stdout io.Writer) error {
 		defer cancel()
 	}
 
-	if *benchJSON != "" {
-		if err := runBenchJSON(ctx, *benchJSON); err != nil {
+	if *benchJSON != "" || *compareTo != "" {
+		// Load the baseline before spending seconds on the suite, so a bad
+		// -compare path fails fast.
+		var baseline *benchReport
+		if *compareTo != "" {
+			b, err := readBenchReport(*compareTo)
+			if err != nil {
+				return err
+			}
+			baseline = &b
+		}
+		report, err := runBenchSuite(ctx)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote benchmark trajectory to %s\n", *benchJSON)
+		if *benchJSON != "" {
+			if err := writeBenchReport(report, *benchJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote benchmark trajectory to %s\n", *benchJSON)
+		}
+		if baseline != nil {
+			return compareBench(stdout, *compareTo, *baseline, report, *tolerance)
+		}
 		return nil
 	}
 
@@ -99,6 +125,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		spec.Workers = *workers
+		spec.SolverWorkers = *optWorkers
 		spec.JobTimeout = *jobTimeout
 		spec.FastISP = *fastISP
 		if *optTime > 0 {
@@ -141,6 +168,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.OptTimeLimit = *optTime
 	}
 	cfg.Workers = *workers
+	cfg.OptWorkers = *optWorkers
 
 	figures := []string{*figure}
 	if *figure == "all" {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -112,33 +113,124 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestRunBenchJSON(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "BENCH_lp.json")
-	var out bytes.Buffer
-	if err := run([]string{"-bench-json", path}, &out); err != nil {
-		t.Fatal(err)
+// (The -bench-json output itself is validated inside TestCompareGateEndToEnd,
+// which shares one real suite run between the trajectory and gate checks —
+// the suite costs seconds, so the package avoids running it twice.)
+
+// writeBaseline writes a synthetic trajectory baseline whose every row is
+// the given multiple of the fresh report's measurement.
+func writeBaseline(t *testing.T, fresh benchReport, scale float64) string {
+	t.Helper()
+	baseline := benchReport{Suite: fresh.Suite, GoVersion: fresh.GoVersion}
+	for _, b := range fresh.Benchmarks {
+		b.NsPerOp *= scale
+		baseline.Benchmarks = append(baseline.Benchmarks, b)
 	}
-	raw, err := os.ReadFile(path)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var report benchReport
-	if err := json.Unmarshal(raw, &report); err != nil {
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// syntheticReport fabricates a trajectory report without running the suite.
+func syntheticReport(ns map[string]float64) benchReport {
+	report := benchReport{Suite: "lp", GoVersion: "go-test"}
+	// Stable iteration order keeps the rendered table deterministic.
+	names := make([]string, 0, len(ns))
+	for name := range ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		report.Benchmarks = append(report.Benchmarks, benchRecord{Name: name, Reps: 1, NsPerOp: ns[name]})
+	}
+	return report
+}
+
+// TestCompareBenchGateLogic covers the gate's verdicts on synthetic
+// reports: within-tolerance passes, a regression past tolerance fails, a
+// tracked metric missing from the fresh run fails, and metrics new in the
+// fresh run pass informationally.
+func TestCompareBenchGateLogic(t *testing.T) {
+	baseline := syntheticReport(map[string]float64{"a": 1000, "b": 2000})
+
+	var out bytes.Buffer
+	fresh := syntheticReport(map[string]float64{"a": 1200, "b": 2100, "c": 5})
+	if err := compareBench(&out, "base.json", baseline, fresh, 0.25); err != nil {
+		t.Fatalf("within-tolerance comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Errorf("new metric not reported: %q", out.String())
+	}
+
+	out.Reset()
+	fresh = syntheticReport(map[string]float64{"a": 1300, "b": 2000})
+	if err := compareBench(&out, "base.json", baseline, fresh, 0.25); err == nil {
+		t.Fatalf("+30%% regression passed a 25%% gate:\n%s", out.String())
+	} else if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("missing REGRESSED marker: %q", out.String())
+	}
+
+	out.Reset()
+	fresh = syntheticReport(map[string]float64{"a": 1000})
+	if err := compareBench(&out, "base.json", baseline, fresh, 0.25); err == nil {
+		t.Fatalf("dropped tracked metric passed the gate:\n%s", out.String())
+	} else if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("missing MISSING marker: %q", out.String())
+	}
+}
+
+// TestCompareGateEndToEnd verifies the trajectory recorder and the CLI
+// wiring of the gate on ONE real suite run: the -bench-json output must be a
+// well-formed trajectory with every tracked row, and comparing a second run
+// against a doctored baseline claiming everything used to be 50x faster
+// must exit non-zero. (The injection is the permanent form of the one-off
+// synthetic-regression check the CI gate was validated with.)
+func TestCompareGateEndToEnd(t *testing.T) {
+	freshPath := filepath.Join(t.TempDir(), "fresh.json")
+	var out bytes.Buffer
+	if err := run([]string{"-bench-json", freshPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(freshPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh benchReport
+	if err := json.Unmarshal(raw, &fresh); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if report.Suite != "lp" || len(report.Benchmarks) < 5 {
-		t.Fatalf("unexpected report: %+v", report)
+	if fresh.Suite != "lp" || len(fresh.Benchmarks) < 5 {
+		t.Fatalf("unexpected report: %+v", fresh)
 	}
 	names := map[string]bool{}
-	for _, b := range report.Benchmarks {
+	for _, b := range fresh.Benchmarks {
 		names[b.Name] = true
 		if b.NsPerOp <= 0 || b.Reps <= 0 {
 			t.Errorf("benchmark %s has non-positive metrics: %+v", b.Name, b)
 		}
 	}
-	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact"} {
+	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact", "opt_search300_w1", "opt_search300_w4"} {
 		if !names[want] {
 			t.Errorf("missing benchmark %q in %v", want, names)
 		}
+	}
+
+	regressed := writeBaseline(t, fresh, 1.0/50) // reality is a ~50x regression vs this
+	out.Reset()
+	if err := run([]string{"-compare", regressed, "-tolerance", "0.25"}, &out); err == nil {
+		t.Fatalf("gate passed an injected 50x regression:\n%s", out.String())
+	} else if !strings.Contains(err.Error(), "regression gate") || !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("unexpected gate output: err=%v\n%s", err, out.String())
+	}
+
+	// A missing baseline file fails fast, before the suite runs.
+	if err := run([]string{"-compare", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Error("expected error for a missing baseline file")
 	}
 }

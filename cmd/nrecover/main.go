@@ -20,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -56,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		fast       = fs.Bool("fast", false, "use ISP's greedy split mode (large topologies)")
 		compare    = fs.Bool("compare", false, "run every solver and print a comparison table")
 		optTime    = fs.Duration("opt-time", 60*time.Second, "time limit for the OPT solver")
+		optWorkers = fs.Int("opt-workers", 0, "branch-and-bound worker goroutines for OPT (0 = all cores; the plan is identical for any value)")
 		routes     = fs.Bool("routes", false, "also print the per-demand routes of the plan")
 		stages     = fs.Float64("stage-budget", 0, "if positive, also print a progressive repair schedule with this per-stage budget")
 		graphml    = fs.Bool("graphml", false, "parse -topology as an Internet Topology Zoo GraphML file")
@@ -98,6 +100,13 @@ func run(args []string, stdout io.Writer) error {
 		cfg := experiments.Quick()
 		cfg.IncludeOpt = g.NumNodes() <= 100
 		cfg.OptTimeLimit = *optTime
+		// The experiments config maps 0 to sequential OPT (its figure cells
+		// are already parallel), but -compare runs one solver at a time, so
+		// honour the flag's "0 = all cores" promise explicitly.
+		cfg.OptWorkers = *optWorkers
+		if cfg.OptWorkers == 0 {
+			cfg.OptWorkers = runtime.GOMAXPROCS(0)
+		}
 		cfg.FastISP = *fast || g.NumNodes() > 100
 		table, err := experiments.CompareOnScenario(context.Background(), s, cfg)
 		if err != nil {
@@ -111,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		return table.Render(stdout)
 	}
 
-	solver, err := buildSolver(*solverName, *fast, *optTime)
+	solver, err := buildSolver(*solverName, *fast, *optTime, *optWorkers)
 	if err != nil {
 		return err
 	}
@@ -208,8 +217,8 @@ func printSolvers(w io.Writer) {
 // buildSolver resolves the solver through the registry; the CLI knobs ride
 // along as registry params, so custom solvers are constructed exactly like
 // the built-ins.
-func buildSolver(name string, fast bool, optTime time.Duration) (heuristics.Solver, error) {
-	return heuristics.New(name, heuristics.Params{Fast: fast, OPTTimeLimit: optTime})
+func buildSolver(name string, fast bool, optTime time.Duration, optWorkers int) (heuristics.Solver, error) {
+	return heuristics.New(name, heuristics.Params{Fast: fast, OPTTimeLimit: optTime, OPTWorkers: optWorkers})
 }
 
 func printPlan(w io.Writer, s *scenario.Scenario, plan *scenario.Plan) {

@@ -28,6 +28,14 @@ type Config struct {
 	OptMaxNodes  int
 	OptTimeLimit time.Duration
 
+	// OptWorkers is the branch-and-bound parallelism of each OPT
+	// invocation (0 = 1). The default stays sequential because the figure
+	// runners already parallelise across cells via Workers; raise it when
+	// running a single expensive figure (e.g. Fig. 7, which executes
+	// serially) on a multi-core machine. Figure results are identical for
+	// every value.
+	OptWorkers int
+
 	// FastISP switches ISP to the greedy split mode (recommended above a few
 	// hundred nodes).
 	FastISP bool
@@ -153,5 +161,9 @@ func (c Config) ispSolver() heuristics.Solver {
 
 // optSolver builds the OPT solver for this configuration.
 func (c Config) optSolver() heuristics.Solver {
-	return &heuristics.Opt{MaxNodes: c.OptMaxNodes, TimeLimit: c.OptTimeLimit}
+	workers := c.OptWorkers
+	if workers == 0 {
+		workers = 1 // cells are already parallel; see the OptWorkers doc
+	}
+	return &heuristics.Opt{MaxNodes: c.OptMaxNodes, TimeLimit: c.OptTimeLimit, Workers: workers}
 }

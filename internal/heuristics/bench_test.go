@@ -2,6 +2,7 @@ package heuristics
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -48,5 +49,37 @@ func BenchmarkOPT_NodeThroughput(b *testing.B) {
 	b.StopTimer()
 	if totalNodes > 0 {
 		b.ReportMetric(float64(totalNodes)/b.Elapsed().Seconds(), "nodes/sec")
+	}
+}
+
+// BenchmarkOPT_Parallel measures how branch-and-bound node throughput scales
+// with the worker count on the Quick-profile MinR MILP (300-node search).
+// The search trace is identical for every worker count — the same nodes,
+// the same plan — so nodes/sec differences are pure parallel speedup. Run
+// the sub-benchmarks on a machine with at least as many cores as workers;
+// on fewer cores the extra workers only measure the (small) round-barrier
+// overhead.
+func BenchmarkOPT_Parallel(b *testing.B) {
+	s := optBenchScenario(b)
+	prob := OptMILP(s)
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			totalNodes := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol := milp.Solve(ctx, prob,
+					milp.Options{MaxNodes: 300, TimeLimit: 5 * time.Minute, Workers: workers})
+				if sol.Status == milp.StatusUnbounded {
+					b.Fatalf("unexpected status %v", sol.Status)
+				}
+				totalNodes += sol.NodesExplored
+			}
+			b.StopTimer()
+			if totalNodes > 0 {
+				b.ReportMetric(float64(totalNodes)/b.Elapsed().Seconds(), "nodes/sec")
+			}
+		})
 	}
 }

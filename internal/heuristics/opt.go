@@ -33,6 +33,10 @@ type Opt struct {
 	// 4000 nodes and 120 seconds.
 	MaxNodes  int
 	TimeLimit time.Duration
+	// Workers is the number of branch-and-bound worker goroutines solving
+	// LP relaxations concurrently (0 = GOMAXPROCS, negative = 1). The
+	// resulting plan is identical for every worker count; see milp.Options.
+	Workers int
 	// DisableWarmStart turns off the ISP warm start (used by tests to
 	// exercise the cold-start path).
 	DisableWarmStart bool
@@ -90,7 +94,7 @@ func (o *Opt) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, 
 
 	model := buildOptModel(s)
 
-	opts := milp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit}
+	opts := milp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit, Workers: o.Workers}
 	if o.Progress != nil {
 		progress := o.Progress
 		opts.Progress = func(incumbent, bound float64, nodes int, improved bool) {
@@ -178,6 +182,15 @@ func (o *Opt) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, 
 		}
 		return nil, fmt.Errorf("opt: branch and bound ended with status %v", sol.Status)
 	}
+}
+
+// OptMILP builds the MinR MILP of problem (1) for the scenario and returns
+// it in solver-ready form. It exists for the benchmark harnesses (the
+// BenchmarkOPT_* suite and cmd/nrbench's trajectory mode), which measure raw
+// branch-and-bound node throughput without the plan-decoding layer on top.
+func OptMILP(s *scenario.Scenario) milp.Problem {
+	model := buildOptModel(s)
+	return milp.Problem{LP: model.problem, Binary: model.binaries}
 }
 
 // buildOptModel constructs the MILP of problem (1). Binary variables exist

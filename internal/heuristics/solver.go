@@ -86,6 +86,12 @@ type Params struct {
 	// means the solver defaults: 120s / 4000 nodes).
 	OPTTimeLimit time.Duration
 	OPTMaxNodes  int
+	// OPTWorkers is the branch-and-bound parallelism of OPT's search
+	// (0 = GOMAXPROCS, negative = 1). Plans are identical for every worker
+	// count; callers that already parallelise across solves (the sweep
+	// engine, the figure runners) pass an explicit per-job budget so the
+	// two levels of parallelism do not oversubscribe the machine.
+	OPTWorkers int
 	// Progress, when set, receives the solver's progress events.
 	Progress ProgressFunc
 }
@@ -155,7 +161,7 @@ func init() {
 		Exact:       true,
 		Scalability: "small instances only (tens of broken elements)",
 	}, func(p Params) Solver {
-		return &Opt{MaxNodes: p.OPTMaxNodes, TimeLimit: p.OPTTimeLimit, Progress: p.Progress}
+		return &Opt{MaxNodes: p.OPTMaxNodes, TimeLimit: p.OPTTimeLimit, Workers: p.OPTWorkers, Progress: p.Progress}
 	})
 	Register(Info{
 		Name:        SRTName,

@@ -316,6 +316,16 @@ type Options struct {
 	// revised simplex; it ignores WarmStart and expands finite bounds into
 	// explicit rows.
 	Dense bool
+	// Deterministic makes the solve a pure function of the problem data and
+	// the supplied warm-start basis, independent of the Solver's solve
+	// history: the rotating partial-pricing window restarts at column zero
+	// and a warm basis is always refactorised from its snapshot instead of
+	// reusing the solver's incrementally-updated inverse when the snapshot
+	// happens to match the current basis. The parallel branch-and-bound
+	// search sets it so a node relaxation yields bit-identical pivots no
+	// matter which worker (after whatever solve sequence) executes it;
+	// sequential hot paths leave it false and keep both fast paths.
+	Deterministic bool
 }
 
 func (o Options) withDefaults(rows, cols int) Options {

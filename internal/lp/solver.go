@@ -115,6 +115,11 @@ func (s *Solver) Solve(p *Problem, opts Options) Solution {
 	}
 	opts = opts.withDefaults(m, nStd)
 	tol := opts.Tolerance
+	if opts.Deterministic {
+		// History-free pricing: the rotating window otherwise carries the
+		// previous solve's position into this one.
+		s.priceStart = 0
+	}
 
 	// Bound sanity: crossed bounds make the problem trivially infeasible.
 	for j := 0; j < nStd; j++ {
@@ -129,7 +134,7 @@ func (s *Solver) Solve(p *Problem, opts Options) Solution {
 	totalIters := 0
 
 	warmed := false
-	if opts.WarmStart != nil && s.installWarm(opts.WarmStart) {
+	if opts.WarmStart != nil && s.installWarm(opts.WarmStart, opts.Deterministic) {
 		if s.primalFeasible() {
 			warmed = true
 		} else if s.dualFeasible(tol) {
@@ -327,8 +332,11 @@ func swapRows(a []float64, m, i, j int) {
 // installWarm loads a basis snapshot, reusing the cached factorisation when
 // the snapshot matches the solver's current basis exactly. It reports false
 // (leaving the solver ready for a cold start) when the snapshot does not fit
-// the problem structure or its basis matrix is singular.
-func (s *Solver) installWarm(ws *Basis) bool {
+// the problem structure or its basis matrix is singular. With forceRefactor
+// the matching-basis fast path is disabled and the inverse is always rebuilt
+// from the snapshot, so the numerical state depends only on the snapshot and
+// the problem data, not on the solver's history (Options.Deterministic).
+func (s *Solver) installWarm(ws *Basis, forceRefactor bool) bool {
 	m, nStd := s.sf.m, s.sf.nStd
 	if ws.m != m || ws.nStd != nStd || len(ws.basic) != m || len(ws.atUpper) != nStd {
 		return false
@@ -362,7 +370,7 @@ func (s *Solver) installWarm(ws *Basis) bool {
 		tb[i] = v
 	}
 
-	same := s.haveBasis
+	same := s.haveBasis && !forceRefactor
 	if same {
 		for i := range tb {
 			if s.basic[i] != tb[i] {

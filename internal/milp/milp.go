@@ -9,12 +9,16 @@
 // the OPT baseline can be run in "best incumbent" mode on instances where a
 // proof of optimality would take too long (exactly the behaviour reported in
 // Fig. 7(a) of the paper).
+//
+// The search is parallel: Options.Workers goroutines solve LP relaxations
+// concurrently over a lock-striped best-first node pool with work stealing,
+// each holding its own warm-started lp.Solver clone. The search trace is
+// deterministic — identical run to run and across worker counts — see the
+// package comment in search.go for the construction.
 package milp
 
 import (
-	"container/heap"
 	"context"
-	"math"
 	"time"
 
 	"netrecovery/internal/lp"
@@ -71,6 +75,18 @@ type Options struct {
 	TimeLimit time.Duration
 	// Tolerance for integrality and bound comparisons (0 = 1e-6).
 	Tolerance float64
+	// Workers is the number of goroutines solving LP relaxations
+	// concurrently (0 = GOMAXPROCS, negative = 1). Each worker owns a
+	// private clone of the problem and a warm-started lp.Solver, so
+	// factorisations and work buffers stay thread-local. The search result
+	// — plan, objective, bound, node count, incumbent sequence — is
+	// deterministic for a fixed instance: identical run to run and across
+	// Workers values, because nodes are explored in fixed-size best-first
+	// rounds with (bound, node-ID)-ordered selection and incumbents are
+	// accepted in node order at round barriers. Wall-clock limits
+	// (TimeLimit, context deadlines) cut the search at a timing-dependent
+	// point and are the one exception.
+	Workers int
 	// WarmStart, when non-nil, supplies a known feasible assignment of the
 	// binary variables used to initialise the incumbent bound (e.g. "repair
 	// everything" for MinR). Values must be 0 or 1 per binary variable in
@@ -82,8 +98,8 @@ type Options struct {
 	// new incumbent is accepted (improved true) and every
 	// progressInterval explored nodes (improved false), with the current
 	// incumbent objective (±Inf while none exists), the best known bound and
-	// the number of explored nodes. The callback runs on the solver
-	// goroutine and must be cheap.
+	// the number of explored nodes. The callback runs on the coordinator
+	// goroutine at round barriers and must be cheap.
 	Progress func(incumbent, bound float64, nodes int, improved bool)
 	// DenseLP forces the legacy dense tableau solver for every LP
 	// relaxation (no warm starts). Testing fallback used to cross-check the
@@ -100,7 +116,7 @@ type Options struct {
 const progressInterval = 100
 
 // warmBasisQueueCap bounds how many open nodes may carry a warm-start basis
-// snapshot: each basis is O(rows) in size, so an unbounded best-first heap
+// snapshot: each basis is O(rows) in size, so an unbounded best-first pool
 // would otherwise retain unbounded warm-start memory on hard instances.
 const warmBasisQueueCap = 8192
 
@@ -132,217 +148,23 @@ type Solution struct {
 // node is a branch-and-bound tree node: a set of fixed binary variables plus
 // the parent's optimal LP basis, which warm-starts the node's relaxation
 // (the child differs from the parent by a single bound tightening, the
-// textbook dual-simplex re-solve).
+// textbook dual-simplex re-solve). The id is unique and deterministically
+// derived from the node's position in the search trace (rank within its
+// creation round); it breaks best-first ties, making the exploration order a
+// total order.
 type node struct {
+	id    uint64
 	fixed map[int]float64
 	bound float64 // parent LP bound (for best-first ordering)
 	basis *lp.Basis
 }
 
-type nodeQueue struct {
-	items []*node
-	min   bool
-}
-
-func (q nodeQueue) Len() int { return len(q.items) }
-func (q nodeQueue) Less(i, j int) bool {
-	if q.min {
-		return q.items[i].bound < q.items[j].bound
-	}
-	return q.items[i].bound > q.items[j].bound
-}
-func (q nodeQueue) Swap(i, j int)       { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *nodeQueue) Push(x interface{}) { q.items = append(q.items, x.(*node)) }
-func (q *nodeQueue) Pop() interface{} {
-	old := q.items
-	n := len(old)
-	item := old[n-1]
-	q.items = old[:n-1]
-	return item
-}
-
 // Solve runs branch and bound and returns the best solution found. A fired
-// context is treated like a node/time limit: the search stops promptly and
-// the best incumbent found so far (if any) is returned; the caller decides
-// whether to surface ctx.Err().
+// context is treated like a node/time limit: the search stops promptly (all
+// workers exit at the next node boundary), and the best incumbent found so
+// far (if any) is returned; the caller decides whether to surface ctx.Err().
 func Solve(ctx context.Context, p Problem, opts Options) Solution {
-	opts = opts.withDefaults()
-	sense := senseOf(p.LP)
-	minimize := sense == lp.Minimize
-	tol := opts.Tolerance
-	start := time.Now()
-
-	better := func(a, b float64) bool {
-		if minimize {
-			return a < b-tol
-		}
-		return a > b+tol
-	}
-
-	incumbentObj := math.Inf(1)
-	if !minimize {
-		incumbentObj = math.Inf(-1)
-	}
-	var incumbentValues []float64
-	if opts.WarmStart != nil {
-		incumbentObj = opts.WarmStartObjective
-	}
-
-	queue := &nodeQueue{min: minimize}
-	heap.Init(queue)
-	rootBound := math.Inf(-1)
-	if !minimize {
-		rootBound = math.Inf(1)
-	}
-	heap.Push(queue, &node{fixed: map[int]float64{}, bound: rootBound})
-
-	relaxer := newRelaxer(p, opts)
-
-	nodes := 0
-	bestBound := rootBound
-	sawFeasibleRelaxation := false
-	sawIterLimit := false
-	// iterDropBound tracks the best bound among subtrees dropped because
-	// their relaxation hit the LP iteration limit: the parent's objective is
-	// still a valid bound for the discarded subtree, and folding it into the
-	// final bound keeps Bound/Gap honest about the unexplored work.
-	iterDropBound := math.Inf(1)
-	if !minimize {
-		iterDropBound = math.Inf(-1)
-	}
-	hitLimit := false
-
-	for queue.Len() > 0 {
-		if ctx.Err() != nil || nodes >= opts.MaxNodes || (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) {
-			hitLimit = true
-			break
-		}
-		cur := heap.Pop(queue).(*node)
-		nodes++
-		if opts.Progress != nil && nodes%progressInterval == 0 {
-			opts.Progress(incumbentObj, cur.bound, nodes, false)
-		}
-
-		relax := relaxer.solve(cur)
-		switch relax.Status {
-		case lp.StatusInfeasible:
-			continue
-		case lp.StatusUnbounded:
-			return Solution{Status: StatusUnbounded, NodesExplored: nodes}
-		case lp.StatusIterLimit:
-			// The relaxation's answer is unknown, not "infeasible": drop the
-			// node but remember that the search is no longer exhaustive and
-			// keep the subtree's bound alive for the final gap computation.
-			sawIterLimit = true
-			if minimize {
-				iterDropBound = math.Min(iterDropBound, cur.bound)
-			} else {
-				iterDropBound = math.Max(iterDropBound, cur.bound)
-			}
-			continue
-		}
-		sawFeasibleRelaxation = true
-
-		// Prune by bound.
-		if incumbentValues != nil || opts.WarmStart != nil {
-			if !better(relax.Objective, incumbentObj) {
-				continue
-			}
-		}
-
-		// Find the most fractional binary variable.
-		branchVar := -1
-		worstFrac := tol
-		for _, v := range p.Binary {
-			val := relax.Value(v)
-			frac := math.Abs(val - math.Round(val))
-			if frac > worstFrac {
-				worstFrac = frac
-				branchVar = v
-			}
-		}
-		if branchVar < 0 {
-			// Integral solution: candidate incumbent.
-			if (incumbentValues == nil && opts.WarmStart == nil) || better(relax.Objective, incumbentObj) {
-				incumbentObj = relax.Objective
-				incumbentValues = append([]float64(nil), relax.Values...)
-				if opts.Progress != nil {
-					opts.Progress(incumbentObj, cur.bound, nodes, true)
-				}
-			}
-			continue
-		}
-
-		// Branch: fix the variable to 0 and to 1. Both children share this
-		// node's optimal basis as their warm start. On very deep searches the
-		// open-node heap can hold tens of thousands of nodes; beyond a cap
-		// the children are queued without a basis (they cold-start if ever
-		// explored) so the retained warm-start memory stays bounded.
-		childBasis := relax.Basis
-		if queue.Len() >= warmBasisQueueCap {
-			childBasis = nil
-		}
-		for _, fixVal := range []float64{0, 1} {
-			child := &node{fixed: make(map[int]float64, len(cur.fixed)+1), bound: relax.Objective, basis: childBasis}
-			for k, v := range cur.fixed {
-				child.fixed[k] = v
-			}
-			child.fixed[branchVar] = fixVal
-			heap.Push(queue, child)
-		}
-	}
-
-	// Best remaining bound: the better of the open-node bounds (if the search
-	// stopped early) or the incumbent itself (if the tree was exhausted),
-	// weakened by any subtree dropped on an LP iteration limit.
-	if queue.Len() > 0 {
-		bestBound = queue.items[0].bound
-		for _, n := range queue.items {
-			if minimize && n.bound < bestBound {
-				bestBound = n.bound
-			}
-			if !minimize && n.bound > bestBound {
-				bestBound = n.bound
-			}
-		}
-	} else {
-		bestBound = incumbentObj
-	}
-	if sawIterLimit {
-		if minimize {
-			bestBound = math.Min(bestBound, iterDropBound)
-		} else {
-			bestBound = math.Max(bestBound, iterDropBound)
-		}
-	}
-
-	haveIncumbent := incumbentValues != nil || opts.WarmStart != nil
-	switch {
-	case !haveIncumbent && !sawFeasibleRelaxation && !hitLimit && !sawIterLimit:
-		return Solution{Status: StatusInfeasible, NodesExplored: nodes}
-	case !haveIncumbent:
-		return Solution{Status: StatusLimit, NodesExplored: nodes, Bound: bestBound}
-	}
-
-	status := StatusOptimal
-	if (hitLimit && queue.Len() > 0) || sawIterLimit {
-		// A drained tree with dropped subtrees is NOT a proof of optimality:
-		// a better integer solution may live in a discarded subtree.
-		status = StatusFeasible
-	}
-	gap := math.Abs(incumbentObj-bestBound) / math.Max(1, math.Abs(incumbentObj))
-	if status == StatusOptimal {
-		gap = 0
-		bestBound = incumbentObj
-	}
-	return Solution{
-		Status:        status,
-		Objective:     incumbentObj,
-		Values:        incumbentValues,
-		NodesExplored: nodes,
-		Bound:         bestBound,
-		Gap:           gap,
-	}
+	return newSearch(p, opts.withDefaults()).run(ctx)
 }
 
 // relaxer solves the per-node LP relaxations on ONE shared clone of the
@@ -350,7 +172,9 @@ func Solve(ctx context.Context, p Problem, opts Options) Solution {
 // extra equality rows. Because fixings never change the problem structure,
 // every node's relaxation can warm-start from its parent's optimal basis
 // (a single tightened bound away) and the underlying lp.Solver reuses its
-// factorisation and work buffers across the whole tree.
+// factorisation and work buffers across the whole tree. Each search worker
+// holds its own relaxer; the lp solves run in Deterministic mode so a
+// node's relaxation does not depend on the worker's solve history.
 type relaxer struct {
 	prob   *lp.Problem
 	binary []int
@@ -401,7 +225,7 @@ func (r *relaxer) solve(cur *node) lp.Solution {
 	for v, val := range cur.fixed {
 		_ = r.prob.SetBounds(v, val, val)
 	}
-	opts := lp.Options{Dense: r.dense, MaxIterations: r.lpIter}
+	opts := lp.Options{Dense: r.dense, MaxIterations: r.lpIter, Deterministic: true}
 	if !r.dense {
 		opts.WarmStart = cur.basis
 	}

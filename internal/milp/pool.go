@@ -1,0 +1,177 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// poolStripes is the number of lock stripes of the open-node pool. It is a
+// fixed constant — deliberately NOT derived from the worker count — because
+// the stripe of a node is id%poolStripes and the batch selection merges the
+// stripes in (bound, id) order: a worker-dependent stripe count would not
+// change the selection order, but keeping every structural constant
+// worker-independent is what makes the whole search trace identical across
+// worker counts.
+const poolStripes = 8
+
+// nodePool is the shared open-node queue of the parallel search: a
+// best-first priority queue striped over poolStripes independently locked
+// heaps. Workers push child nodes concurrently during a round (pushes to
+// different stripes do not contend); the coordinator pops the next batch at
+// the round barrier by merging the stripe heads in (bound, id) order, which
+// is a total order — node IDs are unique — so the batch composition is
+// deterministic no matter in which interleaving the children were pushed.
+type nodePool struct {
+	min  bool
+	size atomic.Int64
+	str  [poolStripes]poolStripe
+}
+
+type poolStripe struct {
+	mu sync.Mutex
+	h  nodeHeap
+}
+
+func newNodePool(min bool) *nodePool {
+	p := &nodePool{min: min}
+	for i := range p.str {
+		p.str[i].h.min = min
+	}
+	return p
+}
+
+// push adds a node to its stripe. Safe for concurrent use.
+func (p *nodePool) push(n *node) {
+	st := &p.str[n.id%poolStripes]
+	st.mu.Lock()
+	heap.Push(&st.h, n)
+	st.mu.Unlock()
+	p.size.Add(1)
+}
+
+// len returns the number of open nodes.
+func (p *nodePool) len() int { return int(p.size.Load()) }
+
+// popBatch removes the k globally best nodes — (bound, id) order across all
+// stripes — and appends them to dst as fresh batch items. Only the
+// coordinator calls it, at a round barrier, so it may hold every stripe lock
+// at once.
+func (p *nodePool) popBatch(dst []batchItem, k int) []batchItem {
+	for i := range p.str {
+		p.str[i].mu.Lock()
+	}
+	for len(dst) < k {
+		best := -1
+		for i := range p.str {
+			h := &p.str[i].h
+			if len(h.items) == 0 {
+				continue
+			}
+			if best < 0 || h.items[0].before(p.str[best].h.items[0], p.min) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n := heap.Pop(&p.str[best].h).(*node)
+		dst = append(dst, batchItem{node: n, branchVar: -1})
+	}
+	for i := range p.str {
+		p.str[i].mu.Unlock()
+	}
+	p.size.Add(int64(-len(dst)))
+	return dst
+}
+
+// bestBound returns the best open-node bound (the minimum for minimisation,
+// the maximum for maximisation). The heaps order primarily by bound, so the
+// stripe heads suffice. Returns ±Inf when the pool is empty.
+func (p *nodePool) bestBound() float64 {
+	best := math.Inf(1)
+	if !p.min {
+		best = math.Inf(-1)
+	}
+	for i := range p.str {
+		st := &p.str[i]
+		st.mu.Lock()
+		if len(st.h.items) > 0 {
+			b := st.h.items[0].bound
+			if p.min {
+				best = math.Min(best, b)
+			} else {
+				best = math.Max(best, b)
+			}
+		}
+		st.mu.Unlock()
+	}
+	return best
+}
+
+// before reports whether n precedes m in best-first order: better bound
+// first, smaller node ID on ties. Node IDs are unique, so this is a strict
+// total order — the deterministic tie-break of the parallel search.
+func (n *node) before(m *node, min bool) bool {
+	if n.bound != m.bound {
+		if min {
+			return n.bound < m.bound
+		}
+		return n.bound > m.bound
+	}
+	return n.id < m.id
+}
+
+// nodeHeap is one stripe's binary heap in the order defined by node.before.
+type nodeHeap struct {
+	items []*node
+	min   bool
+}
+
+func (h nodeHeap) Len() int            { return len(h.items) }
+func (h nodeHeap) Less(i, j int) bool  { return h.items[i].before(h.items[j], h.min) }
+func (h nodeHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return item
+}
+
+// rankDeque is one worker's share of a round's batch: the ranks it owns, in
+// best-first order. The owner pops from the front; an idle worker steals
+// from the back, taking the victim's worst-ranked (deepest-queued) work
+// first so the owner keeps the best-first prefix it was assigned. Stealing
+// only changes WHICH worker solves a rank, never the round's result set —
+// results are committed in rank order at the barrier — so the steal schedule
+// is free to be timing-dependent while the search stays deterministic.
+type rankDeque struct {
+	mu    sync.Mutex
+	ranks []int
+}
+
+func (d *rankDeque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ranks) == 0 {
+		return 0, false
+	}
+	r := d.ranks[0]
+	d.ranks = d.ranks[1:]
+	return r, true
+}
+
+func (d *rankDeque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ranks) == 0 {
+		return 0, false
+	}
+	r := d.ranks[len(d.ranks)-1]
+	d.ranks = d.ranks[:len(d.ranks)-1]
+	return r, true
+}

@@ -1,0 +1,406 @@
+// Parallel branch and bound with deterministic work-stealing.
+//
+// The search runs in synchronous best-first rounds. Each round the
+// coordinator pops the batchSize globally best open nodes from the
+// lock-striped node pool — a deterministic selection, because nodes are
+// ordered by (bound, id) and IDs are unique — and hands them to N worker
+// goroutines through per-worker rank deques with steal-from-the-back for
+// idle workers. Every worker owns its own relaxer (problem clone + reusable
+// lp.Solver), so factorisations and work buffers stay thread-local, and the
+// LP solves run in lp.Options.Deterministic mode, so a node's relaxation is
+// a pure function of the node — not of which worker solves it after which
+// history. Workers read the shared atomic incumbent (stable mid-round: the
+// coordinator writes it only at round barriers) to skip dominated nodes and
+// push child nodes straight into the pool; integral candidates are carried
+// back to the barrier, where the coordinator commits incumbents in rank
+// order ("ordered incumbent acceptance").
+//
+// Because every decision that shapes the tree — batch composition, child
+// IDs, domination checks, incumbent acceptance — depends only on
+// round-barrier state and deterministic ordering, the full search trace
+// (explored nodes, incumbent sequence, final plan, node count) is identical
+// run to run AND across worker counts; only wall-clock varies. The one
+// caveat is wall-clock limits: a search cut short by TimeLimit or a context
+// deadline stops at a timing-dependent round, exactly as the sequential
+// search stopped at a timing-dependent node.
+package milp
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netrecovery/internal/lp"
+)
+
+// batchSize is the number of open nodes selected per synchronous round. It
+// is a fixed constant, NOT derived from Options.Workers: a worker-dependent
+// batch would change which nodes are explored before each incumbent commit
+// and break plan equality across worker counts. 32 keeps the round barrier
+// amortised over tens of LP solves while bounding the best-first staleness
+// (nodes within a round are selected without the round's own incumbents).
+const batchSize = 32
+
+// batchItem is one node of a round plus the outcome of its processing,
+// written by exactly one worker and read by the coordinator after the
+// barrier.
+type batchItem struct {
+	node *node
+	// done is false when the context fired before any worker claimed the
+	// item; the coordinator returns such nodes to the pool.
+	done bool
+	// pruned marks a node dominated by the shared incumbent at solve time
+	// (its LP was skipped).
+	pruned    bool
+	status    lp.Status
+	objective float64
+	// branchVar is the most fractional binary (-1 when the relaxation is
+	// integral); values carries the integral solution for incumbent
+	// acceptance at the barrier.
+	branchVar int
+	values    []float64
+}
+
+// search carries the shared state of one Solve call.
+type search struct {
+	p        Problem
+	opts     Options
+	minimize bool
+	tol      float64
+	workers  int
+	deadline time.Time
+
+	pool     *nodePool
+	relaxers []*relaxer
+
+	// Shared atomic incumbent objective (float bits). The coordinator
+	// stores it at round barriers only, so worker reads are stable within
+	// a round — the shared state is concurrent but never racy-in-effect,
+	// which is what keeps mid-round pruning deterministic. It uses +Inf
+	// (minimisation) / -Inf (maximisation) as the "none yet" sentinel,
+	// which every finite objective improves on. (The best open bound needs
+	// no twin: workers prune on their node's own bound, and the pool's
+	// stripe heads yield the global bound on demand.)
+	incumbentBits atomic.Uint64
+}
+
+func newSearch(p Problem, opts Options) *search {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	minimize := senseOf(p.LP) == lp.Minimize
+	return &search{
+		p:        p,
+		opts:     opts,
+		minimize: minimize,
+		tol:      opts.Tolerance,
+		workers:  workers,
+		pool:     newNodePool(minimize),
+		relaxers: make([]*relaxer, workers),
+	}
+}
+
+// better reports whether objective a strictly improves on b.
+func (s *search) better(a, b float64) bool {
+	if s.minimize {
+		return a < b-s.tol
+	}
+	return a > b+s.tol
+}
+
+func (s *search) loadIncumbent() float64 {
+	return math.Float64frombits(s.incumbentBits.Load())
+}
+
+func (s *search) storeIncumbent(v float64) {
+	s.incumbentBits.Store(math.Float64bits(v))
+}
+
+// relaxer returns worker w's private relaxer, creating it on first use.
+// Only worker w touches slot w, so no locking is needed.
+func (s *search) relaxer(w int) *relaxer {
+	if s.relaxers[w] == nil {
+		s.relaxers[w] = newRelaxer(s.p, s.opts)
+	}
+	return s.relaxers[w]
+}
+
+// run executes the search and assembles the Solution.
+func (s *search) run(ctx context.Context) Solution {
+	start := time.Now()
+	if s.opts.TimeLimit > 0 {
+		s.deadline = start.Add(s.opts.TimeLimit)
+	}
+
+	incumbentObj := math.Inf(1)
+	rootBound := math.Inf(-1)
+	iterDropBound := math.Inf(1)
+	if !s.minimize {
+		incumbentObj, rootBound, iterDropBound = -incumbentObj, -rootBound, -iterDropBound
+	}
+	if s.opts.WarmStart != nil {
+		incumbentObj = s.opts.WarmStartObjective
+	}
+	s.storeIncumbent(incumbentObj)
+	var incumbentValues []float64
+
+	s.pool.push(&node{id: 0, fixed: map[int]float64{}, bound: rootBound})
+	nextID := uint64(1)
+
+	nodes := 0
+	sawFeasibleRelaxation := false
+	sawIterLimit := false
+	hitLimit := false
+	items := make([]batchItem, 0, batchSize)
+
+	for s.pool.len() > 0 {
+		if ctx.Err() != nil || nodes >= s.opts.MaxNodes || (s.opts.TimeLimit > 0 && time.Since(start) > s.opts.TimeLimit) {
+			hitLimit = true
+			break
+		}
+		limit := batchSize
+		if rem := s.opts.MaxNodes - nodes; rem < limit {
+			limit = rem
+		}
+		items = s.pool.popBatch(items[:0], limit)
+		// Child IDs are reserved per rank up front (2 per node, taken or
+		// not), so workers can mint them without coordination and the IDs
+		// are independent of solve order.
+		roundBase := nextID
+		nextID += 2 * uint64(len(items))
+		s.solveBatch(ctx, items, roundBase, s.pool.len())
+
+		// Ordered commit: results are applied in rank (= best-first
+		// selection) order, so the incumbent sequence does not depend on
+		// which worker finished first.
+		aborted := false
+		for rank := range items {
+			it := &items[rank]
+			if !it.done {
+				s.pool.push(it.node)
+				aborted = true
+				continue
+			}
+			nodes++
+			if s.opts.Progress != nil && nodes%progressInterval == 0 {
+				s.opts.Progress(incumbentObj, it.node.bound, nodes, false)
+			}
+			if it.pruned {
+				continue
+			}
+			switch it.status {
+			case lp.StatusInfeasible:
+				continue
+			case lp.StatusUnbounded:
+				return Solution{Status: StatusUnbounded, NodesExplored: nodes}
+			case lp.StatusIterLimit:
+				// The relaxation's answer is unknown, not "infeasible":
+				// drop the node but remember that the search is no longer
+				// exhaustive and keep the subtree's bound alive for the
+				// final gap computation.
+				sawIterLimit = true
+				if s.minimize {
+					iterDropBound = math.Min(iterDropBound, it.node.bound)
+				} else {
+					iterDropBound = math.Max(iterDropBound, it.node.bound)
+				}
+				continue
+			}
+			sawFeasibleRelaxation = true
+			if !s.better(it.objective, incumbentObj) {
+				// Dominated by an incumbent committed earlier this round
+				// (the worker already applied the round-start incumbent).
+				// Its children, if any were pushed, will be pruned when
+				// popped.
+				continue
+			}
+			if it.branchVar < 0 {
+				incumbentObj = it.objective
+				incumbentValues = it.values
+				if s.opts.Progress != nil {
+					s.opts.Progress(incumbentObj, it.node.bound, nodes, true)
+				}
+			}
+		}
+		s.storeIncumbent(incumbentObj)
+		if aborted {
+			hitLimit = true
+			break
+		}
+	}
+
+	// Best remaining bound: the better of the open-node bounds (if the
+	// search stopped early) or the incumbent itself (if the tree was
+	// exhausted), weakened by any subtree dropped on an LP iteration limit.
+	bestBound := incumbentObj
+	if s.pool.len() > 0 {
+		bestBound = s.pool.bestBound()
+	}
+	if sawIterLimit {
+		if s.minimize {
+			bestBound = math.Min(bestBound, iterDropBound)
+		} else {
+			bestBound = math.Max(bestBound, iterDropBound)
+		}
+	}
+
+	haveIncumbent := incumbentValues != nil || s.opts.WarmStart != nil
+	switch {
+	case !haveIncumbent && !sawFeasibleRelaxation && !hitLimit && !sawIterLimit:
+		return Solution{Status: StatusInfeasible, NodesExplored: nodes}
+	case !haveIncumbent:
+		return Solution{Status: StatusLimit, NodesExplored: nodes, Bound: bestBound}
+	}
+
+	status := StatusOptimal
+	if (hitLimit && s.pool.len() > 0) || sawIterLimit {
+		// A drained tree with dropped subtrees is NOT a proof of
+		// optimality: a better integer solution may live in a discarded
+		// subtree.
+		status = StatusFeasible
+	}
+	gap := math.Abs(incumbentObj-bestBound) / math.Max(1, math.Abs(incumbentObj))
+	if status == StatusOptimal {
+		gap = 0
+		bestBound = incumbentObj
+	}
+	return Solution{
+		Status:        status,
+		Objective:     incumbentObj,
+		Values:        incumbentValues,
+		NodesExplored: nodes,
+		Bound:         bestBound,
+		Gap:           gap,
+	}
+}
+
+// solveBatch processes one round's items on up to s.workers goroutines.
+// With one worker (or a one-item batch) it runs inline on the coordinator.
+func (s *search) solveBatch(ctx context.Context, items []batchItem, roundBase uint64, poolLen0 int) {
+	n := s.workers
+	if n > len(items) {
+		n = len(items)
+	}
+	deques := make([]*rankDeque, n)
+	for w := range deques {
+		deques[w] = &rankDeque{}
+	}
+	// Round-robin assignment interleaves the best-first order across
+	// workers so every worker starts on a good node.
+	for rank := range items {
+		d := deques[rank%n]
+		d.ranks = append(d.ranks, rank)
+	}
+	if n == 1 {
+		s.runWorker(ctx, 0, items, deques, roundBase, poolLen0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.runWorker(ctx, w, items, deques, roundBase, poolLen0)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runWorker drains its own deque front-to-back, then steals from the back
+// of the other workers' deques until the round is exhausted or the context
+// fires. Unclaimed items are left !done for the coordinator to return to
+// the pool.
+func (s *search) runWorker(ctx context.Context, w int, items []batchItem, deques []*rankDeque, roundBase uint64, poolLen0 int) {
+	for {
+		rank, ok := deques[w].popFront()
+		for off := 1; !ok && off < len(deques); off++ {
+			rank, ok = deques[(w+off)%len(deques)].popBack()
+		}
+		if !ok {
+			return
+		}
+		if ctx.Err() != nil || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+			return
+		}
+		s.processItem(w, &items[rank], rank, roundBase, poolLen0)
+	}
+}
+
+// processItem solves one node's relaxation and pushes its children. Every
+// input it consults — the node, the round-stable atomic incumbent, the
+// rank-derived child IDs, the round-start pool length — is independent of
+// worker identity and timing, so the item's outcome is too.
+func (s *search) processItem(w int, it *batchItem, rank int, roundBase uint64, poolLen0 int) {
+	it.done = true
+	incumbent := s.loadIncumbent()
+	if !s.better(it.node.bound, incumbent) {
+		// The subtree cannot improve on the incumbent committed at the last
+		// barrier: skip the LP entirely. (The sequential search solved such
+		// nodes and pruned on the relaxation objective; pruning on the
+		// parent bound is the same decision taken earlier.)
+		it.pruned = true
+		return
+	}
+	sol := s.relaxer(w).solve(it.node)
+	it.status = sol.Status
+	it.objective = sol.Objective
+	if sol.Status != lp.StatusOptimal {
+		return
+	}
+	if !s.better(sol.Objective, incumbent) {
+		// Dominated: no children. The barrier's incumbent is at least as
+		// good as the round-start one, so the coordinator reaches the same
+		// verdict.
+		return
+	}
+
+	// Find the most fractional binary variable.
+	branchVar := -1
+	worstFrac := s.tol
+	for _, v := range s.p.Binary {
+		val := sol.Value(v)
+		frac := math.Abs(val - math.Round(val))
+		if frac > worstFrac {
+			worstFrac = frac
+			branchVar = v
+		}
+	}
+	it.branchVar = branchVar
+	if branchVar < 0 {
+		// Integral: carry the candidate to the barrier for ordered
+		// acceptance. sol.Values is freshly allocated per solve, so it is
+		// safe to retain.
+		it.values = sol.Values
+		return
+	}
+
+	// Branch: fix the variable to 0 and to 1. Both children share this
+	// node's optimal basis as their warm start. Beyond the retained-basis
+	// cap the children are queued without one (they cold-start if ever
+	// explored) so warm-start memory stays bounded; the cap test uses only
+	// round-start state plus the rank, keeping the decision deterministic.
+	childBasis := sol.Basis
+	if poolLen0+2*rank >= warmBasisQueueCap {
+		childBasis = nil
+	}
+	for d, fixVal := range []float64{0, 1} {
+		child := &node{
+			id:    roundBase + 2*uint64(rank) + uint64(d),
+			fixed: make(map[int]float64, len(it.node.fixed)+1),
+			bound: sol.Objective,
+			basis: childBasis,
+		}
+		for k, v := range it.node.fixed {
+			child.fixed[k] = v
+		}
+		child.fixed[branchVar] = fixVal
+		s.pool.push(child)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -136,7 +137,28 @@ func (e *Engine) buildSolver(alg string) (heuristics.Solver, error) {
 		Fast:         e.Spec.FastISP,
 		OPTTimeLimit: e.Spec.OptTimeLimit,
 		OPTMaxNodes:  e.Spec.OptMaxNodes,
+		OPTWorkers:   e.solverWorkers(),
 	})
+}
+
+// solverWorkers resolves the per-job branch-and-bound parallelism budget.
+// The default divides the machine between the job pool and the solvers:
+// with the pool already saturating GOMAXPROCS each job solves sequentially,
+// while a deliberately small pool (e.g. Workers: 1 for a handful of huge
+// OPT instances) hands each job the remaining cores.
+func (e *Engine) solverWorkers() int {
+	if e.Spec.SolverWorkers != 0 {
+		return e.Spec.SolverWorkers
+	}
+	cores := runtime.GOMAXPROCS(0)
+	pool := e.Spec.Workers
+	if pool <= 0 || pool > cores {
+		pool = cores
+	}
+	if w := cores / pool; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // Seed-stream discriminators: every random aspect of a job draws from its

@@ -130,6 +130,15 @@ type Spec struct {
 
 	// Workers bounds the goroutine pool (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// SolverWorkers is the per-job branch-and-bound parallelism handed to
+	// OPT (and any custom solver honouring the knob). Zero derives a budget
+	// that keeps pool×solver parallelism at GOMAXPROCS — with a saturated
+	// job pool each OPT runs sequentially, exactly the pre-parallel
+	// behaviour — so a 100-job sweep does not oversubscribe the machine;
+	// negative forces 1. Set it explicitly (e.g. together with Workers: 1)
+	// to give a few expensive OPT jobs the whole machine instead. Results
+	// are identical for every value; only wall-clock changes.
+	SolverWorkers int `json:"solver_workers,omitempty"`
 	// JobTimeout bounds each individual job (0 = no limit). A timed-out job
 	// is recorded as failed; the sweep continues.
 	JobTimeout time.Duration `json:"job_timeout,omitempty"`

@@ -1,0 +1,32 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSolverWorkersBudget pins the per-job branch-and-bound budget: a
+// saturated job pool keeps each solve sequential (the pre-parallel
+// behaviour), a deliberately small pool hands each job the spare cores, and
+// an explicit SolverWorkers wins outright.
+func TestSolverWorkersBudget(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name string
+		spec Spec
+		want int
+	}{
+		{"default pool saturates the machine", Spec{}, 1},
+		{"explicit pool of all cores", Spec{Workers: cores}, 1},
+		{"oversized pool clamps to cores", Spec{Workers: 4 * cores}, 1},
+		{"serial pool hands jobs the machine", Spec{Workers: 1}, max(1, cores)},
+		{"explicit solver budget wins", Spec{Workers: 1, SolverWorkers: 2}, 2},
+		{"negative forces sequential", Spec{SolverWorkers: -1}, -1},
+	}
+	for _, tc := range cases {
+		e := &Engine{Spec: tc.spec}
+		if got := e.solverWorkers(); got != tc.want {
+			t.Errorf("%s: solverWorkers() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -112,6 +112,7 @@ type plannerConfig struct {
 	fast         bool
 	optTimeLimit time.Duration
 	optMaxNodes  int
+	workers      int
 	progress     func(ProgressEvent)
 	schedule     bool
 	stageBudget  float64
@@ -143,6 +144,22 @@ func WithOPTBudget(limit time.Duration, maxNodes int) PlannerOption {
 		c.optTimeLimit = limit
 		c.optMaxNodes = maxNodes
 	}
+}
+
+// WithParallelism sets the number of worker goroutines an algorithm may use
+// inside a single Plan call. OPT's branch and bound solves its LP
+// relaxations on that many workers; other built-in algorithms currently run
+// sequentially, and custom solvers receive the value as
+// SolverConfig.Workers. Zero (the default) uses all of GOMAXPROCS, negative
+// forces sequential execution.
+//
+// Parallelism never changes the answer: OPT's search is deterministic — the
+// same plan, objective, bound and node count for every worker count and
+// every run — so WithParallelism is purely a latency/resource knob. Callers
+// that already fan out across scenarios (e.g. a Sweep) should pass 1, or
+// set SweepSpec workers instead, to avoid oversubscription.
+func WithParallelism(workers int) PlannerOption {
+	return func(c *plannerConfig) { c.workers = workers }
 }
 
 // WithProgress streams solver progress events (ISP iterations, OPT
@@ -200,6 +217,7 @@ func (p *Planner) Plan(ctx context.Context, sc *Scenario) (*Plan, error) {
 		Fast:         p.cfg.fast,
 		OPTTimeLimit: p.cfg.optTimeLimit,
 		OPTMaxNodes:  p.cfg.optMaxNodes,
+		OPTWorkers:   p.cfg.workers,
 	}
 	if p.cfg.progress != nil {
 		fn := p.cfg.progress
@@ -256,6 +274,9 @@ type SolverConfig struct {
 	// may honour them as their own search budget.
 	OPTTimeLimit time.Duration
 	OPTMaxNodes  int
+	// Workers mirrors WithParallelism: the in-solve worker budget
+	// (0 = GOMAXPROCS, negative = 1).
+	Workers int
 	// Progress mirrors WithProgress; custom solvers may stream their own
 	// events through it.
 	Progress func(ProgressEvent)
@@ -315,6 +336,7 @@ func RegisterSolverWithInfo(info SolverInfo, factory SolverFactory) {
 			Fast:         p.Fast,
 			OPTTimeLimit: p.OPTTimeLimit,
 			OPTMaxNodes:  p.OPTMaxNodes,
+			Workers:      p.OPTWorkers,
 		}
 		if p.Progress != nil {
 			progress := p.Progress

@@ -3,6 +3,7 @@ package netrecovery_test
 import (
 	"context"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -102,6 +103,56 @@ func TestPlannerHonoursContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := netrecovery.NewPlanner().Plan(ctx, destroyedGrid(t)); err == nil {
 		t.Error("expected error from a cancelled context")
+	}
+}
+
+// TestPlannerWithParallelismPlansAreIdentical pins the facade-level
+// determinism guarantee: WithParallelism is a latency knob, not a quality
+// knob — OPT plans are identical for every worker count, and the option is
+// threaded through to custom solvers as SolverConfig.Workers.
+func TestPlannerWithParallelismPlansAreIdentical(t *testing.T) {
+	sc := destroyedGrid(t)
+	type fp struct {
+		nodes, links []int
+		cost         float64
+		optimal      bool
+	}
+	solve := func(workers int) fp {
+		planner := netrecovery.NewPlanner(
+			netrecovery.WithAlgorithm(netrecovery.OPT),
+			netrecovery.WithOPTBudget(time.Minute, 20000),
+			netrecovery.WithParallelism(workers),
+		)
+		plan, err := planner.Plan(context.Background(), sc)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("workers %d: verify: %v", workers, err)
+		}
+		return fp{plan.RepairedNodes(), plan.RepairedLinks(), plan.Cost(), plan.Optimal()}
+	}
+	ref := solve(1)
+	for _, workers := range []int{2, 4} {
+		got := solve(workers)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers %d: plan diverged\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+
+	// Custom solvers receive the worker budget through SolverConfig.
+	planner := netrecovery.NewPlanner(
+		netrecovery.WithAlgorithm(testSolverName),
+		netrecovery.WithParallelism(3),
+	)
+	if _, err := planner.Plan(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	testSolverMu.Lock()
+	got := testSolverLastCfg.Workers
+	testSolverMu.Unlock()
+	if got != 3 {
+		t.Errorf("custom solver saw Workers = %d, want 3", got)
 	}
 }
 
