@@ -18,6 +18,7 @@ import (
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/lp"
 	"netrecovery/internal/milp"
+	"netrecovery/internal/plancache"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/topology"
 )
@@ -161,6 +162,25 @@ func runBenchSuite(ctx context.Context) (benchReport, error) {
 	basis := warm.Basis
 	rng := rand.New(rand.NewSource(9))
 
+	// cached_plan_hit: the serving-path cost of answering a plan request
+	// whose scenario is already cached — one fingerprint computation plus a
+	// cache lookup, no solver. Primed with one fast-ISP solve; the row's
+	// solve callback must never run again.
+	cache := plancache.New(plancache.Config{})
+	fastParams := heuristics.Params{Fast: true}
+	hitKey := func() plancache.Key {
+		return plancache.Key{Fingerprint: s.Fingerprint(), Algorithm: "ISP", Options: plancache.ParamsDigest(fastParams)}
+	}
+	primeSolver, err := heuristics.New("ISP", fastParams)
+	if err != nil {
+		return report, err
+	}
+	if _, _, _, err := cache.Do(ctx, hitKey(), func(ctx context.Context) (*scenario.Plan, error) {
+		return primeSolver.Solve(ctx, s)
+	}); err != nil {
+		return report, fmt.Errorf("bench: cache priming solve failed: %w", err)
+	}
+
 	milpProb := heuristics.OptMILP(s)
 	milpSolve := func(workers int) func() {
 		opts := milp.Options{MaxNodes: 300, TimeLimit: 5 * time.Minute, Workers: workers}
@@ -203,6 +223,14 @@ func runBenchSuite(ctx context.Context) (benchReport, error) {
 		}},
 		{"isp_iteration_exact", 3, mustSolve(core.Options{Routability: flow.Options{Mode: flow.ModeExact}})},
 		{"isp_iteration_fast", 10, mustSolve(core.FastOptions())},
+		{"cached_plan_hit", 1000, func() {
+			_, outcome, _, err := cache.Do(ctx, hitKey(), func(context.Context) (*scenario.Plan, error) {
+				panic("cached_plan_hit must never solve")
+			})
+			if err != nil || outcome != plancache.Hit {
+				panic(fmt.Sprintf("cached_plan_hit: outcome=%v err=%v", outcome, err))
+			}
+		}},
 		{"opt_search300_w1", 1, milpSolve(1)},
 		{"opt_search300_w4", 1, milpSolve(4)},
 	}

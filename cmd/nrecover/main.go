@@ -7,14 +7,18 @@
 //	nrecover -topology bell.json -pairs 4 -flow 10 -variance 50 -solver ISP
 //	nrecover -topology er.json -destroy-all -pairs 5 -flow 1 -solver SRT
 //	nrecover -topology bell.json -pairs 3 -flow 10 -variance 40 -compare
+//	nrecover -topology bell.json -pairs 4 -flow 10 -variance 50 -json
 //
 // With -list the registered solvers and their metadata are printed. With
 // -compare every available solver is run and a comparison table is printed
-// instead of a single plan.
+// instead of a single plan. With -json the plan is emitted in the shared
+// wire schema — exactly what the nrserved HTTP daemon returns from
+// POST /v1/plan — so scripts can consume either interchangeably.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +38,7 @@ import (
 	"netrecovery/internal/progressive"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/topology"
+	"netrecovery/internal/wire"
 )
 
 func main() {
@@ -61,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		routes     = fs.Bool("routes", false, "also print the per-demand routes of the plan")
 		stages     = fs.Float64("stage-budget", 0, "if positive, also print a progressive repair schedule with this per-stage budget")
 		graphml    = fs.Bool("graphml", false, "parse -topology as an Internet Topology Zoo GraphML file")
+		jsonOut    = fs.Bool("json", false, "emit the plan as JSON in the exact schema the nrserved HTTP daemon returns (includes the stages when -stage-budget is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,9 +98,14 @@ func run(args []string, stdout io.Writer) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	if *jsonOut && *compare {
+		return fmt.Errorf("-json and -compare are mutually exclusive")
+	}
 
-	fmt.Fprintf(stdout, "topology %s: %d nodes, %d edges; disruption: %d nodes + %d edges broken; demand: %d pairs x %.0f units\n\n",
-		name, g.NumNodes(), g.NumEdges(), len(d.Nodes), len(d.Edges), *pairs, *flowUnits)
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "topology %s: %d nodes, %d edges; disruption: %d nodes + %d edges broken; demand: %d pairs x %.0f units\n\n",
+			name, g.NumNodes(), g.NumEdges(), len(d.Nodes), len(d.Edges), *pairs, *flowUnits)
+	}
 
 	if *compare {
 		cfg := experiments.Quick()
@@ -131,6 +142,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := scenario.VerifyPlan(s, plan); err != nil {
 		return fmt.Errorf("produced plan failed verification: %w", err)
 	}
+	if *jsonOut {
+		return printPlanJSON(stdout, s, plan, *stages)
+	}
 	printPlan(stdout, s, plan)
 	if *routes {
 		printRoutes(stdout, s, plan)
@@ -141,6 +155,23 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printPlanJSON emits the plan in the shared wire schema — the exact JSON
+// the nrserved daemon serves from POST /v1/plan — so CLI output and server
+// responses cannot drift apart.
+func printPlanJSON(w io.Writer, s *scenario.Scenario, plan *scenario.Plan, stageBudget float64) error {
+	wp := wire.FromPlan(s, plan)
+	if stageBudget > 0 {
+		staged, err := wp.WithStages(s, plan, stageBudget)
+		if err != nil {
+			return err
+		}
+		wp = staged
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wp)
 }
 
 // printRoutes decomposes the plan's routing into explicit per-demand paths.

@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
 	"netrecovery/internal/topology"
+	"netrecovery/internal/wire"
 )
 
 func TestRunDefaultTopologyISP(t *testing.T) {
@@ -175,5 +180,54 @@ func TestRunGraphMLTopology(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "4 nodes, 4 edges") {
 		t.Errorf("GraphML topology not loaded: %q", out.String())
+	}
+}
+
+// TestRunJSONOutput: -json emits the shared wire schema — parseable as a
+// wire.Plan, deterministic across runs, with sorted ID lists.
+func TestRunJSONOutput(t *testing.T) {
+	args := []string{"-pairs", "2", "-flow", "8", "-variance", "30", "-seed", "4", "-json", "-stage-budget", "50"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var plan wire.Plan
+	if err := json.Unmarshal(out.Bytes(), &plan); err != nil {
+		t.Fatalf("output is not a wire.Plan: %v\n%s", err, out.String())
+	}
+	if plan.Algorithm != "ISP" {
+		t.Errorf("algorithm = %q", plan.Algorithm)
+	}
+	if len(plan.ScenarioFingerprint) != 64 {
+		t.Errorf("scenario_fingerprint = %q, want 64 hex chars", plan.ScenarioFingerprint)
+	}
+	if plan.TotalRepairs != plan.NodeRepairs+plan.LinkRepairs {
+		t.Errorf("repair counts inconsistent: %+v", plan)
+	}
+	if !sort.IntsAreSorted(plan.RepairedNodes) || !sort.IntsAreSorted(plan.RepairedLinks) {
+		t.Errorf("repaired ID lists not sorted: %v / %v", plan.RepairedNodes, plan.RepairedLinks)
+	}
+	if len(plan.Stages) == 0 {
+		t.Error("no stages despite -stage-budget")
+	}
+
+	// Byte-identical across runs: the CLI and server share one encoder and
+	// the runtime is the only varying field, so strip it before comparing.
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		re := regexp.MustCompile(`"runtime_ms": [0-9.e+-]+`)
+		return re.ReplaceAllString(s, `"runtime_ms": X`)
+	}
+	if strip(out.String()) != strip(again.String()) {
+		t.Errorf("-json output not deterministic:\n%s\nvs\n%s", out.String(), again.String())
+	}
+}
+
+func TestRunJSONRejectsCompare(t *testing.T) {
+	if err := run([]string{"-json", "-compare"}, io.Discard); err == nil {
+		t.Fatal("-json -compare accepted")
 	}
 }

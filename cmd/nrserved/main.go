@@ -1,0 +1,116 @@
+// Command nrserved is the recovery-planning HTTP daemon: it serves
+// recovery plans for JSON scenarios over a content-addressed plan cache
+// with request coalescing, runs declarative scenario sweeps, and streams
+// solver progress as Server-Sent Events.
+//
+// Usage:
+//
+//	nrserved -addr :8080
+//	nrserved -addr :8080 -cache-entries 4096 -cache-ttl 1h \
+//	         -max-inflight 8 -request-timeout 2m
+//
+// Endpoints (see the README "Serving" section for the full schema):
+//
+//	POST /v1/plan        {"scenario": {...}, "algorithm": "ISP"} -> plan + cache metadata
+//	POST /v1/sweep       sweep spec -> aggregated report
+//	GET  /v1/plan/stream same body as /v1/plan -> SSE progress + final plan
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, lets in-flight requests drain up to -drain, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netrecovery/internal/plancache"
+	"netrecovery/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "nrserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon. ready, when non-nil, receives the bound listener
+// address once the server accepts connections (tests use it to find the
+// ephemeral port and to shut the daemon down via the returned context).
+func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("nrserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		cacheEntries = fs.Int("cache-entries", 1024, "maximum cached plans (LRU beyond that)")
+		cacheTTL     = fs.Duration("cache-ttl", 0, "maximum age of a cached plan (0 = never expires)")
+		maxInFlight  = fs.Int("max-inflight", 0, "maximum concurrent solves (0 = GOMAXPROCS); excess requests queue")
+		reqTimeout   = fs.Duration("request-timeout", 2*time.Minute, "per-request wall-clock budget (0 = none)")
+		solverW      = fs.Int("solver-workers", 0, "default in-solve parallelism per request (0 = GOMAXPROCS/max-inflight)")
+		drain        = fs.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Cache:          plancache.New(plancache.Config{MaxEntries: *cacheEntries, TTL: *cacheTTL}),
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		SolverWorkers:  *solverW,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Solves stream or run long; only bound the header read here, the
+		// per-request budget is enforced inside the handler.
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          log.New(io.Discard, "", 0),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stdout, "nrserved listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "nrserved shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// The drain budget expired with requests still in flight; close
+		// them hard.
+		httpSrv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises
+// /healthz and the cold/warm /v1/plan path, then shuts it down with SIGTERM
+// and waits for the graceful exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	ready := make(chan net.Addr, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-request-timeout", "30s"}, &out, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{
+		"scenario": {
+			"nodes": [
+				{"name": "a", "x": 0, "y": 0, "repairCost": 1},
+				{"name": "b", "x": 1, "y": 0, "repairCost": 1},
+				{"name": "c", "x": 2, "y": 0, "repairCost": 1}
+			],
+			"links": [
+				{"from": 0, "to": 1, "capacity": 10, "repairCost": 1},
+				{"from": 1, "to": 2, "capacity": 10, "repairCost": 1}
+			],
+			"demands": [{"source": 0, "target": 2, "flow": 5}],
+			"broken_nodes": [1],
+			"broken_links": [0, 1]
+		},
+		"algorithm": "ISP"
+	}`
+	post := func() (string, string) {
+		resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan: %d %s", resp.StatusCode, raw)
+		}
+		var parsed struct {
+			Plan  json.RawMessage `json:"plan"`
+			Cache struct {
+				Status string `json:"status"`
+			} `json:"cache"`
+		}
+		if err := json.Unmarshal(raw, &parsed); err != nil {
+			t.Fatalf("bad response %s: %v", raw, err)
+		}
+		return string(parsed.Plan), parsed.Cache.Status
+	}
+	plan1, status1 := post()
+	plan2, status2 := post()
+	if status1 != "miss" || status2 != "hit" {
+		t.Fatalf("cache statuses = %q, %q; want miss, hit", status1, status2)
+	}
+	if plan1 != plan2 {
+		t.Fatalf("cached plan differs from cold plan:\n%s\nvs\n%s", plan1, plan2)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown log in output: %q", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	// A busy/invalid address must fail fast, not hang.
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard, nil); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}

@@ -207,13 +207,17 @@ func buildOptModel(s *scenario.Scenario) *optModel {
 		demands: s.Demand.Active(),
 	}
 
-	for v := range s.BrokenNodes {
+	// Iterate the broken sets in sorted ID order, never map order: the
+	// variable layout (and with it the branch order and every LP pivot
+	// sequence) must be identical across runs for OPT's plans, bounds and
+	// node counts to be reproducible.
+	for _, v := range s.SortedBrokenNodes() {
 		idx := prob.AddBoundedVariable(s.Supply.Node(v).RepairCost, 1, fmt.Sprintf("delta_v_%d", v))
 		model.nodeVar[v] = idx
 		model.binaries = append(model.binaries, idx)
 		model.totalCost += s.Supply.Node(v).RepairCost
 	}
-	for e := range s.BrokenEdges {
+	for _, e := range s.SortedBrokenEdges() {
 		idx := prob.AddBoundedVariable(s.Supply.Edge(e).RepairCost, 1, fmt.Sprintf("delta_e_%d", e))
 		model.edgeVar[e] = idx
 		model.binaries = append(model.binaries, idx)
@@ -250,8 +254,9 @@ func buildOptModel(s *scenario.Scenario) *optModel {
 
 	// Node-activation rows (constraint 1(c), expressed through flow): the
 	// total flow incident to a broken node cannot exceed its incident
-	// capacity unless the node is repaired.
-	for v := range s.BrokenNodes {
+	// capacity unless the node is repaired. Sorted order again: the row
+	// layout is part of the deterministic pivot sequence.
+	for _, v := range s.SortedBrokenNodes() {
 		dv := model.nodeVar[v]
 		incident := s.Supply.IncidentEdges(v)
 		bigM := 0.0

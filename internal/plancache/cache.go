@@ -1,0 +1,348 @@
+// Package plancache is the content-addressed recovery-plan cache of the
+// serving stack. Plans are deterministic functions of an immutable Scenario
+// snapshot plus the solver configuration, so they are cached by content
+// hash: the key combines the scenario fingerprint (see
+// scenario.Fingerprint), the algorithm name and a digest of the
+// answer-relevant solver options.
+//
+// The cache is a sharded LRU with TTL + max-entries eviction and
+// singleflight request coalescing: N concurrent requests for the same key
+// trigger exactly one solve, the rest wait for the leader and share its
+// plan. Hit/miss/coalesce/eviction counters feed the server's /metrics
+// endpoint and the facade's PlanCache.Stats.
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/scenario"
+)
+
+// Key addresses one cached plan: the scenario content hash, the algorithm
+// that solved it, and the digest of the solver options that can change the
+// answer. Keys are comparable values, usable directly as map keys.
+type Key struct {
+	// Fingerprint is scenario.Fingerprint() of the solved snapshot.
+	Fingerprint [32]byte
+	// Algorithm is the registry name of the solver (ISP, OPT, ...).
+	Algorithm string
+	// Options is ParamsDigest of the solver options.
+	Options [32]byte
+}
+
+// ParamsDigest hashes the answer-relevant solver options into the Options
+// component of a Key: the ISP fast/exact mode and the OPT search budget.
+// Params that can never change the resulting plan are deliberately
+// excluded — Workers (the parallel search is deterministic across worker
+// counts, see internal/milp) and Progress (pure observability) — so requests
+// differing only in those knobs share cache entries.
+func ParamsDigest(p heuristics.Params) [32]byte {
+	var buf [2 + 8 + 8]byte
+	buf[0] = 1 // digest layout version
+	if p.Fast {
+		buf[1] = 1
+	}
+	binary.BigEndian.PutUint64(buf[2:], uint64(p.OPTTimeLimit))
+	binary.BigEndian.PutUint64(buf[10:], uint64(p.OPTMaxNodes))
+	return sha256.Sum256(buf[:])
+}
+
+// Outcome reports how a Do call obtained its plan.
+type Outcome int
+
+// Do outcomes.
+const (
+	// Miss: this call was the leader and executed the solve.
+	Miss Outcome = iota
+	// Hit: the plan was served from the cache without any solve.
+	Hit
+	// Coalesced: another in-flight call was already solving the same key;
+	// this call waited for it and shares its plan.
+	Coalesced
+)
+
+// String renders the outcome as the wire/metrics label.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Config parameterises New.
+type Config struct {
+	// MaxEntries bounds the number of cached plans across all shards
+	// (rounded up to a multiple of the shard count; 0 means 1024). The
+	// least-recently-used entry of a full shard is evicted on insert.
+	MaxEntries int
+	// TTL is the maximum age of a cached plan (0 = never expires). Expired
+	// entries are dropped lazily on lookup.
+	TTL time.Duration
+	// Shards is the number of independently locked shards (0 = 16, rounded
+	// up to a power of two). More shards reduce lock contention under
+	// concurrent load.
+	Shards int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits, Misses and Coalesced count Do outcomes.
+	Hits, Misses, Coalesced uint64
+	// Evictions counts entries dropped by LRU pressure, Expired entries
+	// dropped because their TTL passed.
+	Evictions, Expired uint64
+	// Entries is the current number of cached plans.
+	Entries int
+}
+
+// entry is one cached plan.
+type entry struct {
+	key     Key
+	plan    *scenario.Plan
+	stored  time.Time
+	element *list.Element
+}
+
+// call is one in-flight solve that followers coalesce onto.
+type call struct {
+	done chan struct{}
+	plan *scenario.Plan
+	err  error
+}
+
+// shard is one independently locked slice of the key space.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	lru      *list.List // front = most recently used
+	inflight map[Key]*call
+}
+
+// Cache is a sharded, coalescing, content-addressed plan cache. It is safe
+// for concurrent use. The cached *scenario.Plan values are shared between
+// callers and must be treated as immutable.
+type Cache struct {
+	shards    []*shard
+	shardMax  int
+	ttl       time.Duration
+	now       func() time.Time
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+	expired   atomic.Uint64
+}
+
+// New returns a cache configured by cfg.
+func New(cfg Config) *Cache {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	maxEntries := cfg.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	perShard := (maxEntries + n - 1) / n
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Cache{
+		shards:   make([]*shard, n),
+		shardMax: perShard,
+		ttl:      cfg.TTL,
+		now:      now,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries:  make(map[Key]*entry),
+			lru:      list.New(),
+			inflight: make(map[Key]*call),
+		}
+	}
+	return c
+}
+
+// shardFor selects the shard of a key from its fingerprint (already a
+// uniform hash; the algorithm and options are folded in so keys differing
+// only there still spread).
+func (c *Cache) shardFor(k Key) *shard {
+	h := binary.BigEndian.Uint64(k.Fingerprint[:8])
+	h ^= binary.BigEndian.Uint64(k.Options[:8])
+	for i := 0; i < len(k.Algorithm); i++ {
+		h = h*131 + uint64(k.Algorithm[i])
+	}
+	return c.shards[h&uint64(len(c.shards)-1)]
+}
+
+// Do returns the plan for key, solving at most once per key across all
+// concurrent callers: a cached fresh plan is returned immediately (Hit); if
+// another call is already solving the key, this call waits for it and shares
+// the result (Coalesced); otherwise this call becomes the leader, runs solve
+// and stores the plan (Miss).
+//
+// Cancelling ctx while waiting — either coalesced behind a leader or as the
+// leader inside solve — returns promptly with the context's error. Errors
+// are never cached; a leader whose solve failed with its own cancellation
+// does not poison waiting followers, they re-elect a new leader and solve
+// again. The age result is the time the returned plan spent in the cache
+// (zero for Miss and Coalesced).
+//
+// The returned plan is shared with every other caller of the same key and
+// must not be mutated.
+func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context) (*scenario.Plan, error)) (plan *scenario.Plan, outcome Outcome, age time.Duration, err error) {
+	s := c.shardFor(key)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, Miss, 0, err
+		}
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
+				s.removeLocked(e)
+				c.expired.Add(1)
+			} else {
+				s.lru.MoveToFront(e.element)
+				age := c.now().Sub(e.stored)
+				s.mu.Unlock()
+				c.hits.Add(1)
+				return e.plan, Hit, age, nil
+			}
+		}
+		if cl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, Coalesced, 0, ctx.Err()
+			}
+			if cl.err == nil {
+				c.coalesced.Add(1)
+				return cl.plan, Coalesced, 0, nil
+			}
+			// The leader failed. Its own cancellation must not poison this
+			// follower: retry (and typically become the new leader). Any
+			// other solver error is deterministic for the key — share it.
+			if errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded) {
+				continue
+			}
+			return nil, Coalesced, 0, cl.err
+		}
+		cl := &call{done: make(chan struct{})}
+		s.inflight[key] = cl
+		s.mu.Unlock()
+
+		cl.plan, cl.err = solve(ctx)
+		if cl.err == nil && cl.plan == nil {
+			cl.err = errors.New("plancache: solve returned a nil plan")
+		}
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if cl.err == nil {
+			s.storeLocked(c, key, cl.plan)
+		}
+		s.mu.Unlock()
+		close(cl.done)
+
+		if cl.err != nil {
+			return nil, Miss, 0, cl.err
+		}
+		c.misses.Add(1)
+		return cl.plan, Miss, 0, nil
+	}
+}
+
+// Get returns the cached plan for key without solving, or nil. It counts as
+// a hit when present and respects the TTL.
+func (c *Cache) Get(key Key) (*scenario.Plan, time.Duration, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
+		s.removeLocked(e)
+		c.expired.Add(1)
+		return nil, 0, false
+	}
+	s.lru.MoveToFront(e.element)
+	c.hits.Add(1)
+	return e.plan, c.now().Sub(e.stored), true
+}
+
+// storeLocked inserts (or refreshes) an entry, evicting the shard's LRU tail
+// when full. Callers hold s.mu.
+func (s *shard) storeLocked(c *Cache, key Key, plan *scenario.Plan) {
+	if e, ok := s.entries[key]; ok {
+		e.plan = plan
+		e.stored = c.now()
+		s.lru.MoveToFront(e.element)
+		return
+	}
+	for s.lru.Len() >= c.shardMax {
+		tail := s.lru.Back()
+		if tail == nil {
+			break
+		}
+		s.removeLocked(tail.Value.(*entry))
+		c.evictions.Add(1)
+	}
+	e := &entry{key: key, plan: plan, stored: c.now()}
+	e.element = s.lru.PushFront(e)
+	s.entries[key] = e
+}
+
+// removeLocked drops an entry. Callers hold s.mu.
+func (s *shard) removeLocked(e *entry) {
+	s.lru.Remove(e.element)
+	delete(s.entries, e.key)
+}
+
+// Len returns the current number of cached plans.
+func (c *Cache) Len() int {
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Entries:   c.Len(),
+	}
+}

@@ -1,0 +1,381 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/scenario"
+)
+
+func testKey(i byte) Key {
+	var k Key
+	k.Fingerprint[0] = i
+	k.Fingerprint[31] = i ^ 0x5a
+	k.Algorithm = "ISP"
+	k.Options = ParamsDigest(heuristics.Params{})
+	return k
+}
+
+func testPlan(name string) *scenario.Plan { return scenario.NewPlan(name) }
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(Config{})
+	key := testKey(1)
+	var solves atomic.Int32
+	solve := func(context.Context) (*scenario.Plan, error) {
+		solves.Add(1)
+		return testPlan("ISP"), nil
+	}
+	p1, outcome, age, err := c.Do(context.Background(), key, solve)
+	if err != nil || outcome != Miss || age != 0 {
+		t.Fatalf("first Do: plan=%v outcome=%v age=%v err=%v, want miss", p1, outcome, age, err)
+	}
+	p2, outcome, _, err := c.Do(context.Background(), key, solve)
+	if err != nil || outcome != Hit {
+		t.Fatalf("second Do: outcome=%v err=%v, want hit", outcome, err)
+	}
+	if p1 != p2 {
+		t.Fatalf("hit returned a different plan pointer")
+	}
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("solve ran %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestDoCoalescesConcurrentCalls is the core singleflight guarantee: K
+// concurrent identical requests perform exactly one solve.
+func TestDoCoalescesConcurrentCalls(t *testing.T) {
+	c := New(Config{})
+	key := testKey(2)
+	const K = 32
+	var solves atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var startOnce sync.Once
+	solve := func(context.Context) (*scenario.Plan, error) {
+		startOnce.Do(func() { close(started) })
+		solves.Add(1)
+		<-release
+		return testPlan("ISP"), nil
+	}
+
+	var wg sync.WaitGroup
+	plans := make([]*scenario.Plan, K)
+	outcomes := make([]Outcome, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans[i], outcomes[i], _, errs[i] = c.Do(context.Background(), key, solve)
+		}(i)
+	}
+	<-started
+	// Give followers time to queue up behind the in-flight leader, then let
+	// the solve finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("%d concurrent calls ran %d solves, want exactly 1", K, got)
+	}
+	leaders, followers, hits := 0, 0, 0
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("call %d failed: %v", i, errs[i])
+		}
+		if plans[i] != plans[0] {
+			t.Fatalf("call %d got a different plan pointer", i)
+		}
+		switch outcomes[i] {
+		case Miss:
+			leaders++
+		case Coalesced:
+			followers++
+		case Hit:
+			hits++ // a caller that arrived after the leader stored
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("want exactly 1 leader, got %d (followers=%d hits=%d)", leaders, followers, hits)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != uint64(followers) || st.Hits != uint64(hits) {
+		t.Fatalf("stats = %+v inconsistent with outcomes (followers=%d hits=%d)", st, followers, hits)
+	}
+}
+
+// TestDoFollowerCancellation: a coalesced waiter whose context is cancelled
+// returns promptly even though the leader keeps solving.
+func TestDoFollowerCancellation(t *testing.T) {
+	c := New(Config{})
+	key := testKey(3)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _, err := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+			close(started)
+			<-release
+			return testPlan("ISP"), nil
+		})
+		if err != nil {
+			t.Errorf("leader failed: %v", err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, _, err := c.Do(ctx, key, func(context.Context) (*scenario.Plan, error) {
+		t.Error("cancelled follower must not solve")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("follower took %v to observe cancellation", waited)
+	}
+	close(release)
+}
+
+// TestDoLeaderCancellationDoesNotPoisonFollowers: when the leader's own
+// context dies mid-solve, a waiting follower with a live context re-elects
+// itself leader and solves; the cancellation error is not shared.
+func TestDoLeaderCancellationDoesNotPoisonFollowers(t *testing.T) {
+	c := New(Config{})
+	key := testKey(4)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(leaderCtx, key, func(ctx context.Context) (*scenario.Plan, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	followerDone := make(chan error, 1)
+	var followerSolved atomic.Bool
+	go func() {
+		_, _, _, err := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+			followerSolved.Store(true)
+			return testPlan("ISP"), nil
+		})
+		followerDone <- err
+	}()
+	// Let the follower coalesce onto the leader, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-followerDone:
+		if err != nil {
+			t.Fatalf("follower err = %v, want nil after re-electing itself", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never completed after leader cancellation")
+	}
+	if !followerSolved.Load() {
+		t.Fatal("follower did not run its own solve after the leader died")
+	}
+}
+
+// TestDoSharesDeterministicErrors: a non-context solver error is shared with
+// coalesced followers (the solve is deterministic, re-running it would fail
+// identically) and is not cached.
+func TestDoSharesDeterministicErrors(t *testing.T) {
+	c := New(Config{})
+	key := testKey(5)
+	boom := errors.New("infeasible")
+	var solves atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+			close(started)
+			solves.Add(1)
+			<-release
+			return nil, boom
+		})
+		leaderDone <- err
+	}()
+	<-started
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+			solves.Add(1)
+			return nil, boom
+		})
+		followerDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v, want %v", err, boom)
+	}
+	if err := <-followerDone; !errors.Is(err, boom) {
+		t.Fatalf("follower err = %v, want the shared %v", err, boom)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("error was not shared: %d solves", got)
+	}
+	// Errors are not cached: the next call solves again.
+	_, _, _, err := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+		solves.Add(1)
+		return testPlan("ISP"), nil
+	})
+	if err != nil {
+		t.Fatalf("post-error Do failed: %v", err)
+	}
+	if got := solves.Load(); got != 2 {
+		t.Fatalf("error path cached something: %d solves, want 2", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	c := New(Config{TTL: time.Minute, Now: now})
+	key := testKey(6)
+	var solves atomic.Int32
+	solve := func(context.Context) (*scenario.Plan, error) {
+		solves.Add(1)
+		return testPlan("ISP"), nil
+	}
+	if _, outcome, _, _ := c.Do(context.Background(), key, solve); outcome != Miss {
+		t.Fatalf("first call outcome = %v, want miss", outcome)
+	}
+	clock = clock.Add(30 * time.Second)
+	if _, outcome, age, _ := c.Do(context.Background(), key, solve); outcome != Hit || age != 30*time.Second {
+		t.Fatalf("fresh entry: outcome=%v age=%v, want hit at 30s", outcome, age)
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, outcome, _, _ := c.Do(context.Background(), key, solve); outcome != Miss {
+		t.Fatalf("expired entry outcome = %v, want miss (re-solve)", outcome)
+	}
+	if got := solves.Load(); got != 2 {
+		t.Fatalf("%d solves, want 2 (initial + after expiry)", got)
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("stats = %+v, want Expired=1", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard so the LRU order is global and the arithmetic is exact.
+	c := New(Config{MaxEntries: 4, Shards: 1})
+	solveNamed := func(name string) func(context.Context) (*scenario.Plan, error) {
+		return func(context.Context) (*scenario.Plan, error) { return testPlan(name), nil }
+	}
+	for i := byte(0); i < 4; i++ {
+		if _, _, _, err := c.Do(context.Background(), testKey(i), solveNamed("ISP")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, outcome, _, _ := c.Do(context.Background(), testKey(0), solveNamed("ISP")); outcome != Hit {
+		t.Fatalf("touch of key 0: outcome %v, want hit", outcome)
+	}
+	if _, outcome, _, _ := c.Do(context.Background(), testKey(9), solveNamed("ISP")); outcome != Miss {
+		t.Fatalf("insert of key 9: outcome %v, want miss", outcome)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.Len())
+	}
+	if _, outcome, _, _ := c.Do(context.Background(), testKey(1), solveNamed("ISP")); outcome != Miss {
+		t.Fatalf("key 1 should have been evicted, got outcome %v", outcome)
+	}
+	if st := c.Stats(); st.Evictions < 1 {
+		t.Fatalf("stats = %+v, want at least 1 eviction", st)
+	}
+}
+
+// TestConcurrentMixedLoad hammers the cache from many goroutines over a
+// small key space; run with -race this is the data-race canary. It also
+// checks the bookkeeping invariant hits+misses+coalesced == calls.
+func TestConcurrentMixedLoad(t *testing.T) {
+	c := New(Config{MaxEntries: 8, Shards: 4, TTL: time.Hour})
+	const (
+		workers = 16
+		iters   = 200
+	)
+	var calls atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := testKey(byte((w + i) % 12))
+				calls.Add(1)
+				plan, _, _, err := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+					return testPlan(fmt.Sprintf("p%d", key.Fingerprint[0])), nil
+				})
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, i, err)
+					return
+				}
+				if want := fmt.Sprintf("p%d", key.Fingerprint[0]); plan.Solver != want {
+					t.Errorf("worker %d iter %d: got plan %q, want %q (cross-key mixup)", w, i, plan.Solver, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced != calls.Load() {
+		t.Fatalf("outcome counters %d+%d+%d != %d calls", st.Hits, st.Misses, st.Coalesced, calls.Load())
+	}
+	if st.Entries > 8 {
+		t.Fatalf("cache grew past MaxEntries: %d", st.Entries)
+	}
+}
+
+func TestParamsDigest(t *testing.T) {
+	base := ParamsDigest(heuristics.Params{})
+	if d := ParamsDigest(heuristics.Params{Fast: true}); d == base {
+		t.Error("Fast did not change the digest")
+	}
+	if d := ParamsDigest(heuristics.Params{OPTTimeLimit: time.Second}); d == base {
+		t.Error("OPTTimeLimit did not change the digest")
+	}
+	if d := ParamsDigest(heuristics.Params{OPTMaxNodes: 7}); d == base {
+		t.Error("OPTMaxNodes did not change the digest")
+	}
+	// Answer-invariant knobs must NOT change the digest, so requests
+	// differing only in parallelism or observability share entries.
+	if d := ParamsDigest(heuristics.Params{OPTWorkers: 8, Progress: func(heuristics.ProgressEvent) {}}); d != base {
+		t.Error("Workers/Progress changed the digest; they are answer-invariant")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{Miss: "miss", Hit: "hit", Coalesced: "coalesced"} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+
+	"netrecovery/internal/graph"
+)
+
+// fingerprintDomain versions the canonical serialisation below. Bump it when
+// the byte layout changes so old and new fingerprints can never collide.
+const fingerprintDomain = "netrecovery/scenario/v1"
+
+// Fingerprint returns a stable 256-bit content hash of the scenario: the
+// supply topology (node names, coordinates, repair costs; edge endpoints,
+// capacities, repair costs), the demand pairs with their residual flows, and
+// the disruption state (broken node and edge sets).
+//
+// The hash is computed over a canonical serialisation — fields are visited
+// in ID order, set members in ascending ID order, floats as IEEE-754 bit
+// patterns, and every variable-length field is length-prefixed — so it is
+// stable across processes, architectures and library versions (within one
+// fingerprintDomain), and two scenarios with the same fingerprint describe
+// the same MinR instance. Everything a solver reads is covered: any mutation
+// that could change a recovery plan changes the fingerprint. The converse
+// over-approximates harmlessly: solver-irrelevant details (node names,
+// coordinates, demand-pair tombstones) are hashed too, so two semantically
+// equal instances may still fingerprint apart — safe for caching, which only
+// requires that equal fingerprints imply equal plans.
+//
+// Solver options (algorithm, ISP fast mode, OPT budget) are deliberately
+// NOT part of the fingerprint; cache keys combine the fingerprint with the
+// algorithm name and an options digest (see internal/plancache).
+func (s *Scenario) Fingerprint() [32]byte {
+	h := sha256.New()
+	h.Write([]byte(fingerprintDomain))
+
+	writeU64 := func(v uint64) {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeInt := func(v int) { writeU64(uint64(int64(v))) }
+	writeFloat := func(f float64) { writeU64(math.Float64bits(f)) }
+	writeString := func(str string) {
+		writeInt(len(str))
+		h.Write([]byte(str))
+	}
+
+	hashSection(h, 'N')
+	writeInt(s.Supply.NumNodes())
+	for _, n := range s.Supply.Nodes() {
+		writeString(n.Name)
+		writeFloat(n.X)
+		writeFloat(n.Y)
+		writeFloat(n.RepairCost)
+	}
+
+	hashSection(h, 'E')
+	writeInt(s.Supply.NumEdges())
+	for _, e := range s.Supply.Edges() {
+		writeInt(int(e.From))
+		writeInt(int(e.To))
+		writeFloat(e.Capacity)
+		writeFloat(e.RepairCost)
+	}
+
+	hashSection(h, 'D')
+	pairs := s.Demand.All()
+	writeInt(len(pairs))
+	for _, p := range pairs {
+		writeInt(int(p.Source))
+		writeInt(int(p.Target))
+		writeFloat(p.Flow)
+	}
+
+	hashSection(h, 'B')
+	brokenNodes := s.SortedBrokenNodes()
+	writeInt(len(brokenNodes))
+	for _, v := range brokenNodes {
+		writeInt(int(v))
+	}
+
+	hashSection(h, 'b')
+	brokenEdges := s.SortedBrokenEdges()
+	writeInt(len(brokenEdges))
+	for _, e := range brokenEdges {
+		writeInt(int(e))
+	}
+
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// hashSection writes a section tag, domain-separating the serialisation so
+// that e.g. an empty node list followed by a non-empty edge list can never
+// collide with the transpose.
+func hashSection(h hash.Hash, tag byte) {
+	h.Write([]byte{0, tag})
+}
+
+// FingerprintHex returns the fingerprint as a lowercase hex string, the form
+// used in wire responses and logs.
+func (s *Scenario) FingerprintHex() string {
+	fp := s.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}
+
+// SortedBrokenNodes returns the broken node IDs in ascending order. Every
+// emitter of broken-ID lists (fingerprints, wire encodings, reports) must go
+// through this so output never depends on map iteration order.
+func (s *Scenario) SortedBrokenNodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.BrokenNodes))
+	for v, broken := range s.BrokenNodes {
+		if broken {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortedBrokenEdges returns the broken edge IDs in ascending order.
+func (s *Scenario) SortedBrokenEdges() []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(s.BrokenEdges))
+	for e, broken := range s.BrokenEdges {
+		if broken {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

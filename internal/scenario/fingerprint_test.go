@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+)
+
+// fingerprintFixture builds the small fixed scenario pinned by the golden
+// test: a 4-node diamond with two demands and a partial disruption.
+func fingerprintFixture() *Scenario {
+	g := graph.New(4, 5)
+	g.AddNode("a", 0, 0, 1)
+	g.AddNode("b", 1, 0, 2)
+	g.AddNode("c", 1, 1, 3)
+	g.AddNode("d", 0, 1, 4)
+	g.MustAddEdge(0, 1, 10, 1)
+	g.MustAddEdge(1, 2, 10, 2)
+	g.MustAddEdge(2, 3, 10, 3)
+	g.MustAddEdge(3, 0, 10, 4)
+	g.MustAddEdge(0, 2, 5, 5)
+	dg := demand.New()
+	dg.MustAdd(0, 2, 7)
+	dg.MustAdd(1, 3, 3)
+	return &Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: map[graph.NodeID]bool{1: true, 3: true},
+		BrokenEdges: map[graph.EdgeID]bool{0: true, 2: true, 4: true},
+	}
+}
+
+// The golden fingerprint of fingerprintFixture. This constant pins the
+// canonical serialisation: if it ever changes, every cached plan and every
+// recorded fingerprint in the wild is invalidated, so a failure here means
+// either (a) you changed the serialisation — bump fingerprintDomain and
+// update the constant — or (b) you changed it by accident: fix the code.
+const goldenFingerprint = "f864b1cf842db7230ceeaeeefea2c1251e4ba6e62857750d75c1851eb197dd52"
+
+func TestFingerprintGolden(t *testing.T) {
+	got := fingerprintFixture().FingerprintHex()
+	if got != goldenFingerprint {
+		t.Fatalf("fingerprint of the fixed scenario changed:\n got  %s\n want %s", got, goldenFingerprint)
+	}
+}
+
+func TestFingerprintStableAcrossRunsAndClones(t *testing.T) {
+	s := fingerprintFixture()
+	first := s.Fingerprint()
+	for i := 0; i < 50; i++ {
+		if got := s.Fingerprint(); got != first {
+			t.Fatalf("fingerprint not stable across calls: run %d got %x want %x", i, got, first)
+		}
+		if got := s.Clone().Fingerprint(); got != first {
+			t.Fatalf("clone fingerprint differs: run %d got %x want %x", i, got, first)
+		}
+	}
+}
+
+// TestFingerprintMutations asserts that every solver-relevant mutation moves
+// the fingerprint.
+func TestFingerprintMutations(t *testing.T) {
+	base := fingerprintFixture().Fingerprint()
+	mutations := map[string]func(s *Scenario){
+		"edge capacity":    func(s *Scenario) { s.Supply.SetCapacity(1, 11) },
+		"node repair cost": func(s *Scenario) { s.Supply.SetNodeRepairCost(0, 9) },
+		"edge repair cost": func(s *Scenario) { s.Supply.SetEdgeRepairCost(0, 9) },
+		"node position":    func(s *Scenario) { s.Supply.SetNodePosition(0, 5, 5) },
+		"demand flow":      func(s *Scenario) { _ = s.Demand.SetFlow(0, 8) },
+		"extra demand":     func(s *Scenario) { s.Demand.MustAdd(0, 3, 1) },
+		"break node":       func(s *Scenario) { s.BrokenNodes[0] = true },
+		"repair node":      func(s *Scenario) { delete(s.BrokenNodes, 1) },
+		"break edge":       func(s *Scenario) { s.BrokenEdges[1] = true },
+		"repair edge":      func(s *Scenario) { delete(s.BrokenEdges, 0) },
+		"extra node":       func(s *Scenario) { s.Supply.AddNode("e", 2, 2, 1) },
+		"extra edge":       func(s *Scenario) { s.Supply.MustAddEdge(1, 3, 4, 1) },
+	}
+	for name, mutate := range mutations {
+		s := fingerprintFixture()
+		mutate(s)
+		if got := s.Fingerprint(); got == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintFalseBrokenEntries pins that map entries explicitly set to
+// false are treated as absent, matching how every solver reads the sets.
+func TestFingerprintFalseBrokenEntries(t *testing.T) {
+	s := fingerprintFixture()
+	base := s.Fingerprint()
+	s.BrokenNodes[0] = false
+	s.BrokenEdges[1] = false
+	if got := s.Fingerprint(); got != base {
+		t.Fatalf("broken=false entries changed the fingerprint: got %x want %x", got, base)
+	}
+}
+
+// TestFingerprintProperty is a randomized property test: independently
+// sampled scenarios collide with negligible probability, and rebuilding the
+// same scenario from the same seed reproduces the fingerprint exactly.
+func TestFingerprintProperty(t *testing.T) {
+	build := func(seed int64) *Scenario {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(10)
+		g := graph.New(n, 3*n)
+		for i := 0; i < n; i++ {
+			g.AddNode("", rng.Float64()*100, rng.Float64()*100, 1+rng.Float64()*5)
+		}
+		for i := 1; i < n; i++ {
+			g.MustAddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), 5+rng.Float64()*20, 1+rng.Float64()*3)
+		}
+		dg := demand.New()
+		dg.MustAdd(0, graph.NodeID(n-1), 1+rng.Float64()*10)
+		s := &Scenario{Supply: g, Demand: dg, BrokenNodes: map[graph.NodeID]bool{}, BrokenEdges: map[graph.EdgeID]bool{}}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				s.BrokenNodes[graph.NodeID(i)] = true
+			}
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if rng.Float64() < 0.4 {
+				s.BrokenEdges[graph.EdgeID(i)] = true
+			}
+		}
+		return s
+	}
+	seen := make(map[[32]byte]int64)
+	for seed := int64(0); seed < 200; seed++ {
+		fp := build(seed).Fingerprint()
+		if again := build(seed).Fingerprint(); again != fp {
+			t.Fatalf("seed %d: rebuilding the scenario changed the fingerprint", seed)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("seeds %d and %d collided on fingerprint %x", prev, seed, fp)
+		}
+		seen[fp] = seed
+	}
+}
+
+func TestSortedBrokenIDs(t *testing.T) {
+	s := fingerprintFixture()
+	// Entries set to false must be skipped.
+	s.BrokenNodes[2] = false
+	nodes := s.SortedBrokenNodes()
+	edges := s.SortedBrokenEdges()
+	if !sort.SliceIsSorted(nodes, func(i, j int) bool { return nodes[i] < nodes[j] }) {
+		t.Fatalf("SortedBrokenNodes not sorted: %v", nodes)
+	}
+	if !sort.SliceIsSorted(edges, func(i, j int) bool { return edges[i] < edges[j] }) {
+		t.Fatalf("SortedBrokenEdges not sorted: %v", edges)
+	}
+	if want := []graph.NodeID{1, 3}; len(nodes) != len(want) || nodes[0] != want[0] || nodes[1] != want[1] {
+		t.Fatalf("SortedBrokenNodes = %v, want %v", nodes, want)
+	}
+	if want := []graph.EdgeID{0, 2, 4}; len(edges) != 3 || edges[0] != want[0] || edges[1] != want[1] || edges[2] != want[2] {
+		t.Fatalf("SortedBrokenEdges = %v, want %v", edges, want)
+	}
+}

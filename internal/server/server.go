@@ -1,0 +1,537 @@
+// Package server implements the HTTP serving layer of the recovery-planning
+// stack (the daemon cmd/nrserved): JSON plan requests in, cached
+// deterministic plans out.
+//
+// Endpoints:
+//
+//	POST /v1/plan        solve one scenario (content-addressed plan cache +
+//	                     singleflight coalescing; cache metadata in the response)
+//	POST /v1/sweep       run a declarative scenario sweep on the engine's pool
+//	GET  /v1/plan/stream solve one scenario streaming solver progress as
+//	                     Server-Sent Events
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus text metrics (cache, solves, admission)
+//
+// The server applies admission control — at most MaxInFlight solves run
+// concurrently, excess leaders queue on the request context — per-request
+// timeouts, and honours client disconnects by cancelling the solve promptly
+// (reported as HTTP 499, the de-facto "client closed request" status).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/plancache"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/sweep"
+	"netrecovery/internal/wire"
+)
+
+// StatusClientClosedRequest is the nginx-convention status the server
+// records when the client went away mid-solve.
+const StatusClientClosedRequest = 499
+
+// maxRequestBody bounds request bodies (scenarios are a few MB at most even
+// at CAIDA scale).
+const maxRequestBody = 64 << 20
+
+// Config parameterises New.
+type Config struct {
+	// Cache is the plan cache; nil means a fresh default cache
+	// (plancache.Config zero values).
+	Cache *plancache.Cache
+	// MaxInFlight bounds the number of concurrently executing solves — the
+	// admission control that keeps the box from oversubscribing. Cache hits
+	// and coalesced waiters do not consume a slot; only solve leaders do.
+	// 0 means GOMAXPROCS, matching the sizing of the PR 4 solver worker
+	// pool: with MaxInFlight solves each running sequentially the machine
+	// is exactly saturated.
+	MaxInFlight int
+	// RequestTimeout bounds each request end to end (0 = no limit). A
+	// request that exceeds it fails with 504 and its solve is cancelled.
+	RequestTimeout time.Duration
+	// SolverWorkers is the default in-solve parallelism handed to solvers
+	// when the request does not set options.workers. Zero derives
+	// GOMAXPROCS / MaxInFlight (at least 1), so pool x solver parallelism
+	// never exceeds the machine.
+	SolverWorkers int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the HTTP serving layer. Create with New, expose with Handler.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	sem   chan struct{}
+	// sweepMu serialises multi-token admission acquisition (sweeps take one
+	// token per sweep worker); without it two sweeps could each hold half
+	// the tokens and deadlock waiting for the rest.
+	sweepMu sync.Mutex
+	now     func() time.Time
+	start   time.Time
+
+	solves     atomic.Uint64
+	requests   atomic.Uint64
+	errorsTot  atomic.Uint64
+	inFlight   atomic.Int64
+	sseStreams atomic.Int64
+}
+
+// New returns a server configured by cfg.
+func New(cfg Config) *Server {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = plancache.New(plancache.Config{})
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = runtime.GOMAXPROCS(0)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	srv := &Server{
+		cfg:   cfg,
+		cache: cache,
+		sem:   make(chan struct{}, maxInFlight),
+		now:   now,
+	}
+	srv.start = now()
+	return srv
+}
+
+// Cache returns the server's plan cache (shared with any library-path
+// Planner the embedding process wires up).
+func (srv *Server) Cache() *plancache.Cache { return srv.cache }
+
+// SolveCount returns the number of solver executions the server performed —
+// cache hits and coalesced requests do not increment it. Tests use it to
+// assert the exactly-one-solve guarantees.
+func (srv *Server) SolveCount() uint64 { return srv.solves.Load() }
+
+// Handler returns the server's routing handler.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", srv.handlePlan)
+	mux.HandleFunc("/v1/plan/stream", srv.handlePlanStream)
+	mux.HandleFunc("/v1/sweep", srv.handleSweep)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/metrics", srv.handleMetrics)
+	return mux
+}
+
+// requestContext applies the per-request timeout.
+func (srv *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if srv.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), srv.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// solveOutcome is the result of solveRequest: the solved scenario and plan
+// plus the cache disposition.
+type solveOutcome struct {
+	scenario *scenario.Scenario
+	plan     *scenario.Plan
+	status   string // miss | hit | coalesced | bypass
+	age      time.Duration
+	fp       string
+}
+
+// httpError carries a status code with an error.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// solveRequest validates and solves one wire.PlanRequest through the cache.
+// progress, when non-nil, receives solver events if (and only if) this
+// request ends up executing the solve itself.
+func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progress heuristics.ProgressFunc) (*solveOutcome, *httpError) {
+	s, err := req.Scenario.Build()
+	if err != nil {
+		return nil, badRequest("invalid scenario: %v", err)
+	}
+	alg := req.Algorithm
+	if alg == "" {
+		alg = "ISP"
+	}
+	params := heuristics.Params{
+		Fast:         req.Options.Fast,
+		OPTTimeLimit: time.Duration(req.Options.OptTimeLimitMS) * time.Millisecond,
+		OPTMaxNodes:  req.Options.OptMaxNodes,
+		OPTWorkers:   srv.resolveWorkers(req.Options.Workers),
+		Progress:     progress,
+	}
+	solver, err := heuristics.New(alg, params)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	solve := func(ctx context.Context) (*scenario.Plan, error) {
+		// Admission control: a bounded number of solves run at once; the
+		// rest queue here on their request context.
+		select {
+		case srv.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-srv.sem }()
+		srv.solves.Add(1)
+		srv.inFlight.Add(1)
+		defer srv.inFlight.Add(-1)
+		return solver.Solve(ctx, s)
+	}
+
+	out := &solveOutcome{scenario: s, fp: s.FingerprintHex()}
+	if req.Options.NoCache {
+		plan, err := solve(ctx)
+		if herr := solveError(err); herr != nil {
+			return nil, herr
+		}
+		out.plan, out.status = plan, "bypass"
+		return out, nil
+	}
+	key := plancache.Key{
+		Fingerprint: s.Fingerprint(),
+		Algorithm:   alg,
+		Options:     plancache.ParamsDigest(params),
+	}
+	plan, outcome, age, err := srv.cache.Do(ctx, key, solve)
+	if herr := solveError(err); herr != nil {
+		return nil, herr
+	}
+	out.plan, out.status, out.age = plan, outcome.String(), age
+	return out, nil
+}
+
+// solveError maps a solve failure to an HTTP status: 499 when the client
+// went away, 504 when the per-request timeout fired, 500 otherwise.
+func solveError(err error) *httpError {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return &httpError{code: StatusClientClosedRequest, err: fmt.Errorf("solve cancelled: %w", err)}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &httpError{code: http.StatusGatewayTimeout, err: fmt.Errorf("solve timed out: %w", err)}
+	default:
+		return &httpError{code: http.StatusInternalServerError, err: err}
+	}
+}
+
+// buildResponse converts a solve outcome into the wire response, attaching
+// the progressive timeline when requested.
+func (srv *Server) buildResponse(out *solveOutcome, opts wire.SolveOptions) (wire.PlanResponse, *httpError) {
+	wp := wire.FromPlan(out.scenario, out.plan)
+	if opts.StageBudget > 0 {
+		staged, err := wp.WithStages(out.scenario, out.plan, opts.StageBudget)
+		if err != nil {
+			return wire.PlanResponse{}, badRequest("%v", err)
+		}
+		wp = staged
+	}
+	return wire.PlanResponse{
+		Plan: wp,
+		Cache: wire.CacheInfo{
+			Status:      out.status,
+			Fingerprint: out.fp,
+			AgeMS:       out.age.Milliseconds(),
+		},
+	}, nil
+}
+
+// handlePlan implements POST /v1/plan.
+func (srv *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	srv.requests.Add(1)
+	if r.Method != http.MethodPost {
+		srv.writeError(w, &httpError{code: http.StatusMethodNotAllowed, err: errors.New("use POST")})
+		return
+	}
+	var req wire.PlanRequest
+	if herr := decodeJSON(r, &req); herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	ctx, cancel := srv.requestContext(r)
+	defer cancel()
+	out, herr := srv.solveRequest(ctx, req, nil)
+	if herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	resp, herr := srv.buildResponse(out, req.Options)
+	if herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	srv.writeJSON(w, http.StatusOK, resp)
+}
+
+// progressEvent is the SSE wire form of a solver progress event.
+type progressEvent struct {
+	Solver    string  `json:"solver"`
+	Kind      string  `json:"kind"`
+	Iteration int     `json:"iteration,omitempty"`
+	Repairs   int     `json:"repairs,omitempty"`
+	Incumbent float64 `json:"incumbent,omitempty"`
+	Bound     float64 `json:"bound,omitempty"`
+	Nodes     int     `json:"nodes,omitempty"`
+}
+
+// handlePlanStream implements GET /v1/plan/stream: the same request body as
+// /v1/plan, answered as a Server-Sent Events stream of `progress` events
+// followed by one final `plan` (or `error`) event. Progress events are only
+// emitted when this request executes the solve itself — a cache hit or a
+// coalesced request jumps straight to the final event.
+func (srv *Server) handlePlanStream(w http.ResponseWriter, r *http.Request) {
+	srv.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		srv.writeError(w, &httpError{code: http.StatusMethodNotAllowed, err: errors.New("use GET or POST with a JSON body")})
+		return
+	}
+	var req wire.PlanRequest
+	if herr := decodeJSON(r, &req); herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		srv.writeError(w, &httpError{code: http.StatusInternalServerError, err: errors.New("response writer does not support streaming")})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	srv.sseStreams.Add(1)
+	defer srv.sseStreams.Add(-1)
+
+	// Solver progress callbacks can fire from solver-internal goroutines;
+	// serialise all writes to the stream.
+	var mu sync.Mutex
+	emit := func(event string, payload any) {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+		flusher.Flush()
+		mu.Unlock()
+	}
+	progress := func(ev heuristics.ProgressEvent) {
+		emit("progress", progressEvent{
+			Solver:    ev.Solver,
+			Kind:      ev.Kind,
+			Iteration: ev.Iteration,
+			Repairs:   ev.Repairs,
+			Incumbent: finiteOrZero(ev.Incumbent),
+			Bound:     finiteOrZero(ev.Bound),
+			Nodes:     ev.Nodes,
+		})
+	}
+
+	ctx, cancel := srv.requestContext(r)
+	defer cancel()
+	out, herr := srv.solveRequest(ctx, req, progress)
+	if herr != nil {
+		srv.errorsTot.Add(1)
+		emit("error", wire.Error{Error: herr.Error()})
+		return
+	}
+	resp, herr := srv.buildResponse(out, req.Options)
+	if herr != nil {
+		srv.errorsTot.Add(1)
+		emit("error", wire.Error{Error: herr.Error()})
+		return
+	}
+	emit("plan", resp)
+}
+
+// finiteOrZero maps the solver's +-Inf sentinel values (no incumbent yet) to
+// 0, which JSON can carry.
+func finiteOrZero(f float64) float64 {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0
+	}
+	return f
+}
+
+// handleSweep implements POST /v1/sweep: the request body is a sweep.Spec;
+// the response is the aggregated sweep.Report. The sweep runs on the
+// engine's own worker pool and is accounted against the same admission
+// budget as plan solves: it acquires one admission token per sweep worker
+// (the worker count is clamped to the admission bound, and the per-job
+// solver parallelism defaults to 1 instead of the engine's
+// machine-owning heuristic), so concurrent sweeps and plan traffic
+// together never exceed MaxInFlight executing solver workers.
+func (srv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	srv.requests.Add(1)
+	if r.Method != http.MethodPost {
+		srv.writeError(w, &httpError{code: http.StatusMethodNotAllowed, err: errors.New("use POST")})
+		return
+	}
+	var spec sweep.Spec
+	if herr := decodeJSON(r, &spec); herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		srv.writeError(w, badRequest("%v", err))
+		return
+	}
+	if spec.Workers <= 0 || spec.Workers > cap(srv.sem) {
+		spec.Workers = cap(srv.sem)
+	}
+	if spec.SolverWorkers == 0 {
+		// The engine's zero-default assumes it owns the machine
+		// (GOMAXPROCS / pool); under shared admission each sweep job gets
+		// exactly the one core its token represents.
+		spec.SolverWorkers = 1
+	}
+	ctx, cancel := srv.requestContext(r)
+	defer cancel()
+	if herr := srv.acquireSlots(ctx, spec.Workers); herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	defer srv.releaseSlots(spec.Workers)
+	srv.inFlight.Add(1)
+	report, err := sweep.Run(ctx, spec)
+	srv.inFlight.Add(-1)
+	if err != nil {
+		srv.writeError(w, solveError(err))
+		return
+	}
+	srv.writeJSON(w, http.StatusOK, report)
+}
+
+// acquireSlots takes n admission tokens, serialised so that concurrent
+// multi-token acquisitions cannot deadlock holding partial sets. On context
+// cancellation the tokens already held are returned.
+func (srv *Server) acquireSlots(ctx context.Context, n int) *httpError {
+	srv.sweepMu.Lock()
+	defer srv.sweepMu.Unlock()
+	for i := 0; i < n; i++ {
+		select {
+		case srv.sem <- struct{}{}:
+		case <-ctx.Done():
+			srv.releaseSlots(i)
+			return solveError(ctx.Err())
+		}
+	}
+	return nil
+}
+
+// releaseSlots returns n admission tokens.
+func (srv *Server) releaseSlots(n int) {
+	for i := 0; i < n; i++ {
+		<-srv.sem
+	}
+}
+
+// handleHealthz implements GET /healthz.
+func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	srv.writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": srv.now().Sub(srv.start).Milliseconds(),
+	})
+}
+
+// handleMetrics implements GET /metrics in the Prometheus text exposition
+// format (no client library needed for counters and gauges).
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := srv.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b []byte
+	add := func(name, help, typ string, value float64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)...)
+	}
+	add("nrserved_requests_total", "HTTP requests received.", "counter", float64(srv.requests.Load()))
+	add("nrserved_errors_total", "Requests answered with an error status.", "counter", float64(srv.errorsTot.Load()))
+	add("nrserved_solves_total", "Solver executions (cache hits and coalesced requests excluded).", "counter", float64(srv.solves.Load()))
+	add("nrserved_inflight_solves", "Solves executing right now.", "gauge", float64(srv.inFlight.Load()))
+	add("nrserved_admission_capacity", "Maximum concurrent solves.", "gauge", float64(cap(srv.sem)))
+	add("nrserved_sse_streams", "Open /v1/plan/stream connections.", "gauge", float64(srv.sseStreams.Load()))
+	add("nrserved_cache_hits_total", "Plan-cache hits.", "counter", float64(st.Hits))
+	add("nrserved_cache_misses_total", "Plan-cache misses (leader solves).", "counter", float64(st.Misses))
+	add("nrserved_cache_coalesced_total", "Requests coalesced onto an in-flight identical solve.", "counter", float64(st.Coalesced))
+	add("nrserved_cache_evictions_total", "Plan-cache LRU evictions.", "counter", float64(st.Evictions))
+	add("nrserved_cache_expired_total", "Plan-cache TTL expirations.", "counter", float64(st.Expired))
+	add("nrserved_cache_entries", "Cached plans.", "gauge", float64(st.Entries))
+	add("nrserved_uptime_seconds", "Seconds since the server started.", "gauge", srv.now().Sub(srv.start).Seconds())
+	w.Write(b)
+}
+
+// resolveWorkers derives the in-solve parallelism for a request: an explicit
+// request value wins (clamped to GOMAXPROCS — a client must not be able to
+// demand arbitrary parallelism), then the configured default, then
+// GOMAXPROCS divided by the admission bound (so admission x solver
+// parallelism never oversubscribes the machine).
+func (srv *Server) resolveWorkers(requested int) int {
+	if requested != 0 {
+		if max := runtime.GOMAXPROCS(0); requested > max {
+			return max
+		}
+		return requested
+	}
+	if srv.cfg.SolverWorkers != 0 {
+		return srv.cfg.SolverWorkers
+	}
+	if w := runtime.GOMAXPROCS(0) / cap(srv.sem); w > 1 {
+		return w
+	}
+	return -1 // negative = sequential, see heuristics.Params.OPTWorkers
+}
+
+// decodeJSON parses a request body into v.
+func decodeJSON(r *http.Request, v any) *httpError {
+	body := http.MaxBytesReader(nil, r.Body, maxRequestBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return badRequest("empty request body (expected JSON)")
+		}
+		return badRequest("invalid JSON request: %v", err)
+	}
+	return nil
+}
+
+// writeJSON writes a JSON response.
+func (srv *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope and counts the failure.
+func (srv *Server) writeError(w http.ResponseWriter, herr *httpError) {
+	srv.errorsTot.Add(1)
+	srv.writeJSON(w, herr.code, wire.Error{Error: herr.Error()})
+}

@@ -1,0 +1,270 @@
+// Package wire defines the JSON wire schema shared by the HTTP daemon
+// (cmd/nrserved via internal/server) and the CLI (cmd/nrecover -json): the
+// serialised forms of a Scenario, a recovery Plan and the server's
+// request/response envelopes. Both consumers encode through this one
+// package, so the CLI output and the server response can never drift apart.
+//
+// Every ID slice in the schema is emitted in ascending order and every list
+// in a canonical order, so encoding the same scenario or plan twice yields
+// byte-identical JSON — the property the plan cache's byte-identical
+// cache-hit guarantee and the golden tests rely on.
+package wire
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/progressive"
+	"netrecovery/internal/scenario"
+)
+
+// Node is the wire form of a supply-graph node. The field names match the
+// topology JSON format of cmd/topogen.
+type Node struct {
+	Name       string  `json:"name,omitempty"`
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	RepairCost float64 `json:"repairCost"`
+}
+
+// Link is the wire form of a supply-graph edge; From and To are node indices
+// in the Nodes array.
+type Link struct {
+	From       int     `json:"from"`
+	To         int     `json:"to"`
+	Capacity   float64 `json:"capacity"`
+	RepairCost float64 `json:"repairCost"`
+}
+
+// Demand is one required flow between two node indices.
+type Demand struct {
+	Source int     `json:"source"`
+	Target int     `json:"target"`
+	Flow   float64 `json:"flow"`
+}
+
+// Scenario is the wire form of a full MinR instance: topology, demand set
+// and disruption state. It is the request body of the server's /v1/plan.
+type Scenario struct {
+	Name    string   `json:"name,omitempty"`
+	Nodes   []Node   `json:"nodes"`
+	Links   []Link   `json:"links"`
+	Demands []Demand `json:"demands,omitempty"`
+	// BrokenNodes and BrokenLinks are element IDs, always emitted sorted
+	// ascending.
+	BrokenNodes []int `json:"broken_nodes,omitempty"`
+	BrokenLinks []int `json:"broken_links,omitempty"`
+}
+
+// FromScenario converts an internal scenario into its wire form. ID lists
+// are sorted, so the encoding is deterministic.
+func FromScenario(name string, s *scenario.Scenario) Scenario {
+	ws := Scenario{
+		Name:  name,
+		Nodes: make([]Node, 0, s.Supply.NumNodes()),
+		Links: make([]Link, 0, s.Supply.NumEdges()),
+	}
+	for _, n := range s.Supply.Nodes() {
+		ws.Nodes = append(ws.Nodes, Node{Name: n.Name, X: n.X, Y: n.Y, RepairCost: n.RepairCost})
+	}
+	for _, e := range s.Supply.Edges() {
+		ws.Links = append(ws.Links, Link{From: int(e.From), To: int(e.To), Capacity: e.Capacity, RepairCost: e.RepairCost})
+	}
+	for _, p := range s.Demand.All() {
+		ws.Demands = append(ws.Demands, Demand{Source: int(p.Source), Target: int(p.Target), Flow: p.Flow})
+	}
+	for _, v := range s.SortedBrokenNodes() {
+		ws.BrokenNodes = append(ws.BrokenNodes, int(v))
+	}
+	for _, e := range s.SortedBrokenEdges() {
+		ws.BrokenLinks = append(ws.BrokenLinks, int(e))
+	}
+	return ws
+}
+
+// Build converts the wire scenario back into a validated internal scenario.
+func (ws Scenario) Build() (*scenario.Scenario, error) {
+	g := graph.New(len(ws.Nodes), len(ws.Links))
+	for _, n := range ws.Nodes {
+		g.AddNode(n.Name, n.X, n.Y, n.RepairCost)
+	}
+	for i, l := range ws.Links {
+		if _, err := g.AddEdge(graph.NodeID(l.From), graph.NodeID(l.To), l.Capacity, l.RepairCost); err != nil {
+			return nil, fmt.Errorf("wire: link %d: %w", i, err)
+		}
+	}
+	dg := demand.New()
+	for i, d := range ws.Demands {
+		if _, err := dg.Add(graph.NodeID(d.Source), graph.NodeID(d.Target), d.Flow); err != nil {
+			return nil, fmt.Errorf("wire: demand %d: %w", i, err)
+		}
+	}
+	s := &scenario.Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: make(map[graph.NodeID]bool, len(ws.BrokenNodes)),
+		BrokenEdges: make(map[graph.EdgeID]bool, len(ws.BrokenLinks)),
+	}
+	for _, v := range ws.BrokenNodes {
+		s.BrokenNodes[graph.NodeID(v)] = true
+	}
+	for _, e := range ws.BrokenLinks {
+		s.BrokenEdges[graph.EdgeID(e)] = true
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stage is one step of a progressive recovery timeline.
+type Stage struct {
+	Index          int     `json:"index"`
+	RepairedNodes  []int   `json:"repaired_nodes,omitempty"`
+	RepairedLinks  []int   `json:"repaired_links,omitempty"`
+	Cost           float64 `json:"cost"`
+	SatisfiedRatio float64 `json:"satisfied_ratio"`
+}
+
+// Plan is the wire form of a recovery plan — the one plan schema emitted by
+// both the server's /v1/plan and `nrecover -json`.
+type Plan struct {
+	Algorithm string `json:"algorithm"`
+	// ScenarioFingerprint is the content hash (scenario.FingerprintHex) of
+	// the scenario the plan solves.
+	ScenarioFingerprint string `json:"scenario_fingerprint"`
+	// RepairedNodes and RepairedLinks are element IDs, sorted ascending.
+	RepairedNodes []int `json:"repaired_nodes"`
+	RepairedLinks []int `json:"repaired_links"`
+	NodeRepairs   int   `json:"node_repairs"`
+	LinkRepairs   int   `json:"link_repairs"`
+	TotalRepairs  int   `json:"total_repairs"`
+	// Cost is the total repair cost of the plan on its scenario.
+	Cost            float64 `json:"cost"`
+	SatisfiedDemand float64 `json:"satisfied_demand"`
+	TotalDemand     float64 `json:"total_demand"`
+	SatisfiedRatio  float64 `json:"satisfied_ratio"`
+	Optimal         bool    `json:"optimal,omitempty"`
+	Bound           float64 `json:"bound,omitempty"`
+	RuntimeMS       float64 `json:"runtime_ms"`
+	Notes           string  `json:"notes,omitempty"`
+	// Stages is the progressive recovery timeline, present only when a stage
+	// budget was requested.
+	Stages []Stage `json:"stages,omitempty"`
+}
+
+// FromPlan converts an internal plan (solved on s) into its wire form.
+func FromPlan(s *scenario.Scenario, p *scenario.Plan) Plan {
+	wp := Plan{
+		Algorithm:           p.Solver,
+		ScenarioFingerprint: s.FingerprintHex(),
+		RepairedNodes:       []int{},
+		RepairedLinks:       []int{},
+		Cost:                p.RepairCost(s),
+		SatisfiedDemand:     p.SatisfiedDemand,
+		TotalDemand:         p.TotalDemand,
+		SatisfiedRatio:      p.SatisfactionRatio(),
+		Optimal:             p.Optimal,
+		Bound:               finiteOrZero(p.Bound),
+		RuntimeMS:           float64(p.Runtime) / float64(time.Millisecond),
+		Notes:               p.Notes,
+	}
+	for v, repaired := range p.RepairedNodes {
+		if repaired {
+			wp.RepairedNodes = append(wp.RepairedNodes, int(v))
+		}
+	}
+	for e, repaired := range p.RepairedEdges {
+		if repaired {
+			wp.RepairedLinks = append(wp.RepairedLinks, int(e))
+		}
+	}
+	sort.Ints(wp.RepairedNodes)
+	sort.Ints(wp.RepairedLinks)
+	wp.NodeRepairs, wp.LinkRepairs, wp.TotalRepairs = p.NumRepairs()
+	return wp
+}
+
+// WithStages computes the progressive timeline for the plan under the given
+// per-stage budget and attaches it. Stage element IDs keep the scheduler's
+// repair order within a stage (the order repairs are performed), which is
+// itself deterministic.
+func (wp Plan) WithStages(s *scenario.Scenario, p *scenario.Plan, stageBudget float64) (Plan, error) {
+	sched, err := progressive.Build(s, p, progressive.Options{StageBudget: stageBudget})
+	if err != nil {
+		return wp, err
+	}
+	wp.Stages = make([]Stage, 0, len(sched.Stages))
+	for _, stage := range sched.Stages {
+		st := Stage{Index: stage.Index, Cost: stage.Cost, SatisfiedRatio: stage.SatisfiedRatio}
+		for _, el := range stage.Repairs {
+			if el.IsNode() {
+				st.RepairedNodes = append(st.RepairedNodes, int(el.Node))
+			} else {
+				st.RepairedLinks = append(st.RepairedLinks, int(el.Edge))
+			}
+		}
+		wp.Stages = append(wp.Stages, st)
+	}
+	return wp, nil
+}
+
+// finiteOrZero maps the solvers' +-Inf sentinels (e.g. an OPT bound before
+// any relaxation solved) to 0, which JSON can carry.
+func finiteOrZero(f float64) float64 {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0
+	}
+	return f
+}
+
+// PlanRequest is the request body of POST /v1/plan and GET /v1/plan/stream.
+type PlanRequest struct {
+	Scenario Scenario `json:"scenario"`
+	// Algorithm is a solver-registry name (default ISP).
+	Algorithm string       `json:"algorithm,omitempty"`
+	Options   SolveOptions `json:"options,omitempty"`
+}
+
+// SolveOptions carries the per-request solver knobs.
+type SolveOptions struct {
+	// Fast switches ISP to its greedy split mode.
+	Fast bool `json:"fast,omitempty"`
+	// OptTimeLimitMS / OptMaxNodes bound OPT's branch-and-bound search.
+	OptTimeLimitMS int64 `json:"opt_time_limit_ms,omitempty"`
+	OptMaxNodes    int   `json:"opt_max_nodes,omitempty"`
+	// Workers is the in-solve parallelism (0 = server default). Plans are
+	// identical for every value; it is not part of the cache key.
+	Workers int `json:"workers,omitempty"`
+	// StageBudget, when positive, additionally computes a progressive
+	// recovery timeline with this per-stage repair budget.
+	StageBudget float64 `json:"stage_budget,omitempty"`
+	// NoCache bypasses the plan cache for this request (always solves, does
+	// not store).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// CacheInfo reports how the server obtained the plan.
+type CacheInfo struct {
+	// Status is "miss", "hit", "coalesced" or "bypass".
+	Status string `json:"status"`
+	// Fingerprint is the scenario content hash the cache keyed on.
+	Fingerprint string `json:"fingerprint"`
+	// AgeMS is the cached plan's age (hits only).
+	AgeMS int64 `json:"age_ms"`
+}
+
+// PlanResponse is the response body of POST /v1/plan.
+type PlanResponse struct {
+	Plan  Plan      `json:"plan"`
+	Cache CacheInfo `json:"cache"`
+}
+
+// Error is the JSON error envelope of every non-2xx server response.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -26,8 +26,15 @@
 // Scenario that is safe to share across goroutines and to solve while the
 // source network keeps mutating. A Planner is configured once with
 // functional options (WithAlgorithm, WithFastISP, WithOPTBudget,
-// WithProgress, WithSchedule) and reused for any number of concurrent Plan
-// calls. Additional algorithms plug in through RegisterSolver.
+// WithParallelism, WithProgress, WithSchedule, WithCache) and reused for
+// any number of concurrent Plan calls. Additional algorithms plug in
+// through RegisterSolver.
+//
+// Scenarios are content-addressable: Fingerprint returns a stable 256-bit
+// hash of everything a solver reads, and WithCache(NewPlanCache(...))
+// deduplicates Plan calls by that hash — the same machinery behind the
+// cmd/nrserved HTTP daemon, which serves plans over a coalescing
+// content-addressed cache.
 //
 // # API stability and deprecation policy
 //
@@ -294,7 +301,7 @@ func (n *Network) ApplyGeographicDisruption(cfg DisruptionConfig) DisruptionRepo
 	defer n.mu.Unlock()
 	d := disruption.Geographic(n.graph, gcfg, rand.New(rand.NewSource(cfg.Seed)))
 	n.mergeDisruption(d)
-	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
+	return disruptionReport(d.Nodes, d.Edges)
 }
 
 // ApplyCompleteDestruction breaks every node and link.
@@ -303,7 +310,7 @@ func (n *Network) ApplyCompleteDestruction() DisruptionReport {
 	defer n.mu.Unlock()
 	d := disruption.Complete(n.graph)
 	n.mergeDisruption(d)
-	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
+	return disruptionReport(d.Nodes, d.Edges)
 }
 
 // ApplyRandomDisruption breaks each node / link independently with the given
@@ -313,7 +320,7 @@ func (n *Network) ApplyRandomDisruption(pNode, pEdge float64, seed int64) Disrup
 	defer n.mu.Unlock()
 	d := disruption.Random(n.graph, pNode, pEdge, rand.New(rand.NewSource(seed)))
 	n.mergeDisruption(d)
-	return DisruptionReport{BrokenNodes: len(d.Nodes), BrokenEdges: len(d.Edges)}
+	return disruptionReport(d.Nodes, d.Edges)
 }
 
 // BreakNode marks a single node as broken.
@@ -340,17 +347,45 @@ func (n *Network) mergeDisruption(d disruption.Disruption) {
 	}
 }
 
-// DisruptionReport summarises an applied disruption.
+// DisruptionReport summarises a disruption: the broken-element counts and
+// the broken element IDs. The ID slices are always sorted ascending —
+// never map-iteration order — so reports are deterministic and safe to
+// serialise, diff and use in golden tests.
+//
+// Note: the ID slices make the struct non-comparable with ==; compare
+// reports with reflect.DeepEqual (or compare the count fields directly).
 type DisruptionReport struct {
 	BrokenNodes int
 	BrokenEdges int
+	// NodeIDs and LinkIDs are the broken element IDs in ascending order.
+	NodeIDs []int
+	LinkIDs []int
 }
 
-// Broken returns the current number of broken nodes and links.
+// disruptionReport builds a report from broken sets with sorted ID slices.
+func disruptionReport(nodes map[graph.NodeID]bool, edges map[graph.EdgeID]bool) DisruptionReport {
+	rep := DisruptionReport{
+		BrokenNodes: len(nodes),
+		BrokenEdges: len(edges),
+		NodeIDs:     make([]int, 0, len(nodes)),
+		LinkIDs:     make([]int, 0, len(edges)),
+	}
+	for v := range nodes {
+		rep.NodeIDs = append(rep.NodeIDs, int(v))
+	}
+	for e := range edges {
+		rep.LinkIDs = append(rep.LinkIDs, int(e))
+	}
+	sort.Ints(rep.NodeIDs)
+	sort.Ints(rep.LinkIDs)
+	return rep
+}
+
+// Broken returns the current broken nodes and links.
 func (n *Network) Broken() DisruptionReport {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return DisruptionReport{BrokenNodes: len(n.broken.Nodes), BrokenEdges: len(n.broken.Edges)}
+	return disruptionReport(n.broken.Nodes, n.broken.Edges)
 }
 
 // RecoverOptions tune a Recover call.

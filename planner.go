@@ -8,6 +8,7 @@ import (
 
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
+	"netrecovery/internal/plancache"
 	"netrecovery/internal/scenario"
 )
 
@@ -47,10 +48,9 @@ func (sc *Scenario) NumLinks() int { return sc.inner.Supply.NumEdges() }
 // TotalDemand returns the snapshot's total demand flow.
 func (sc *Scenario) TotalDemand() float64 { return sc.inner.Demand.TotalFlow() }
 
-// Broken returns the number of broken nodes and links in the snapshot.
+// Broken returns the broken nodes and links of the snapshot.
 func (sc *Scenario) Broken() DisruptionReport {
-	nodes, edges := sc.inner.NumBroken()
-	return DisruptionReport{BrokenNodes: nodes, BrokenEdges: edges}
+	return disruptionReport(sc.inner.BrokenNodes, sc.inner.BrokenEdges)
 }
 
 // BrokenNodeIDs returns the IDs of the broken nodes in ascending order.
@@ -76,6 +76,15 @@ func (sc *Scenario) BrokenLinkIDs() []int {
 // Validate checks the snapshot's internal consistency (broken elements and
 // demand endpoints must exist in the supply graph).
 func (sc *Scenario) Validate() error { return sc.inner.Validate() }
+
+// Fingerprint returns the scenario's canonical 256-bit content hash as a
+// lowercase hex string. The hash covers everything a solver reads —
+// topology, capacities, repair costs, demands and the disruption state — so
+// two snapshots with equal fingerprints describe the same MinR instance and
+// yield the same plan for the same solver configuration. It is stable
+// across processes and runs, which is what lets plans be cached and served
+// by content address (see NewPlanCache and cmd/nrserved).
+func (sc *Scenario) Fingerprint() string { return sc.inner.FingerprintHex() }
 
 // ProgressEvent is one observability event streamed by a long-running
 // solver to a Planner's WithProgress callback: ISP reports its main-loop
@@ -106,6 +115,54 @@ const (
 	EventBound     = heuristics.EventBound
 )
 
+// PlanCacheConfig parameterises NewPlanCache.
+type PlanCacheConfig struct {
+	// MaxEntries bounds the number of cached plans (0 = 1024); beyond it
+	// the least-recently-used plan is evicted.
+	MaxEntries int
+	// TTL is the maximum age of a cached plan (0 = never expires).
+	TTL time.Duration
+}
+
+// PlanCacheStats is a point-in-time snapshot of a PlanCache's counters.
+type PlanCacheStats struct {
+	// Hits, Misses and Coalesced count Plan-call outcomes: answered from
+	// the cache, solved (and stored), or deduplicated onto a concurrent
+	// identical solve.
+	Hits, Misses, Coalesced uint64
+	// Evictions and Expired count entries dropped by LRU pressure and TTL.
+	Evictions, Expired uint64
+	// Entries is the current number of cached plans.
+	Entries int
+}
+
+// PlanCache is a content-addressed recovery-plan cache shared by any number
+// of Planners (see WithCache): plans are keyed by the scenario fingerprint
+// plus the solver configuration, concurrent identical Plan calls are
+// coalesced into a single solve, and entries are evicted by LRU and TTL.
+// It is safe for concurrent use.
+type PlanCache struct {
+	inner *plancache.Cache
+}
+
+// NewPlanCache returns an empty plan cache.
+func NewPlanCache(cfg PlanCacheConfig) *PlanCache {
+	return &PlanCache{inner: plancache.New(plancache.Config{MaxEntries: cfg.MaxEntries, TTL: cfg.TTL})}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	st := c.inner.Stats()
+	return PlanCacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: st.Coalesced,
+		Evictions: st.Evictions,
+		Expired:   st.Expired,
+		Entries:   st.Entries,
+	}
+}
+
 // plannerConfig is the resolved option set of a Planner.
 type plannerConfig struct {
 	alg          Algorithm
@@ -116,6 +173,7 @@ type plannerConfig struct {
 	progress     func(ProgressEvent)
 	schedule     bool
 	stageBudget  float64
+	cache        *PlanCache
 }
 
 // PlannerOption configures a Planner. Options are applied by NewPlanner in
@@ -168,6 +226,20 @@ func WithParallelism(workers int) PlannerOption {
 // concurrent Plan calls invoke it from multiple goroutines.
 func WithProgress(fn func(ProgressEvent)) PlannerOption {
 	return func(c *plannerConfig) { c.progress = fn }
+}
+
+// WithCache answers Plan calls from the given content-addressed cache when
+// an identical scenario has already been solved with an identical solver
+// configuration, and coalesces concurrent identical Plan calls into one
+// solve. Identity is by content: the scenario Fingerprint plus the
+// algorithm and its answer-relevant options (fast mode, OPT budget —
+// WithParallelism and WithProgress are excluded, parallelism never changes
+// the plan and progress is pure observability; note a cache hit therefore
+// emits no progress events). Any number of Planners may share one cache;
+// CLI and sweep users get request deduplication for free by passing the
+// same cache to every Planner they build.
+func WithCache(c *PlanCache) PlannerOption {
+	return func(cfg *plannerConfig) { cfg.cache = c }
 }
 
 // WithSchedule additionally spreads every computed plan over progressive
@@ -227,7 +299,19 @@ func (p *Planner) Plan(ctx context.Context, sc *Scenario) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := solver.Solve(ctx, sc.inner)
+	var inner *scenario.Plan
+	if p.cfg.cache != nil {
+		key := plancache.Key{
+			Fingerprint: sc.inner.Fingerprint(),
+			Algorithm:   string(p.cfg.alg),
+			Options:     plancache.ParamsDigest(params),
+		}
+		inner, _, _, err = p.cfg.cache.inner.Do(ctx, key, func(ctx context.Context) (*scenario.Plan, error) {
+			return solver.Solve(ctx, sc.inner)
+		})
+	} else {
+		inner, err = solver.Solve(ctx, sc.inner)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +359,12 @@ type SolverConfig struct {
 	OPTTimeLimit time.Duration
 	OPTMaxNodes  int
 	// Workers mirrors WithParallelism: the in-solve worker budget
-	// (0 = GOMAXPROCS, negative = 1).
+	// (0 = GOMAXPROCS, negative = 1). Like the built-in solvers, a custom
+	// solver must treat Workers as a latency/resource knob only — the
+	// resulting plan must be identical for every value. Plan caches
+	// (WithCache, the nrserved daemon) rely on this: they key plans
+	// ignoring Workers, so a solver whose answer varied with it would be
+	// served plans computed under a different worker count.
 	Workers int
 	// Progress mirrors WithProgress; custom solvers may stream their own
 	// events through it.

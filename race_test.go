@@ -2,6 +2,7 @@ package netrecovery_test
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -120,7 +121,7 @@ func TestConcurrentSolvesOnSharedScenario(t *testing.T) {
 
 	// The shared snapshot must be unchanged after all those solves.
 	want := net.Broken()
-	if got := sc.Broken(); got != want {
+	if got := sc.Broken(); !reflect.DeepEqual(got, want) {
 		t.Errorf("scenario mutated by solvers: %+v, want %+v", got, want)
 	}
 }

@@ -1,0 +1,62 @@
+package netrecovery_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"netrecovery"
+)
+
+// TestDisruptionReportDeterministic pins that every ID slice a
+// DisruptionReport (or a Scenario) emits is sorted ascending and identical
+// across repeated identically-seeded runs — never map-iteration order.
+// Fingerprints and the JSON wire goldens depend on this.
+func TestDisruptionReportDeterministic(t *testing.T) {
+	build := func() (*netrecovery.Network, netrecovery.DisruptionReport) {
+		net := netrecovery.BellCanada()
+		rep := net.ApplyGeographicDisruption(netrecovery.DisruptionConfig{Variance: 60, Seed: 11})
+		net.ApplyRandomDisruption(0.1, 0.1, 13)
+		return net, rep
+	}
+
+	net, rep := build()
+	assertSorted := func(name string, ids []int) {
+		t.Helper()
+		if !sort.IntsAreSorted(ids) {
+			t.Fatalf("%s not sorted: %v", name, ids)
+		}
+	}
+	assertSorted("apply report NodeIDs", rep.NodeIDs)
+	assertSorted("apply report LinkIDs", rep.LinkIDs)
+	if len(rep.NodeIDs) != rep.BrokenNodes || len(rep.LinkIDs) != rep.BrokenEdges {
+		t.Fatalf("report counts disagree with ID slices: %+v", rep)
+	}
+
+	full := net.Broken()
+	assertSorted("network report NodeIDs", full.NodeIDs)
+	assertSorted("network report LinkIDs", full.LinkIDs)
+
+	sc := net.Snapshot()
+	scRep := sc.Broken()
+	assertSorted("scenario report NodeIDs", scRep.NodeIDs)
+	assertSorted("scenario report LinkIDs", scRep.LinkIDs)
+	if !reflect.DeepEqual(scRep, full) {
+		t.Fatalf("snapshot report differs from network report:\n%+v\nvs\n%+v", scRep, full)
+	}
+	if !reflect.DeepEqual(scRep.NodeIDs, sc.BrokenNodeIDs()) || !reflect.DeepEqual(scRep.LinkIDs, sc.BrokenLinkIDs()) {
+		t.Fatalf("report ID slices disagree with BrokenNodeIDs/BrokenLinkIDs")
+	}
+
+	// Identical seeds, identical output — across fresh networks, whose map
+	// internals (and therefore iteration order) differ run to run.
+	for i := 0; i < 10; i++ {
+		net2, rep2 := build()
+		if !reflect.DeepEqual(rep2, rep) {
+			t.Fatalf("run %d: apply report differs:\n%+v\nvs\n%+v", i, rep2, rep)
+		}
+		if got := net2.Broken(); !reflect.DeepEqual(got, full) {
+			t.Fatalf("run %d: network report differs:\n%+v\nvs\n%+v", i, got, full)
+		}
+	}
+}
