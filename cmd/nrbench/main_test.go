@@ -183,6 +183,19 @@ func TestCompareBenchGateLogic(t *testing.T) {
 	} else if !strings.Contains(out.String(), "MISSING") {
 		t.Errorf("missing MISSING marker: %q", out.String())
 	}
+
+	// A row the fresh run flagged as unmeasurable (single-core host) is
+	// excluded from the gate instead of failing it — even when its recorded
+	// ns/op would read as a wild regression.
+	out.Reset()
+	fresh = syntheticReport(map[string]float64{"a": 1000, "b": 0})
+	fresh.Benchmarks[1].Skipped = "single-core host"
+	fresh.Benchmarks[1].Reps = 0
+	if err := compareBench(&out, "base.json", baseline, fresh, 0.25); err != nil {
+		t.Fatalf("skipped row failed the gate: %v\n%s", err, out.String())
+	} else if !strings.Contains(out.String(), "skipped (single-core host)") {
+		t.Errorf("missing skipped marker: %q", out.String())
+	}
 }
 
 // TestCompareGateEndToEnd verifies the trajectory recorder and the CLI
@@ -209,15 +222,30 @@ func TestCompareGateEndToEnd(t *testing.T) {
 		t.Fatalf("unexpected report: %+v", fresh)
 	}
 	names := map[string]bool{}
+	rowByName := map[string]benchRecord{}
 	for _, b := range fresh.Benchmarks {
 		names[b.Name] = true
+		rowByName[b.Name] = b
+		if b.Skipped != "" {
+			continue // flagged unmeasurable on this host (e.g. single-core)
+		}
 		if b.NsPerOp <= 0 || b.Reps <= 0 {
 			t.Errorf("benchmark %s has non-positive metrics: %+v", b.Name, b)
 		}
 	}
-	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact", "opt_search300_w1", "opt_search300_w4"} {
+	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact", "replan_cold", "replan_warm", "opt_search300_w1", "opt_search300_w4"} {
 		if !names[want] {
 			t.Errorf("missing benchmark %q in %v", want, names)
+		}
+	}
+	// The incremental re-planning rows back the session feature's headline
+	// claim: a warm re-plan after a repair delta must be at least 5x faster
+	// than the from-scratch solve (measured ~20x, so the margin absorbs
+	// runner noise).
+	if cold, warm := rowByName["replan_cold"], rowByName["replan_warm"]; cold.Skipped == "" && warm.Skipped == "" {
+		if warm.NsPerOp <= 0 || cold.NsPerOp/warm.NsPerOp < 5 {
+			t.Errorf("replan_warm is only %.1fx faster than replan_cold (cold %.0f ns, warm %.0f ns), want >= 5x",
+				cold.NsPerOp/warm.NsPerOp, cold.NsPerOp, warm.NsPerOp)
 		}
 	}
 

@@ -14,6 +14,10 @@
 //	POST /v1/plan        {"scenario": {...}, "algorithm": "ISP"} -> plan + cache metadata
 //	POST /v1/sweep       sweep spec -> aggregated report
 //	GET  /v1/plan/stream same body as /v1/plan -> SSE progress + final plan
+//	POST /v1/session     open an incremental planning session -> handle + initial plan
+//	POST /v1/session/{id}/delta  apply scenario deltas, warm re-plan -> new plan
+//	GET  /v1/session/{id}/stream SSE feed of the session's plan updates
+//	GET  /v1/session/{id}        session info + last plan; DELETE closes it
 //	GET  /healthz        liveness
 //	GET  /metrics        Prometheus text metrics
 //
@@ -58,6 +62,8 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		maxInFlight  = fs.Int("max-inflight", 0, "maximum concurrent solves (0 = GOMAXPROCS); excess requests queue")
 		reqTimeout   = fs.Duration("request-timeout", 2*time.Minute, "per-request wall-clock budget (0 = none)")
 		solverW      = fs.Int("solver-workers", 0, "default in-solve parallelism per request (0 = GOMAXPROCS/max-inflight)")
+		sessionTTL   = fs.Duration("session-ttl", 10*time.Minute, "idle timeout of an open planning session")
+		maxSessions  = fs.Int("max-sessions", 64, "maximum concurrently open planning sessions")
 		drain        = fs.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +75,8 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		SolverWorkers:  *solverW,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -35,12 +35,21 @@ const SolverName = "ISP"
 // Cancellation: the context is checked at the top of every iteration of the
 // main loop; once it fires, Solve stops promptly and returns ctx.Err().
 func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.Plan, Stats, error) {
+	return solve(ctx, s, opts, nil)
+}
+
+// solve is the shared implementation behind Solve (cold, sess == nil) and
+// Session.Solve (warm, subproblems answered from the session memo).
+func solve(ctx context.Context, s *scenario.Scenario, opts Options, sess *Session) (*scenario.Plan, Stats, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, Stats{}, fmt.Errorf("isp: %w", err)
 	}
 	opts = opts.withDefaults(s.Supply.NumNodes() + s.Supply.NumEdges() + s.Demand.NumPairs())
-	st := newState(s, opts)
+	st := newState(s, opts, sess)
+	if sess != nil {
+		st.topoKey = sess.topoDigest(s.Supply)
+	}
 
 	// Mandatory repairs: a broken endpoint of an active demand must be
 	// repaired in every feasible solution (its demand cannot otherwise
@@ -83,7 +92,7 @@ func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.P
 		// working network? The tester warm-starts each LP from the previous
 		// iteration's optimal basis, so consecutive tests (which differ by a
 		// single repair, prune or split) re-solve in a few dual pivots.
-		res := st.tester.Check(st.workingInstance(), opts.Routability)
+		res := st.checkRoutability()
 		if res.Routable {
 			st.commitFinalRouting(res)
 			st.stats.FinalRouted = true
@@ -129,6 +138,15 @@ func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.P
 	st.stats.Routability = st.tester.Stats
 	plan := st.buildPlan(start)
 	return plan, st.stats, nil
+}
+
+// checkRoutability runs the per-iteration routability test, answering it
+// from the session memo when a warm session is attached.
+func (st *state) checkRoutability() flow.Result {
+	if st.sess != nil {
+		return st.checkRoutabilityMemo()
+	}
+	return st.tester.Check(st.workingInstance(), st.opts.Routability)
 }
 
 // bestEffortRouting routes as much of the still-unserved demand as possible

@@ -92,6 +92,9 @@ func (st *state) splitAmount(cand splitCandidate, rank centrality.Result) float6
 	case SplitGreedy:
 		return st.greedySplitAmount(cand, rank)
 	default:
+		if st.sess != nil {
+			return st.splitAmountMemo(cand)
+		}
 		dx, err := flow.MaxSplitUsing(st.splitSolver, st.potentialInstance(), cand.pair, cand.via)
 		if err != nil {
 			return 0

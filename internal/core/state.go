@@ -69,6 +69,12 @@ type state struct {
 	potBuf      []demand.Pair            // potentialInstance demands
 	workInst    flow.Instance            // reused Instance for workingInstance
 	potInst     flow.Instance            // reused Instance for potentialInstance
+	hashBuf     []demand.Pair            // session memo-key demand snapshot
+
+	// sess is the warm cross-solve session (nil for a cold solve) and
+	// topoKey the topology digest folded into its memo keys.
+	sess    *Session
+	topoKey [32]byte
 
 	// stats collects per-run counters for diagnostics and tests.
 	stats Stats
@@ -90,10 +96,11 @@ type Stats struct {
 	Routability flow.TesterStats
 }
 
-func newState(s *scenario.Scenario, opts Options) *state {
+func newState(s *scenario.Scenario, opts Options, sess *Session) *state {
 	st := &state{
 		scen:          s,
 		opts:          opts,
+		sess:          sess,
 		working:       demand.New(),
 		rootOf:        make(map[demand.PairID]demand.PairID),
 		residual:      make(map[graph.EdgeID]float64, s.Supply.NumEdges()),

@@ -166,7 +166,13 @@ func MaxSplitUsing(solver *lp.Solver, in *Instance, split demand.Pair, via graph
 	if solver == nil {
 		solver = lp.NewSolver()
 	}
-	sol := solver.Solve(prob, lp.Options{})
+	// Deterministic mode makes each split solve a pure function of the
+	// problem data instead of inheriting the solver's rotating-pricing
+	// position from earlier solves. Split LPs are rebuilt (cold-started)
+	// every call, so the reset is free — and it is what lets warm planner
+	// sessions answer recurring split subproblems from a content-addressed
+	// memo with bit-identical results (see core.Session).
+	sol := solver.Solve(prob, lp.Options{Deterministic: true})
 	if sol.Status != lp.StatusOptimal {
 		return 0, nil
 	}

@@ -1,0 +1,64 @@
+package heuristics
+
+import (
+	"context"
+
+	"netrecovery/internal/core"
+	"netrecovery/internal/scenario"
+)
+
+// ISPSession is a warm ISP solver for incremental re-planning: it keeps
+// core.Session state (content-addressed split-LP and routability memos)
+// alive across Solve calls, so successive solves of nearby scenarios — the
+// same recovery run evolving by break/repair/demand deltas — answer most of
+// their LP subproblems from the memo instead of re-solving them.
+//
+// Every solve is plan-equivalent to a cold ISP solve of the same scenario
+// with the same options (see core.Session for the bit-identity argument), so
+// an ISPSession is purely a latency optimisation.
+//
+// Unlike registry solvers, an ISPSession is stateful and NOT safe for
+// concurrent use; callers serialise Solve calls (the facade's PlannerSession
+// holds a mutex, the server holds one per HTTP session).
+type ISPSession struct {
+	sess     *core.Session
+	options  core.Options
+	progress ProgressFunc
+}
+
+var _ Solver = (*ISPSession)(nil)
+
+// NewISPSession returns a warm ISP session configured like the registry's
+// ISP solver would be for the same params (fast mode selects the greedy
+// split configuration; OPT knobs are ignored).
+func NewISPSession(p Params) *ISPSession {
+	s := &ISPSession{sess: core.NewSession(), progress: p.Progress}
+	if p.Fast {
+		s.options = core.FastOptions()
+	}
+	return s
+}
+
+// Name implements Solver.
+func (s *ISPSession) Name() string { return core.SolverName }
+
+// Solve implements Solver, running ISP with the session's warm state.
+func (s *ISPSession) Solve(ctx context.Context, sc *scenario.Scenario) (*scenario.Plan, error) {
+	opts := s.options
+	if s.progress != nil {
+		progress := s.progress
+		opts.Progress = func(iteration, repairs int) {
+			progress(ProgressEvent{
+				Solver:    core.SolverName,
+				Kind:      EventIteration,
+				Iteration: iteration,
+				Repairs:   repairs,
+			})
+		}
+	}
+	plan, _, err := s.sess.Solve(ctx, sc.Clone(), opts)
+	return plan, err
+}
+
+// Stats returns the session's memo counters.
+func (s *ISPSession) Stats() core.SessionStats { return s.sess.Stats() }

@@ -108,6 +108,11 @@ type Stats struct {
 	// Evictions counts entries dropped by LRU pressure, Expired entries
 	// dropped because their TTL passed.
 	Evictions, Expired uint64
+	// Reelections counts followers that found their leader's solve cancelled
+	// and went back to compete for leadership. A high rate means leaders are
+	// being cancelled mid-solve while demand for the key persists (e.g.
+	// impatient clients disconnecting under load).
+	Reelections uint64
 	// Entries is the current number of cached plans.
 	Entries int
 }
@@ -139,15 +144,16 @@ type shard struct {
 // for concurrent use. The cached *scenario.Plan values are shared between
 // callers and must be treated as immutable.
 type Cache struct {
-	shards    []*shard
-	shardMax  int
-	ttl       time.Duration
-	now       func() time.Time
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	evictions atomic.Uint64
-	expired   atomic.Uint64
+	shards      []*shard
+	shardMax    int
+	ttl         time.Duration
+	now         func() time.Time
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	coalesced   atomic.Uint64
+	evictions   atomic.Uint64
+	expired     atomic.Uint64
+	reelections atomic.Uint64
 }
 
 // New returns a cache configured by cfg.
@@ -247,6 +253,7 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context)
 			// follower: retry (and typically become the new leader). Any
 			// other solver error is deterministic for the key — share it.
 			if errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded) {
+				c.reelections.Add(1)
 				continue
 			}
 			return nil, Coalesced, 0, cl.err
@@ -338,11 +345,12 @@ func (c *Cache) Len() int {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Expired:   c.expired.Load(),
-		Entries:   c.Len(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+		Expired:     c.expired.Load(),
+		Reelections: c.reelections.Load(),
+		Entries:     c.Len(),
 	}
 }

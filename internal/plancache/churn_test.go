@@ -1,0 +1,100 @@
+package plancache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netrecovery/internal/scenario"
+)
+
+// TestDoReelectionChurn hammers the leader-cancellation path: every round a
+// leader is cancelled mid-solve while several followers are queued on its
+// key. No round may stall — a follower must re-elect itself and finish the
+// solve — and the Reelections counter must account for every follower that
+// went back to compete after finding its leader dead.
+func TestDoReelectionChurn(t *testing.T) {
+	const (
+		rounds    = 20
+		followers = 4
+	)
+	c := New(Config{})
+	var followerSolves atomic.Int64
+
+	for round := 0; round < rounds; round++ {
+		key := testKey(byte(round)) // fresh key: previous rounds stay cached
+		leaderCtx, cancelLeader := context.WithCancel(context.Background())
+		leaderStarted := make(chan struct{})
+		leaderDone := make(chan error, 1)
+		go func() {
+			_, _, _, err := c.Do(leaderCtx, key, func(ctx context.Context) (*scenario.Plan, error) {
+				close(leaderStarted)
+				<-ctx.Done()
+				return nil, ctx.Err()
+			})
+			leaderDone <- err
+		}()
+		<-leaderStarted
+
+		var wg sync.WaitGroup
+		errs := make([]error, followers)
+		plans := make([]*scenario.Plan, followers)
+		for f := 0; f < followers; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				plans[f], _, _, errs[f] = c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+					followerSolves.Add(1)
+					return testPlan("ISP"), nil
+				})
+			}(f)
+		}
+		// Let the followers coalesce onto the doomed leader, then kill it.
+		time.Sleep(20 * time.Millisecond)
+		cancelLeader()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: followers stalled after leader cancellation", round)
+		}
+		if err := <-leaderDone; err == nil {
+			t.Fatalf("round %d: cancelled leader reported success", round)
+		}
+		for f := 0; f < followers; f++ {
+			if errs[f] != nil {
+				t.Fatalf("round %d follower %d: %v (leader cancellation leaked)", round, f, errs[f])
+			}
+			if plans[f] == nil || plans[f] != plans[0] {
+				t.Fatalf("round %d follower %d: followers did not share one plan", round, f)
+			}
+		}
+		// The re-elected solve stored the plan; the key now hits.
+		if _, outcome, _, _ := c.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+			t.Fatalf("round %d: post-churn lookup solved again", round)
+			return nil, nil
+		}); outcome != Hit {
+			t.Fatalf("round %d: post-churn outcome = %v, want Hit", round, outcome)
+		}
+	}
+
+	st := c.Stats()
+	// Every round at least one queued follower observed the dead leader and
+	// re-elected (it then ran the successful solve); at most all of them did
+	// before the new leader finished.
+	if st.Reelections < rounds || st.Reelections > rounds*followers {
+		t.Errorf("Reelections = %d, want within [%d, %d]", st.Reelections, rounds, rounds*followers)
+	}
+	// Exactly one follower solve per round: churn never duplicates work once
+	// a new leader holds the key.
+	if got := followerSolves.Load(); got != rounds {
+		t.Errorf("follower solves = %d, want %d (one re-elected solve per round)", got, rounds)
+	}
+	if st.Misses != rounds {
+		t.Errorf("Misses = %d, want %d", st.Misses, rounds)
+	}
+}

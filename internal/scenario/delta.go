@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+)
+
+// DeltaKind enumerates the scenario mutations a Delta can describe.
+type DeltaKind int
+
+// Delta kinds.
+const (
+	// DeltaBreakNode marks a working node as broken.
+	DeltaBreakNode DeltaKind = iota + 1
+	// DeltaRepairNode removes a node from the broken set (its repair
+	// completed in the field).
+	DeltaRepairNode
+	// DeltaBreakLink marks a working link as broken.
+	DeltaBreakLink
+	// DeltaRepairLink removes a link from the broken set.
+	DeltaRepairLink
+	// DeltaSetDemand overwrites the residual flow of a demand pair.
+	DeltaSetDemand
+)
+
+// String returns the wire name of the kind (see internal/wire).
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaBreakNode:
+		return "break_node"
+	case DeltaRepairNode:
+		return "repair_node"
+	case DeltaBreakLink:
+		return "break_link"
+	case DeltaRepairLink:
+		return "repair_link"
+	case DeltaSetDemand:
+		return "set_demand"
+	default:
+		return fmt.Sprintf("delta_kind(%d)", int(k))
+	}
+}
+
+// Delta is one incremental change to a scenario's disruption or demand
+// state: a node or link breaking or being repaired, or a demand pair's flow
+// changing. Deltas never touch the topology itself (nodes, links, capacities
+// and repair costs are fixed for the lifetime of a recovery run) — that is
+// what lets Apply update fingerprints incrementally and planner sessions
+// keep solver state warm across successive re-plans.
+type Delta struct {
+	// Kind selects the mutation.
+	Kind DeltaKind
+	// Node is the target of DeltaBreakNode / DeltaRepairNode.
+	Node graph.NodeID
+	// Edge is the target of DeltaBreakLink / DeltaRepairLink.
+	Edge graph.EdgeID
+	// Pair and Flow are the target and new residual flow of DeltaSetDemand.
+	Pair demand.PairID
+	Flow float64
+}
+
+// String summarises the delta.
+func (d Delta) String() string {
+	switch d.Kind {
+	case DeltaBreakNode, DeltaRepairNode:
+		return fmt.Sprintf("%s(%d)", d.Kind, d.Node)
+	case DeltaBreakLink, DeltaRepairLink:
+		return fmt.Sprintf("%s(%d)", d.Kind, d.Edge)
+	case DeltaSetDemand:
+		return fmt.Sprintf("%s(%d, %g)", d.Kind, d.Pair, d.Flow)
+	default:
+		return d.Kind.String()
+	}
+}
+
+// Apply returns a new scenario with the deltas applied in order, leaving the
+// receiver unchanged. The application is atomic: if any delta is invalid
+// (unknown element, breaking an already-broken element, repairing a working
+// one, a negative demand flow) an error is returned and no snapshot is
+// produced. Break/repair deltas are deliberately strict about no-op
+// transitions so that a caller tracking a live disaster detects state drift
+// instead of silently absorbing it.
+//
+// The returned scenario shares the (immutable) supply graph with the
+// receiver and, when no DeltaSetDemand is applied, the demand graph too;
+// broken-set maps are always fresh copies. It must therefore be treated as
+// an immutable snapshot, like every scenario in the serving stack.
+//
+// Apply also carries the fingerprint state forward incrementally: the hash
+// midstate of the (unchanged) topology sections is reused, so the new
+// snapshot's Fingerprint costs O(demands + broken) instead of a full
+// topology re-serialisation — and is byte-equal to a from-scratch recompute
+// (pinned by the delta property tests).
+func (s *Scenario) Apply(deltas ...Delta) (*Scenario, error) {
+	next := &Scenario{
+		Supply:      s.Supply,
+		Demand:      s.Demand,
+		BrokenNodes: make(map[graph.NodeID]bool, len(s.BrokenNodes)+1),
+		BrokenEdges: make(map[graph.EdgeID]bool, len(s.BrokenEdges)+1),
+	}
+	for v, b := range s.BrokenNodes {
+		if b {
+			next.BrokenNodes[v] = true
+		}
+	}
+	for e, b := range s.BrokenEdges {
+		if b {
+			next.BrokenEdges[e] = true
+		}
+	}
+	demandChanged := false
+	for i, d := range deltas {
+		if err := next.applyOne(d, &demandChanged); err != nil {
+			return nil, fmt.Errorf("scenario: delta %d (%s): %w", i, d, err)
+		}
+	}
+	next.fp = s.deriveFingerprint(next, demandChanged)
+	return next, nil
+}
+
+// applyOne applies a single delta to the scenario under construction.
+// next.Demand is cloned lazily on the first DeltaSetDemand.
+func (next *Scenario) applyOne(d Delta, demandChanged *bool) error {
+	switch d.Kind {
+	case DeltaBreakNode:
+		if !next.Supply.HasNode(d.Node) {
+			return fmt.Errorf("node %d not in supply graph", d.Node)
+		}
+		if next.BrokenNodes[d.Node] {
+			return fmt.Errorf("node %d is already broken", d.Node)
+		}
+		next.BrokenNodes[d.Node] = true
+	case DeltaRepairNode:
+		if !next.BrokenNodes[d.Node] {
+			return fmt.Errorf("node %d is not broken", d.Node)
+		}
+		delete(next.BrokenNodes, d.Node)
+	case DeltaBreakLink:
+		if !next.Supply.HasEdge(d.Edge) {
+			return fmt.Errorf("link %d not in supply graph", d.Edge)
+		}
+		if next.BrokenEdges[d.Edge] {
+			return fmt.Errorf("link %d is already broken", d.Edge)
+		}
+		next.BrokenEdges[d.Edge] = true
+	case DeltaRepairLink:
+		if !next.BrokenEdges[d.Edge] {
+			return fmt.Errorf("link %d is not broken", d.Edge)
+		}
+		delete(next.BrokenEdges, d.Edge)
+	case DeltaSetDemand:
+		if _, ok := next.Demand.Pair(d.Pair); !ok {
+			return fmt.Errorf("demand pair %d does not exist", d.Pair)
+		}
+		if d.Flow < 0 {
+			return fmt.Errorf("negative demand flow %g", d.Flow)
+		}
+		if !*demandChanged {
+			next.Demand = next.Demand.Clone()
+			*demandChanged = true
+		}
+		return next.Demand.SetFlow(d.Pair, d.Flow)
+	default:
+		return fmt.Errorf("unknown delta kind %d", int(d.Kind))
+	}
+	return nil
+}

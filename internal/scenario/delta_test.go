@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"netrecovery/internal/demand"
+	"netrecovery/internal/graph"
+)
+
+func TestApplySemantics(t *testing.T) {
+	base := buildScenario(t) // node 1 and edge 2 broken, demand 0->3 of 5
+
+	next, err := base.Apply(
+		Delta{Kind: DeltaRepairNode, Node: 1},
+		Delta{Kind: DeltaBreakNode, Node: 2},
+		Delta{Kind: DeltaRepairLink, Edge: 2},
+		Delta{Kind: DeltaBreakLink, Edge: 0},
+		Delta{Kind: DeltaSetDemand, Pair: 0, Flow: 8},
+	)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if next.BrokenNodes[1] || !next.BrokenNodes[2] {
+		t.Fatalf("broken nodes after apply: %v", next.BrokenNodes)
+	}
+	if next.BrokenEdges[2] || !next.BrokenEdges[0] {
+		t.Fatalf("broken edges after apply: %v", next.BrokenEdges)
+	}
+	if f := next.Demand.Flow(0); f != 8 {
+		t.Fatalf("demand flow after apply = %g, want 8", f)
+	}
+
+	// The parent snapshot is untouched.
+	if !base.BrokenNodes[1] || base.BrokenNodes[2] || !base.BrokenEdges[2] {
+		t.Fatalf("Apply mutated the parent broken sets")
+	}
+	if f := base.Demand.Flow(0); f != 5 {
+		t.Fatalf("Apply mutated the parent demand: flow = %g, want 5", f)
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatalf("Validate(next): %v", err)
+	}
+}
+
+func TestApplySharesDemandWhenUnchanged(t *testing.T) {
+	base := buildScenario(t)
+	next, err := base.Apply(Delta{Kind: DeltaRepairNode, Node: 1})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if next.Demand != base.Demand {
+		t.Fatalf("Apply without demand deltas should share the demand graph")
+	}
+	if next.Supply != base.Supply {
+		t.Fatalf("Apply should always share the supply graph")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	base := buildScenario(t)
+	cases := []struct {
+		name  string
+		delta Delta
+		want  string
+	}{
+		{"break broken node", Delta{Kind: DeltaBreakNode, Node: 1}, "already broken"},
+		{"repair working node", Delta{Kind: DeltaRepairNode, Node: 0}, "not broken"},
+		{"break unknown node", Delta{Kind: DeltaBreakNode, Node: 99}, "not in supply"},
+		{"break broken link", Delta{Kind: DeltaBreakLink, Edge: 2}, "already broken"},
+		{"repair working link", Delta{Kind: DeltaRepairLink, Edge: 0}, "not broken"},
+		{"break unknown link", Delta{Kind: DeltaBreakLink, Edge: 99}, "not in supply"},
+		{"set unknown demand", Delta{Kind: DeltaSetDemand, Pair: 7, Flow: 1}, "does not exist"},
+		{"negative demand", Delta{Kind: DeltaSetDemand, Pair: 0, Flow: -1}, "negative"},
+		{"zero kind", Delta{}, "unknown delta kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := base.Apply(tc.delta); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Apply(%v) error = %v, want containing %q", tc.delta, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestApplyAtomicity(t *testing.T) {
+	base := buildScenario(t)
+	// First delta is valid, second is not: nothing may be applied.
+	_, err := base.Apply(
+		Delta{Kind: DeltaRepairNode, Node: 1},
+		Delta{Kind: DeltaRepairNode, Node: 1}, // now a no-op: error
+	)
+	if err == nil {
+		t.Fatalf("Apply with an invalid tail delta should fail")
+	}
+	if !base.BrokenNodes[1] {
+		t.Fatalf("failed Apply mutated the parent")
+	}
+}
+
+// randomDelta draws a valid delta for the current scenario state, or ok=false
+// when the drawn kind has no valid target.
+func randomDelta(rng *rand.Rand, s *Scenario) (Delta, bool) {
+	switch rng.Intn(5) {
+	case 0: // break a working node
+		var working []graph.NodeID
+		for i := 0; i < s.Supply.NumNodes(); i++ {
+			if !s.BrokenNodes[graph.NodeID(i)] {
+				working = append(working, graph.NodeID(i))
+			}
+		}
+		if len(working) == 0 {
+			return Delta{}, false
+		}
+		return Delta{Kind: DeltaBreakNode, Node: working[rng.Intn(len(working))]}, true
+	case 1: // repair a broken node
+		broken := s.SortedBrokenNodes()
+		if len(broken) == 0 {
+			return Delta{}, false
+		}
+		return Delta{Kind: DeltaRepairNode, Node: broken[rng.Intn(len(broken))]}, true
+	case 2: // break a working link
+		var working []graph.EdgeID
+		for i := 0; i < s.Supply.NumEdges(); i++ {
+			if !s.BrokenEdges[graph.EdgeID(i)] {
+				working = append(working, graph.EdgeID(i))
+			}
+		}
+		if len(working) == 0 {
+			return Delta{}, false
+		}
+		return Delta{Kind: DeltaBreakLink, Edge: working[rng.Intn(len(working))]}, true
+	case 3: // repair a broken link
+		broken := s.SortedBrokenEdges()
+		if len(broken) == 0 {
+			return Delta{}, false
+		}
+		return Delta{Kind: DeltaRepairLink, Edge: broken[rng.Intn(len(broken))]}, true
+	default: // set a demand flow (possibly to zero, possibly resurrecting)
+		n := s.Demand.NumPairs()
+		if n == 0 {
+			return Delta{}, false
+		}
+		return Delta{Kind: DeltaSetDemand, Pair: demand.PairID(rng.Intn(n)), Flow: float64(rng.Intn(12))}, true
+	}
+}
+
+// rebuildFromScratch constructs a fresh scenario with the same content as s
+// but none of the cached fingerprint state.
+func rebuildFromScratch(s *Scenario) *Scenario {
+	return s.Clone()
+}
+
+// TestApplyFingerprintProperty is the delta half of the S4 property test:
+// random delta sequences, applied one at a time, must yield incrementally
+// maintained fingerprints byte-equal to a from-scratch recompute of an
+// independently rebuilt scenario at every step.
+func TestApplyFingerprintProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		cur := fingerprintFixture()
+		for step := 0; step < 20; step++ {
+			d, ok := randomDelta(rng, cur)
+			if !ok {
+				continue
+			}
+			next, err := cur.Apply(d)
+			if err != nil {
+				t.Fatalf("trial %d step %d: Apply(%v): %v", trial, step, d, err)
+			}
+			fresh := rebuildFromScratch(next)
+			if got, want := next.FingerprintHex(), fresh.FingerprintHex(); got != want {
+				t.Fatalf("trial %d step %d: incremental fingerprint diverged after %v:\n got  %s\n want %s",
+					trial, step, d, got, want)
+			}
+			cur = next
+		}
+	}
+}
+
+// TestApplyBatchFingerprint checks that a multi-delta batch matches both a
+// chain of single-delta Applies and a from-scratch recompute.
+func TestApplyBatchFingerprint(t *testing.T) {
+	base := fingerprintFixture()
+	deltas := []Delta{
+		{Kind: DeltaRepairNode, Node: 1},
+		{Kind: DeltaBreakLink, Edge: 1},
+		{Kind: DeltaSetDemand, Pair: 1, Flow: 9},
+		{Kind: DeltaRepairLink, Edge: 0},
+	}
+	batch, err := base.Apply(deltas...)
+	if err != nil {
+		t.Fatalf("batch Apply: %v", err)
+	}
+	chained := base
+	for _, d := range deltas {
+		chained, err = chained.Apply(d)
+		if err != nil {
+			t.Fatalf("chained Apply(%v): %v", d, err)
+		}
+	}
+	if batch.FingerprintHex() != chained.FingerprintHex() {
+		t.Fatalf("batch and chained fingerprints differ")
+	}
+	if got, want := batch.FingerprintHex(), rebuildFromScratch(batch).FingerprintHex(); got != want {
+		t.Fatalf("batch fingerprint diverged from recompute:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestDeltaString(t *testing.T) {
+	cases := []struct {
+		d    Delta
+		want string
+	}{
+		{Delta{Kind: DeltaBreakNode, Node: 3}, "break_node(3)"},
+		{Delta{Kind: DeltaRepairLink, Edge: 2}, "repair_link(2)"},
+		{Delta{Kind: DeltaSetDemand, Pair: 1, Flow: 2.5}, "set_demand(1, 2.5)"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Fatalf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -2,12 +2,14 @@ package scenario
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
 	"math"
 	"sort"
 
+	"netrecovery/internal/demand"
 	"netrecovery/internal/graph"
 )
 
@@ -35,73 +37,165 @@ const fingerprintDomain = "netrecovery/scenario/v1"
 // Solver options (algorithm, ISP fast mode, OPT budget) are deliberately
 // NOT part of the fingerprint; cache keys combine the fingerprint with the
 // algorithm name and an options digest (see internal/plancache).
+//
+// Scenarios produced by Apply carry their fingerprint precomputed (updated
+// incrementally from the parent snapshot), so Fingerprint on them is free;
+// any other scenario pays one full serialisation per call.
 func (s *Scenario) Fingerprint() [32]byte {
-	h := sha256.New()
-	h.Write([]byte(fingerprintDomain))
-
-	writeU64 := func(v uint64) {
-		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+	if s.fp != nil {
+		return s.fp.sum
 	}
-	writeInt := func(v int) { writeU64(uint64(int64(v))) }
-	writeFloat := func(f float64) { writeU64(math.Float64bits(f)) }
-	writeString := func(str string) {
-		writeInt(len(str))
-		h.Write([]byte(str))
-	}
-
-	hashSection(h, 'N')
-	writeInt(s.Supply.NumNodes())
-	for _, n := range s.Supply.Nodes() {
-		writeString(n.Name)
-		writeFloat(n.X)
-		writeFloat(n.Y)
-		writeFloat(n.RepairCost)
-	}
-
-	hashSection(h, 'E')
-	writeInt(s.Supply.NumEdges())
-	for _, e := range s.Supply.Edges() {
-		writeInt(int(e.From))
-		writeInt(int(e.To))
-		writeFloat(e.Capacity)
-		writeFloat(e.RepairCost)
-	}
-
-	hashSection(h, 'D')
-	pairs := s.Demand.All()
-	writeInt(len(pairs))
-	for _, p := range pairs {
-		writeInt(int(p.Source))
-		writeInt(int(p.Target))
-		writeFloat(p.Flow)
-	}
-
-	hashSection(h, 'B')
-	brokenNodes := s.SortedBrokenNodes()
-	writeInt(len(brokenNodes))
-	for _, v := range brokenNodes {
-		writeInt(int(v))
-	}
-
-	hashSection(h, 'b')
-	brokenEdges := s.SortedBrokenEdges()
-	writeInt(len(brokenEdges))
-	for _, e := range brokenEdges {
-		writeInt(int(e))
-	}
-
-	var out [32]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	return s.fingerprintState().sum
 }
 
-// hashSection writes a section tag, domain-separating the serialisation so
-// that e.g. an empty node list followed by a non-empty edge list can never
-// collide with the transpose.
-func hashSection(h hash.Hash, tag byte) {
-	h.Write([]byte{0, tag})
+// fpState is the cached fingerprint machinery carried by scenarios produced
+// by Apply. Deltas never change the topology, so the hash midstate after the
+// domain/node/edge sections is shared by every snapshot of one recovery run;
+// the demand-section bytes are shared until a DeltaSetDemand re-serialises
+// them. The struct is written once at snapshot construction and never
+// mutated afterwards, so sharing it across goroutines is safe.
+type fpState struct {
+	// topoMid is the sha256 midstate after the domain, 'N' and 'E' sections.
+	topoMid []byte
+	// dBytes is the canonical 'D' (demand) section.
+	dBytes []byte
+	// sum is the complete fingerprint of the owning scenario.
+	sum [32]byte
+}
+
+// fingerprintState computes the fingerprint from scratch, returning the
+// reusable midstate alongside the sum. It does not cache on the receiver:
+// plain scenarios stay mutable (tests and the experiment harness edit them
+// in place), so only Apply — which hands out immutable snapshots — stores
+// the state.
+func (s *Scenario) fingerprintState() *fpState {
+	h := sha256.New()
+	h.Write([]byte(fingerprintDomain))
+	writeTopologySections(h, s.Supply)
+	st := &fpState{
+		topoMid: marshalHashState(h),
+		dBytes:  appendDemandSection(nil, s.Demand),
+	}
+	h.Write(st.dBytes)
+	writeBrokenSections(h, s)
+	copy(st.sum[:], h.Sum(nil))
+	return st
+}
+
+// deriveFingerprint produces the fpState of an Apply result, reusing the
+// parent's topology midstate and (when the deltas left the demand untouched)
+// demand-section bytes. The resulting sum is byte-for-byte the hash a full
+// recompute would produce — the property tests pin this.
+func (s *Scenario) deriveFingerprint(next *Scenario, demandChanged bool) *fpState {
+	parent := s.fp
+	if parent == nil {
+		parent = s.fingerprintState()
+	}
+	st := &fpState{topoMid: parent.topoMid, dBytes: parent.dBytes}
+	if demandChanged {
+		st.dBytes = appendDemandSection(nil, next.Demand)
+	}
+	h := unmarshalHashState(st.topoMid)
+	h.Write(st.dBytes)
+	writeBrokenSections(h, next)
+	copy(st.sum[:], h.Sum(nil))
+	return st
+}
+
+// writeTopologySections hashes the 'N' (node) and 'E' (edge) sections.
+func writeTopologySections(h hash.Hash, g *graph.Graph) {
+	var buf []byte
+	buf = appendSection(buf, 'N')
+	buf = appendInt(buf, g.NumNodes())
+	for _, n := range g.Nodes() {
+		buf = appendInt(buf, len(n.Name))
+		buf = append(buf, n.Name...)
+		buf = appendFloat(buf, n.X)
+		buf = appendFloat(buf, n.Y)
+		buf = appendFloat(buf, n.RepairCost)
+	}
+	buf = appendSection(buf, 'E')
+	buf = appendInt(buf, g.NumEdges())
+	for _, e := range g.Edges() {
+		buf = appendInt(buf, int(e.From))
+		buf = appendInt(buf, int(e.To))
+		buf = appendFloat(buf, e.Capacity)
+		buf = appendFloat(buf, e.RepairCost)
+	}
+	h.Write(buf)
+}
+
+// appendDemandSection appends the canonical 'D' section: every pair slot in
+// ID order (tombstones included), as endpoint IDs plus the IEEE-754 bits of
+// the residual flow.
+func appendDemandSection(buf []byte, d *demand.Graph) []byte {
+	pairs := d.All()
+	buf = appendSection(buf, 'D')
+	buf = appendInt(buf, len(pairs))
+	for _, p := range pairs {
+		buf = appendInt(buf, int(p.Source))
+		buf = appendInt(buf, int(p.Target))
+		buf = appendFloat(buf, p.Flow)
+	}
+	return buf
+}
+
+// writeBrokenSections hashes the 'B' (broken nodes) and 'b' (broken edges)
+// sections, members in ascending ID order.
+func writeBrokenSections(h hash.Hash, s *Scenario) {
+	var buf []byte
+	brokenNodes := s.SortedBrokenNodes()
+	buf = appendSection(buf, 'B')
+	buf = appendInt(buf, len(brokenNodes))
+	for _, v := range brokenNodes {
+		buf = appendInt(buf, int(v))
+	}
+	brokenEdges := s.SortedBrokenEdges()
+	buf = appendSection(buf, 'b')
+	buf = appendInt(buf, len(brokenEdges))
+	for _, e := range brokenEdges {
+		buf = appendInt(buf, int(e))
+	}
+	h.Write(buf)
+}
+
+// appendSection appends a section tag, domain-separating the serialisation
+// so that e.g. an empty node list followed by a non-empty edge list can
+// never collide with the transpose.
+func appendSection(buf []byte, tag byte) []byte {
+	return append(buf, 0, tag)
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(buf, v)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	return appendU64(buf, uint64(int64(v)))
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return appendU64(buf, math.Float64bits(f))
+}
+
+// marshalHashState snapshots a sha256 midstate. The standard library's
+// sha256 implements encoding.BinaryMarshaler and never fails.
+func marshalHashState(h hash.Hash) []byte {
+	m, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		panic("scenario: sha256 MarshalBinary: " + err.Error())
+	}
+	return m
+}
+
+// unmarshalHashState resumes hashing from a snapshot taken by
+// marshalHashState.
+func unmarshalHashState(state []byte) hash.Hash {
+	h := sha256.New()
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		panic("scenario: sha256 UnmarshalBinary: " + err.Error())
+	}
+	return h
 }
 
 // FingerprintHex returns the fingerprint as a lowercase hex string, the form

@@ -27,6 +27,11 @@ type Scenario struct {
 	// BrokenEdges holds E_B. Edges incident to a broken node are unusable
 	// even if not listed here (the paper removes them from G^(n) as well).
 	BrokenEdges map[graph.EdgeID]bool
+
+	// fp caches the fingerprint state of snapshots produced by Apply. It is
+	// nil on hand-built or cloned scenarios (which remain freely mutable);
+	// scenarios that carry it must be treated as immutable.
+	fp *fpState
 }
 
 // Clone returns a deep copy of the scenario. Solvers mutate only their own

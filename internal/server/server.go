@@ -66,6 +66,12 @@ type Config struct {
 	// GOMAXPROCS / MaxInFlight (at least 1), so pool x solver parallelism
 	// never exceeds the machine.
 	SolverWorkers int
+	// SessionTTL is the idle timeout after which an open planning session is
+	// evicted (0 = 10 minutes). Every session operation resets the timer.
+	SessionTTL time.Duration
+	// MaxSessions bounds the number of concurrently open planning sessions
+	// (0 = 64); POST /v1/session fails with 503 beyond it.
+	MaxSessions int
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -82,11 +88,18 @@ type Server struct {
 	now     func() time.Time
 	start   time.Time
 
-	solves     atomic.Uint64
-	requests   atomic.Uint64
-	errorsTot  atomic.Uint64
-	inFlight   atomic.Int64
-	sseStreams atomic.Int64
+	// sessMu guards sessions, the registry of open planning sessions.
+	sessMu   sync.Mutex
+	sessions map[string]*session
+
+	solves          atomic.Uint64
+	requests        atomic.Uint64
+	errorsTot       atomic.Uint64
+	inFlight        atomic.Int64
+	sseStreams      atomic.Int64
+	sessionsOpened  atomic.Uint64
+	sessionsExpired atomic.Uint64
+	sessionReplans  atomic.Uint64
 }
 
 // New returns a server configured by cfg.
@@ -104,10 +117,11 @@ func New(cfg Config) *Server {
 		now = time.Now
 	}
 	srv := &Server{
-		cfg:   cfg,
-		cache: cache,
-		sem:   make(chan struct{}, maxInFlight),
-		now:   now,
+		cfg:      cfg,
+		cache:    cache,
+		sem:      make(chan struct{}, maxInFlight),
+		now:      now,
+		sessions: make(map[string]*session),
 	}
 	srv.start = now()
 	return srv
@@ -128,6 +142,11 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", srv.handlePlan)
 	mux.HandleFunc("/v1/plan/stream", srv.handlePlanStream)
 	mux.HandleFunc("/v1/sweep", srv.handleSweep)
+	mux.HandleFunc("POST /v1/session", srv.handleSessionCreate)
+	mux.HandleFunc("GET /v1/session/{id}", srv.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/session/{id}", srv.handleSessionDelete)
+	mux.HandleFunc("POST /v1/session/{id}/delta", srv.handleSessionDelta)
+	mux.HandleFunc("GET /v1/session/{id}/stream", srv.handleSessionStream)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/metrics", srv.handleMetrics)
 	return mux
@@ -464,7 +483,11 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics implements GET /metrics in the Prometheus text exposition
 // format (no client library needed for counters and gauges).
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	srv.evictIdleSessions()
 	st := srv.cache.Stats()
+	srv.sessMu.Lock()
+	openSessions := len(srv.sessions)
+	srv.sessMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	var b []byte
 	add := func(name, help, typ string, value float64) {
@@ -481,7 +504,12 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("nrserved_cache_coalesced_total", "Requests coalesced onto an in-flight identical solve.", "counter", float64(st.Coalesced))
 	add("nrserved_cache_evictions_total", "Plan-cache LRU evictions.", "counter", float64(st.Evictions))
 	add("nrserved_cache_expired_total", "Plan-cache TTL expirations.", "counter", float64(st.Expired))
+	add("nrserved_cache_reelections_total", "Coalesced waiters that re-competed for solve leadership after their leader was cancelled.", "counter", float64(st.Reelections))
 	add("nrserved_cache_entries", "Cached plans.", "gauge", float64(st.Entries))
+	add("nrserved_sessions", "Open planning sessions.", "gauge", float64(openSessions))
+	add("nrserved_sessions_opened_total", "Planning sessions opened.", "counter", float64(srv.sessionsOpened.Load()))
+	add("nrserved_sessions_expired_total", "Planning sessions evicted by the idle TTL.", "counter", float64(srv.sessionsExpired.Load()))
+	add("nrserved_session_replans_total", "Delta-triggered session re-plans.", "counter", float64(srv.sessionReplans.Load()))
 	add("nrserved_uptime_seconds", "Seconds since the server started.", "gauge", srv.now().Sub(srv.start).Seconds())
 	w.Write(b)
 }

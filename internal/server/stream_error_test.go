@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netrecovery/internal/wire"
+)
+
+// streamRaw posts a body to /v1/plan/stream and returns the status,
+// content type and full stream text.
+func streamRaw(t *testing.T, ts *httptest.Server, body []byte) (int, string, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/plan/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(raw)
+}
+
+// extractErrorFrame finds the terminal error event in a stream and decodes
+// its payload.
+func extractErrorFrame(t *testing.T, text string) wire.Error {
+	t.Helper()
+	idx := strings.Index(text, "event: error\ndata: ")
+	if idx < 0 {
+		t.Fatalf("stream has no error event:\n%s", text)
+	}
+	payload := text[idx+len("event: error\ndata: "):]
+	if nl := strings.Index(payload, "\n"); nl >= 0 {
+		payload = payload[:nl]
+	}
+	var werr wire.Error
+	if err := json.Unmarshal([]byte(payload), &werr); err != nil {
+		t.Fatalf("error frame is not a wire.Error: %v\n%s", err, payload)
+	}
+	return werr
+}
+
+// TestPlanStreamErrorFrame: once the SSE handler has flushed its 200 status
+// it can no longer change the status code, so failures surface as a terminal
+// `event: error` frame instead. Both an unknown algorithm and a malformed
+// scenario must produce one.
+func TestPlanStreamErrorFrame(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	t.Run("unknown algorithm", func(t *testing.T) {
+		body := planRequestBody(t, "NO-SUCH-ALG", wire.SolveOptions{NoCache: true})
+		code, ctype, text := streamRaw(t, ts, body)
+		if code != http.StatusOK || ctype != "text/event-stream" {
+			t.Fatalf("status %d type %q", code, ctype)
+		}
+		werr := extractErrorFrame(t, text)
+		if !strings.Contains(werr.Error, "NO-SUCH-ALG") {
+			t.Errorf("error frame %q does not name the algorithm", werr.Error)
+		}
+		if strings.Contains(text, "event: plan") {
+			t.Errorf("failed stream still emitted a plan event:\n%s", text)
+		}
+	})
+
+	t.Run("bad scenario", func(t *testing.T) {
+		sc := testScenarioJSON()
+		sc.Links[0].To = 99 // dangling endpoint: scenario build fails post-flush
+		raw, err := json.Marshal(wire.PlanRequest{Scenario: sc, Options: wire.SolveOptions{NoCache: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, _, text := streamRaw(t, ts, raw)
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		werr := extractErrorFrame(t, text)
+		if werr.Error == "" {
+			t.Error("error frame has empty message")
+		}
+		if strings.Contains(text, "event: plan") {
+			t.Errorf("failed stream still emitted a plan event:\n%s", text)
+		}
+	})
+
+	// The error frames above must be counted as request errors.
+	metrics := fetchMetrics(t, ts)
+	if !strings.Contains(metrics, "nrserved_errors_total 2") {
+		t.Errorf("stream errors not counted in nrserved_errors_total:\n%s", metrics)
+	}
+}
+
+// TestPlanStreamClientCancel: a client dropping the connection mid-solve
+// cancels the solve; the handler emits a terminal error frame (visible only
+// to the recorder at that point) and releases its stream slot.
+func TestPlanStreamClientCancel(t *testing.T) {
+	srv := New(Config{})
+
+	g := &gateState{started: make(chan struct{}, 1), release: make(chan struct{})}
+	gate.Store(g)
+	defer gate.Store(nil)
+	defer close(g.release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := planRequestBody(t, "GATED-test", wire.SolveOptions{NoCache: true})
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan/stream", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Handler().ServeHTTP(rec, req)
+	}()
+
+	<-g.started
+	if got := srv.sseStreams.Load(); got != 1 {
+		t.Fatalf("open streams mid-solve = %d, want 1", got)
+	}
+	cancel() // client goes away
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client cancellation")
+	}
+
+	werr := extractErrorFrame(t, rec.Body.String())
+	if !strings.Contains(werr.Error, "cancel") {
+		t.Errorf("error frame %q does not mention cancellation", werr.Error)
+	}
+	if got := srv.sseStreams.Load(); got != 0 {
+		t.Errorf("stream slot leaked: %d open after handler returned", got)
+	}
+}

@@ -264,6 +264,108 @@ type PlanResponse struct {
 	Cache CacheInfo `json:"cache"`
 }
 
+// Delta kind names, the wire values of Delta.Kind.
+const (
+	DeltaBreakNode  = "break_node"
+	DeltaRepairNode = "repair_node"
+	DeltaBreakLink  = "break_link"
+	DeltaRepairLink = "repair_link"
+	DeltaSetDemand  = "set_demand"
+)
+
+// Delta is the wire form of one incremental scenario change. Kind selects
+// which target field is read: node for break_node/repair_node, link for
+// break_link/repair_link, pair and flow for set_demand. Deltas never change
+// the topology (nodes, links, capacities, repair costs); they only move
+// elements between the working and broken sets and adjust demand flows.
+type Delta struct {
+	Kind string  `json:"kind"`
+	Node int     `json:"node,omitempty"`
+	Link int     `json:"link,omitempty"`
+	Pair int     `json:"pair,omitempty"`
+	Flow float64 `json:"flow,omitempty"`
+}
+
+// Build converts the wire delta into its internal form.
+func (d Delta) Build() (scenario.Delta, error) {
+	switch d.Kind {
+	case DeltaBreakNode:
+		return scenario.Delta{Kind: scenario.DeltaBreakNode, Node: graph.NodeID(d.Node)}, nil
+	case DeltaRepairNode:
+		return scenario.Delta{Kind: scenario.DeltaRepairNode, Node: graph.NodeID(d.Node)}, nil
+	case DeltaBreakLink:
+		return scenario.Delta{Kind: scenario.DeltaBreakLink, Edge: graph.EdgeID(d.Link)}, nil
+	case DeltaRepairLink:
+		return scenario.Delta{Kind: scenario.DeltaRepairLink, Edge: graph.EdgeID(d.Link)}, nil
+	case DeltaSetDemand:
+		return scenario.Delta{Kind: scenario.DeltaSetDemand, Pair: demand.PairID(d.Pair), Flow: d.Flow}, nil
+	default:
+		return scenario.Delta{}, fmt.Errorf("wire: unknown delta kind %q", d.Kind)
+	}
+}
+
+// FromDelta converts an internal delta into its wire form.
+func FromDelta(d scenario.Delta) Delta {
+	w := Delta{Kind: d.Kind.String()}
+	switch d.Kind {
+	case scenario.DeltaBreakNode, scenario.DeltaRepairNode:
+		w.Node = int(d.Node)
+	case scenario.DeltaBreakLink, scenario.DeltaRepairLink:
+		w.Link = int(d.Edge)
+	case scenario.DeltaSetDemand:
+		w.Pair = int(d.Pair)
+		w.Flow = d.Flow
+	}
+	return w
+}
+
+// SessionRequest is the request body of POST /v1/session: the initial
+// scenario of an evolving recovery run plus the solver configuration, which
+// is fixed for the session's lifetime.
+type SessionRequest struct {
+	Scenario  Scenario     `json:"scenario"`
+	Algorithm string       `json:"algorithm,omitempty"`
+	Options   SolveOptions `json:"options,omitempty"`
+}
+
+// SessionInfo describes an open planning session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+	// Fingerprint is the content hash of the session's current scenario.
+	Fingerprint string `json:"fingerprint"`
+	// Warm reports whether re-plans run the warm incremental path (true for
+	// ISP) or solve cold each time.
+	Warm bool `json:"warm"`
+	// Plans and Deltas count completed re-plans and applied deltas.
+	Plans  int `json:"plans"`
+	Deltas int `json:"deltas"`
+	// IdleTTLMS is the inactivity timeout after which the server evicts the
+	// session.
+	IdleTTLMS int64 `json:"idle_ttl_ms"`
+}
+
+// SessionResponse is the response body of POST /v1/session and
+// GET /v1/session/{id}.
+type SessionResponse struct {
+	Session SessionInfo `json:"session"`
+	Plan    Plan        `json:"plan"`
+}
+
+// DeltaRequest is the request body of POST /v1/session/{id}/delta: a batch
+// of deltas applied atomically before one re-plan.
+type DeltaRequest struct {
+	Deltas []Delta `json:"deltas"`
+}
+
+// DeltaResponse is the response body of POST /v1/session/{id}/delta.
+type DeltaResponse struct {
+	Session SessionInfo `json:"session"`
+	Plan    Plan        `json:"plan"`
+	// ReplanMS is the wall-clock time of this re-plan.
+	ReplanMS float64 `json:"replan_ms"`
+}
+
 // Error is the JSON error envelope of every non-2xx server response.
 type Error struct {
 	Error string `json:"error"`

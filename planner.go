@@ -132,6 +132,10 @@ type PlanCacheStats struct {
 	Hits, Misses, Coalesced uint64
 	// Evictions and Expired count entries dropped by LRU pressure and TTL.
 	Evictions, Expired uint64
+	// Reelections counts waiters that found their solve leader cancelled and
+	// re-competed for leadership (see the coalescing documentation on
+	// PlanCache).
+	Reelections uint64
 	// Entries is the current number of cached plans.
 	Entries int
 }
@@ -154,12 +158,13 @@ func NewPlanCache(cfg PlanCacheConfig) *PlanCache {
 func (c *PlanCache) Stats() PlanCacheStats {
 	st := c.inner.Stats()
 	return PlanCacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Coalesced: st.Coalesced,
-		Evictions: st.Evictions,
-		Expired:   st.Expired,
-		Entries:   st.Entries,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Coalesced:   st.Coalesced,
+		Evictions:   st.Evictions,
+		Expired:     st.Expired,
+		Reelections: st.Reelections,
+		Entries:     st.Entries,
 	}
 }
 
@@ -285,16 +290,7 @@ func (p *Planner) Plan(ctx context.Context, sc *Scenario) (*Plan, error) {
 	if err := sc.inner.Validate(); err != nil {
 		return nil, err
 	}
-	params := heuristics.Params{
-		Fast:         p.cfg.fast,
-		OPTTimeLimit: p.cfg.optTimeLimit,
-		OPTMaxNodes:  p.cfg.optMaxNodes,
-		OPTWorkers:   p.cfg.workers,
-	}
-	if p.cfg.progress != nil {
-		fn := p.cfg.progress
-		params.Progress = func(ev heuristics.ProgressEvent) { fn(ProgressEvent(ev)) }
-	}
+	params := p.params()
 	solver, err := heuristics.New(string(p.cfg.alg), params)
 	if err != nil {
 		return nil, err
