@@ -14,7 +14,9 @@ import (
 	"netrecovery/internal/core"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
+	"netrecovery/internal/ensemble"
 	"netrecovery/internal/flow"
+	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/lp"
 	"netrecovery/internal/milp"
@@ -137,6 +139,25 @@ func benchLPScenario() (*scenario.Scenario, error) {
 	return &scenario.Scenario{Supply: g, Demand: dg, BrokenNodes: d.Nodes, BrokenEdges: d.Edges}, nil
 }
 
+// benchEnsembleScenario is the intact Quick Bell-Canada instance of the
+// ensemble rows: the sampler provides all the damage, so samples actually
+// vary (the ISP rows' fully-destroyed scenario would collapse every draw onto
+// one fingerprint).
+func benchEnsembleScenario() (*scenario.Scenario, error) {
+	g := topology.BellCanada()
+	rng := rand.New(rand.NewSource(1))
+	dg, err := demand.GenerateFarApartPairs(g, 4, 10, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &scenario.Scenario{
+		Supply:      g,
+		Demand:      dg,
+		BrokenNodes: map[graph.NodeID]bool{},
+		BrokenEdges: map[graph.EdgeID]bool{},
+	}, nil
+}
+
 // runBenchSuite executes the LP/ISP/OPT micro-benchmark suite and returns
 // the trajectory report. The suite backs both `-bench-json` (record the
 // baseline) and `-compare` (the CI benchmark-regression gate).
@@ -241,6 +262,45 @@ func runBenchSuite(ctx context.Context) (benchReport, error) {
 	}
 	coldStep, warmStep := 0, 0
 
+	// ensemble_64_fastisp_{cold,warm}: the Monte-Carlo serving rows. Each op
+	// draws a 64-sample cascade ensemble over the intact bench topology,
+	// deduplicates, solves with fast ISP and aggregates the robust-plan
+	// report. The cold row runs without a cache (every unique scenario
+	// solves); the warm row routes the identical ensemble through a primed
+	// plan cache, so it measures the sample-draw/dedup/aggregate overhead
+	// plus 64 cache lookups — the steady-state cost of re-answering an
+	// ensemble the daemon has seen before.
+	ensScen, err := benchEnsembleScenario()
+	if err != nil {
+		return report, err
+	}
+	ensSpec := ensemble.Spec{
+		Scenario:      ensScen,
+		Sampler:       ensemble.SamplerSpec{Model: ensemble.ModelCascade, SeedProb: 0.05, Spread: 0.3, EdgeProb: 0.4},
+		Samples:       64,
+		Seed:          7,
+		Algorithm:     "ISP",
+		Fast:          true,
+		SolverWorkers: 1,
+	}
+	ensCache := plancache.New(plancache.Config{})
+	warmSpec := ensSpec
+	warmSpec.Cache = ensCache
+	if _, err := ensemble.Run(ctx, warmSpec); err != nil {
+		return report, fmt.Errorf("bench: ensemble cache priming run failed: %w", err)
+	}
+	mustEnsemble := func(spec ensemble.Spec) func() {
+		return func() {
+			rep, err := ensemble.Run(ctx, spec)
+			if err != nil {
+				panic(err)
+			}
+			if rep.Failures > 0 {
+				panic(fmt.Sprintf("ensemble bench row had %d failures: %s", rep.Failures, rep.FirstError))
+			}
+		}
+	}
+
 	// Parallel rows need real cores: on a single-core host the deterministic
 	// branch-and-bound explores the same tree but the extra workers only add
 	// round-barrier overhead, so the measurement says nothing about the code.
@@ -299,6 +359,8 @@ func runBenchSuite(ctx context.Context) (benchReport, error) {
 				panic(err)
 			}
 		}},
+		{"ensemble_64_fastisp_cold", 3, mustEnsemble(ensSpec)},
+		{"ensemble_64_fastisp_warm", 10, mustEnsemble(warmSpec)},
 		{"opt_search300_w1", 1, milpSolve(1)},
 		{"opt_search300_w4", 1, milpSolve(4)},
 	}
@@ -360,21 +422,26 @@ func writeBenchReport(report benchReport, path string) error {
 // (non-zero exit) when any ns/op regressed by more than the tolerance
 // (fractional, e.g. 0.25 allows +25%). A baseline metric missing from the
 // fresh run also fails — a silently dropped benchmark must not pass the
-// gate — while new metrics are reported informationally and pass.
+// gate — while new metrics are reported informationally and pass. Every row
+// prints its baseline-vs-current allocations alongside ns/op — passing rows
+// included — so an allocation creep is visible in the CI log before it grows
+// into a timing regression.
 func compareBench(w io.Writer, baselineName string, baseline, fresh benchReport, tolerance float64) error {
 	freshByName := make(map[string]benchRecord, len(fresh.Benchmarks))
 	for _, b := range fresh.Benchmarks {
 		freshByName[b.Name] = b
 	}
 
-	fmt.Fprintf(w, "%-32s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "fresh ns/op", "delta", "status")
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %19s %25s  %s\n",
+		"benchmark", "baseline ns/op", "fresh ns/op", "delta", "allocs/op", "bytes/op", "status")
+	pair := func(base, got uint64) string { return fmt.Sprintf("%d -> %d", base, got) }
 	regressions := 0
 	for _, base := range baseline.Benchmarks {
 		got, ok := freshByName[base.Name]
 		delete(freshByName, base.Name)
 		if !ok {
 			regressions++
-			fmt.Fprintf(w, "%-32s %14.0f %14s %8s  MISSING\n", base.Name, base.NsPerOp, "-", "-")
+			fmt.Fprintf(w, "%-32s %14.0f %14s %8s %19s %25s  MISSING\n", base.Name, base.NsPerOp, "-", "-", "-", "-")
 			continue
 		}
 		// A row the fresh run (or the baseline) flagged as unmeasurable on
@@ -386,7 +453,7 @@ func compareBench(w io.Writer, baselineName string, baseline, fresh benchReport,
 			if reason == "" {
 				reason = base.Skipped
 			}
-			fmt.Fprintf(w, "%-32s %14.0f %14s %8s  skipped (%s)\n", base.Name, base.NsPerOp, "-", "-", reason)
+			fmt.Fprintf(w, "%-32s %14.0f %14s %8s %19s %25s  skipped (%s)\n", base.Name, base.NsPerOp, "-", "-", "-", "-", reason)
 			continue
 		}
 		delta := got.NsPerOp/base.NsPerOp - 1
@@ -395,11 +462,13 @@ func compareBench(w io.Writer, baselineName string, baseline, fresh benchReport,
 			status = "REGRESSED"
 			regressions++
 		}
-		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%%  %s\n", base.Name, base.NsPerOp, got.NsPerOp, 100*delta, status)
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%% %19s %25s  %s\n",
+			base.Name, base.NsPerOp, got.NsPerOp, 100*delta,
+			pair(base.AllocsPerOp, got.AllocsPerOp), pair(base.BytesPerOp, got.BytesPerOp), status)
 	}
 	for _, b := range fresh.Benchmarks {
 		if _, isNew := freshByName[b.Name]; isNew {
-			fmt.Fprintf(w, "%-32s %14s %14.0f %8s  new\n", b.Name, "-", b.NsPerOp, "-")
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s %19d %25d  new\n", b.Name, "-", b.NsPerOp, "-", b.AllocsPerOp, b.BytesPerOp)
 		}
 	}
 	if regressions > 0 {

@@ -167,6 +167,10 @@ func TestCompareBenchGateLogic(t *testing.T) {
 	if !strings.Contains(out.String(), "new") {
 		t.Errorf("new metric not reported: %q", out.String())
 	}
+	// Passing rows print their baseline-vs-current allocation metrics too.
+	if !strings.Contains(out.String(), "allocs/op") || !strings.Contains(out.String(), "0 -> 0") {
+		t.Errorf("per-metric allocation columns missing: %q", out.String())
+	}
 
 	out.Reset()
 	fresh = syntheticReport(map[string]float64{"a": 1300, "b": 2000})
@@ -233,7 +237,7 @@ func TestCompareGateEndToEnd(t *testing.T) {
 			t.Errorf("benchmark %s has non-positive metrics: %+v", b.Name, b)
 		}
 	}
-	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact", "replan_cold", "replan_warm", "opt_search300_w1", "opt_search300_w4"} {
+	for _, want := range []string{"lp_transportation_sparse_cold", "lp_transportation_warm_resolve", "isp_iteration_exact", "replan_cold", "replan_warm", "ensemble_64_fastisp_cold", "ensemble_64_fastisp_warm", "opt_search300_w1", "opt_search300_w4"} {
 		if !names[want] {
 			t.Errorf("missing benchmark %q in %v", want, names)
 		}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"netrecovery/internal/ensemble"
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+	"netrecovery/internal/wire"
+)
+
+// ensembleFlags collects the -ensemble* knobs of the CLI.
+type ensembleFlags struct {
+	samples   int
+	model     string
+	alpha     float64
+	consensus float64
+	seed      int64
+	workers   int
+
+	variance float64
+	peakProb float64
+	jitter   float64
+	nodeProb float64
+	edgeProb float64
+	seedProb float64
+	spread   float64
+	rounds   int
+}
+
+// sampler assembles the failure-model spec. Every knob is set; the model
+// validates and consumes only its own parameters.
+func (f ensembleFlags) sampler() ensemble.SamplerSpec {
+	return ensemble.SamplerSpec{
+		Model:           f.model,
+		Variance:        f.variance,
+		PeakProbability: f.peakProb,
+		EpicenterJitter: f.jitter,
+		NodeProb:        f.nodeProb,
+		EdgeProb:        f.edgeProb,
+		SeedProb:        f.seedProb,
+		Spread:          f.spread,
+		Rounds:          f.rounds,
+	}
+}
+
+// runEnsembleCLI draws the ensemble over the (intact) base scenario and
+// prints the robust-plan report — as the shared wire schema with -json
+// (exactly what POST /v1/ensemble returns), as a human summary otherwise.
+func runEnsembleCLI(ctx context.Context, w io.Writer, s *scenario.Scenario, solverName string, fast bool, optTime time.Duration, f ensembleFlags, jsonOut bool) error {
+	rep, err := ensemble.Run(ctx, ensemble.Spec{
+		Scenario:           s,
+		Sampler:            f.sampler(),
+		Samples:            f.samples,
+		Seed:               f.seed,
+		Algorithm:          solverName,
+		Fast:               fast,
+		OPTTimeLimit:       optTime,
+		Workers:            f.workers,
+		SolverWorkers:      1, // the sample pool owns the parallelism
+		Alpha:              f.alpha,
+		ConsensusThreshold: f.consensus,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(wire.FromEnsemble(s, rep))
+	}
+	printEnsemble(w, s, rep)
+	return nil
+}
+
+func printEnsemble(w io.Writer, s *scenario.Scenario, rep *ensemble.Report) {
+	fmt.Fprintf(w, "ensemble: %d samples -> %d unique (%d deduped), %d solves, hit ratio %.1f%%\n",
+		rep.Samples, rep.Unique, rep.Deduped, rep.Solves, 100*rep.HitRatio)
+	fmt.Fprintf(w, "algorithm %s, alpha %.2f, consensus threshold %.0f%%, runtime %v\n",
+		rep.Algorithm, rep.Alpha, 100*rep.Consensus.Threshold, rep.Elapsed.Round(time.Millisecond))
+	if rep.Failures > 0 {
+		fmt.Fprintf(w, "failures: %d unique scenarios excluded (first: %s)\n", rep.Failures, rep.FirstError)
+	}
+
+	fmt.Fprintf(w, "\n%-16s %10s %10s %10s %10s %10s %10s\n", "metric", "mean", "std", "p50", "p95", "p99", "cvar")
+	row := func(name string, d ensemble.Dist) {
+		fmt.Fprintf(w, "%-16s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			name, d.Mean, d.Std, d.P50, d.P95, d.P99, d.CVaR)
+	}
+	row("broken elements", rep.BrokenElements)
+	row("repair cost", rep.RepairCost)
+	row("flow loss", rep.FlowLoss)
+	row("satisfied ratio", rep.SatisfiedRatio)
+
+	if top := topRepairs(rep.Repairs, 10); len(top) > 0 {
+		fmt.Fprintf(w, "\ntop repairs (share of samples whose plan repairs the element):\n")
+		for _, st := range top {
+			fmt.Fprintf(w, "  %-5s %-16s %5.1f%%  (%.1f%% when broken)\n",
+				st.Kind, elementLabel(s, st), 100*st.Frequency, 100*st.ConditionalFrequency)
+		}
+	}
+
+	c := rep.Consensus
+	fmt.Fprintf(w, "\nconsensus plan (repaired in >= %.0f%% of samples): %d nodes + %d links\n",
+		100*c.Threshold, len(c.Nodes), len(c.Links))
+	if len(c.Nodes)+len(c.Links) > 0 {
+		fmt.Fprintf(w, "  mean cost %.1f; satisfied ratio mean %.1f%% (cvar %.1f%%); fully restores %.1f%% of samples\n",
+			c.MeanCost, 100*c.SatisfiedRatio.Mean, 100*c.SatisfiedRatio.CVaR, 100*c.FullSatisfied)
+	}
+}
+
+// topRepairs returns the n highest-frequency repair stats, preserving the
+// canonical kind/ID order among ties.
+func topRepairs(stats []ensemble.RepairStat, n int) []ensemble.RepairStat {
+	top := append([]ensemble.RepairStat(nil), stats...)
+	sort.SliceStable(top, func(i, j int) bool { return top[i].Frequency > top[j].Frequency })
+	if len(top) > n {
+		top = top[:n]
+	}
+	return top
+}
+
+// elementLabel renders one repair target: the node's name (or #id), or the
+// link's endpoint pair.
+func elementLabel(s *scenario.Scenario, st ensemble.RepairStat) string {
+	if st.Kind == "node" {
+		node := s.Supply.Node(graph.NodeID(st.ID))
+		if node.Name != "" {
+			return node.Name
+		}
+		return fmt.Sprintf("#%d", st.ID)
+	}
+	edge := s.Supply.Edge(graph.EdgeID(st.ID))
+	return fmt.Sprintf("(%d-%d)", edge.From, edge.To)
+}

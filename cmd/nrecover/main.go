@@ -8,12 +8,20 @@
 //	nrecover -topology er.json -destroy-all -pairs 5 -flow 1 -solver SRT
 //	nrecover -topology bell.json -pairs 3 -flow 10 -variance 40 -compare
 //	nrecover -topology bell.json -pairs 4 -flow 10 -variance 50 -json
+//	nrecover -ensemble 1000 -ensemble-model cascade -seed-prob 0.05 -spread 0.3
 //
 // With -list the registered solvers and their metadata are printed. With
 // -compare every available solver is run and a comparison table is printed
 // instead of a single plan. With -json the plan is emitted in the shared
 // wire schema — exactly what the nrserved HTTP daemon returns from
 // POST /v1/plan — so scripts can consume either interchangeably.
+//
+// With -ensemble N the single disruption is replaced by a Monte-Carlo
+// ensemble: N disruptions are drawn from the selected failure model
+// (-ensemble-model geographic | bernoulli | cascade) over the intact
+// topology, deduplicated, solved, and aggregated into a robust-plan report
+// (quantiles and CVaR of cost and flow loss, repair frequencies, consensus
+// plan). -json switches the report to the POST /v1/ensemble schema.
 package main
 
 import (
@@ -67,6 +75,19 @@ func run(args []string, stdout io.Writer) error {
 		stages     = fs.Float64("stage-budget", 0, "if positive, also print a progressive repair schedule with this per-stage budget")
 		graphml    = fs.Bool("graphml", false, "parse -topology as an Internet Topology Zoo GraphML file")
 		jsonOut    = fs.Bool("json", false, "emit the plan as JSON in the exact schema the nrserved HTTP daemon returns (includes the stages when -stage-budget is set)")
+
+		ensembleN       = fs.Int("ensemble", 0, "draw this many disruption samples and print a robust-plan ensemble report instead of a single plan (0 = off)")
+		ensembleModel   = fs.String("ensemble-model", "geographic", "ensemble failure model: geographic | bernoulli | cascade")
+		ensembleAlpha   = fs.Float64("ensemble-alpha", 0.95, "CVaR confidence level of the ensemble report")
+		ensembleCons    = fs.Float64("ensemble-consensus", 0.9, "repair-frequency threshold of the ensemble consensus plan")
+		ensembleWorkers = fs.Int("ensemble-workers", 0, "concurrent ensemble solves (0 = all cores; the report is identical for any value)")
+		peakProb        = fs.Float64("peak-prob", 1, "peak failure probability at the epicentre (geographic ensemble model; -variance sets the spread)")
+		jitter          = fs.Float64("epicenter-jitter", 0, "std dev of the per-sample epicentre displacement (geographic ensemble model)")
+		nodeProb        = fs.Float64("node-prob", 0.1, "per-node failure probability (bernoulli ensemble model)")
+		edgeProb        = fs.Float64("edge-prob", 0.1, "per-link failure probability (bernoulli model; co-located link damage for cascade)")
+		seedProb        = fs.Float64("seed-prob", 0.05, "initial-shock probability (cascade ensemble model)")
+		spread          = fs.Float64("spread", 0.3, "neighbour propagation probability (cascade ensemble model)")
+		cascadeRounds   = fs.Int("cascade-rounds", 0, "cascade propagation round bound (0 = run to fixpoint)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +109,45 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *ensembleN > 0 {
+		if *compare {
+			return fmt.Errorf("-ensemble and -compare are mutually exclusive")
+		}
+		if *destroyAll {
+			return fmt.Errorf("-ensemble draws its own disruptions; drop -destroy-all")
+		}
+		s := &scenario.Scenario{
+			Supply:      g,
+			Demand:      dg,
+			BrokenNodes: map[graph.NodeID]bool{},
+			BrokenEdges: map[graph.EdgeID]bool{},
+		}
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "topology %s: %d nodes, %d edges; demand: %d pairs x %.0f units\n\n",
+				name, g.NumNodes(), g.NumEdges(), *pairs, *flowUnits)
+		}
+		ef := ensembleFlags{
+			samples:   *ensembleN,
+			model:     *ensembleModel,
+			alpha:     *ensembleAlpha,
+			consensus: *ensembleCons,
+			seed:      *seed,
+			workers:   *ensembleWorkers,
+			variance:  *variance,
+			peakProb:  *peakProb,
+			jitter:    *jitter,
+			nodeProb:  *nodeProb,
+			edgeProb:  *edgeProb,
+			seedProb:  *seedProb,
+			spread:    *spread,
+			rounds:    *cascadeRounds,
+		}
+		return runEnsembleCLI(context.Background(), stdout, s, *solverName, *fast, *optTime, ef, *jsonOut)
+	}
+
 	var d disruption.Disruption
 	if *destroyAll {
 		d = disruption.Complete(g)

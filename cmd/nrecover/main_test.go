@@ -231,3 +231,70 @@ func TestRunJSONRejectsCompare(t *testing.T) {
 		t.Fatal("-json -compare accepted")
 	}
 }
+
+// TestRunEnsembleMode: -ensemble replaces the single plan with a robust-plan
+// report over sampled disruptions.
+func TestRunEnsembleMode(t *testing.T) {
+	args := []string{"-pairs", "2", "-flow", "5", "-seed", "3", "-fast",
+		"-ensemble", "40", "-ensemble-model", "cascade"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"ensemble: 40 samples", "hit ratio", "repair cost", "satisfied ratio", "consensus plan",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ensemble output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunEnsembleJSON: -ensemble -json emits the POST /v1/ensemble schema,
+// byte-deterministic apart from the wall-clock envelope field.
+func TestRunEnsembleJSON(t *testing.T) {
+	args := []string{"-pairs", "2", "-flow", "5", "-seed", "3", "-fast",
+		"-ensemble", "40", "-ensemble-model", "bernoulli", "-node-prob", "0.1", "-edge-prob", "0.1", "-json"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.EnsembleResponse
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("output is not a wire.EnsembleResponse: %v\n%s", err, out.String())
+	}
+	if resp.Report == nil || resp.Report.Samples != 40 || resp.Report.Failures != 0 {
+		t.Fatalf("report = %+v", resp.Report)
+	}
+	if len(resp.Fingerprint) != 64 {
+		t.Errorf("fingerprint = %q, want 64 hex chars", resp.Fingerprint)
+	}
+
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		re := regexp.MustCompile(`"elapsed_ms": [0-9.e+-]+`)
+		return re.ReplaceAllString(s, `"elapsed_ms": X`)
+	}
+	if strip(out.String()) != strip(again.String()) {
+		t.Errorf("-ensemble -json output not deterministic:\n%s\nvs\n%s", out.String(), again.String())
+	}
+}
+
+func TestRunEnsembleRejectsConflictsAndBadModels(t *testing.T) {
+	if err := run([]string{"-ensemble", "5", "-compare"}, io.Discard); err == nil {
+		t.Error("-ensemble -compare accepted")
+	}
+	if err := run([]string{"-ensemble", "5", "-destroy-all"}, io.Discard); err == nil {
+		t.Error("-ensemble -destroy-all accepted")
+	}
+	if err := run([]string{"-ensemble", "5", "-ensemble-model", "meteor"}, io.Discard); err == nil {
+		t.Error("unknown ensemble model accepted")
+	}
+	if err := run([]string{"-ensemble", "5", "-solver", "NOPE"}, io.Discard); err == nil {
+		t.Error("unknown solver accepted in ensemble mode")
+	}
+}

@@ -1,0 +1,70 @@
+package netrecovery
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// quickBell is the Quick-profile Bell-Canada network with four far-apart
+// demand pairs and an intact supply graph; the sampler provides the damage.
+func quickBell(t *testing.T) *Scenario {
+	t.Helper()
+	net := BellCanada()
+	if err := net.AddFarApartDemands(4, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	return net.Snapshot()
+}
+
+func TestRunEnsembleFacade(t *testing.T) {
+	var last EnsembleProgress
+	cache := NewPlanCache(PlanCacheConfig{})
+	spec := EnsembleSpec{
+		Scenario: quickBell(t),
+		Sampler: EnsembleSampler{
+			Model:    EnsembleCascade,
+			SeedProb: 0.05, Spread: 0.3, EdgeProb: 0.4,
+		},
+		Samples:    50,
+		Seed:       9,
+		FastISP:    true,
+		Cache:      cache,
+		OnProgress: func(p EnsembleProgress) { last = p },
+	}
+	rep, err := RunEnsemble(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 50 || rep.Unique < 1 || rep.Failures != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Solves != rep.Unique || rep.CacheHits != 0 {
+		t.Fatalf("fresh cache: solves=%d hits=%d unique=%d", rep.Solves, rep.CacheHits, rep.Unique)
+	}
+	if last.Done != 50 || last.Total != 50 {
+		t.Fatalf("final progress = %+v", last)
+	}
+	if s := cache.Stats(); s.Entries != rep.Unique {
+		t.Fatalf("cache entries = %d, want %d", s.Entries, rep.Unique)
+	}
+
+	// Re-running through the same cache answers every unique scenario
+	// without a solve, and leaves every statistic byte-identical.
+	again, err := RunEnsemble(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Solves != 0 || again.CacheHits != again.Unique || again.HitRatio != 1 {
+		t.Fatalf("warm cache: %+v", again)
+	}
+	a, _ := json.Marshal(rep.SatisfiedRatio)
+	b, _ := json.Marshal(again.SatisfiedRatio)
+	if string(a) != string(b) {
+		t.Error("warm re-run changed the aggregated statistics")
+	}
+
+	if _, err := RunEnsemble(context.Background(), EnsembleSpec{}); err == nil {
+		t.Error("nil scenario must be rejected")
+	}
+}

@@ -1,0 +1,90 @@
+package disruption
+
+import (
+	"math/rand"
+	"sort"
+
+	"netrecovery/internal/graph"
+)
+
+// CascadeConfig parameterises the cascading / interdependent failure model:
+// an initial set of independent seed failures propagates outward because a
+// failed node raises the failure probability of its still-working neighbours
+// (overload shedding, shared power feeds, dependent control planes).
+type CascadeConfig struct {
+	// SeedProb is the independent probability that a node fails in the
+	// initial shock, before any propagation.
+	SeedProb float64
+	// Spread is the probability that a failed node takes down each
+	// still-working neighbour in the round after it fails. Zero disables
+	// propagation entirely (the model degenerates to Bernoulli node
+	// failures).
+	Spread float64
+	// EdgeProb is the probability that an edge incident to at least one
+	// failed node is itself physically damaged (and therefore needs repair,
+	// not just a working endpoint). Edges with both endpoints intact never
+	// fail under this model.
+	EdgeProb float64
+	// MaxRounds bounds the number of propagation rounds; 0 means run until
+	// the cascade reaches a fixpoint (bounded by the node count, since every
+	// round must fail at least one new node to continue).
+	MaxRounds int
+}
+
+// Cascade draws a cascading failure. The draw order is canonical — seed
+// draws in ascending node-ID order, then per round the frontier in ascending
+// ID order with each node's neighbours in adjacency order, then edge draws in
+// ascending edge-ID order — so for a fixed graph and rng seed the result is
+// reproducible across processes and worker counts.
+func Cascade(g *graph.Graph, cfg CascadeConfig, rng *rand.Rand) Disruption {
+	d := NewDisruption()
+	n := g.NumNodes()
+	if n == 0 {
+		return d
+	}
+	// Initial shock: independent Bernoulli draws in node-ID order.
+	frontier := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < cfg.SeedProb {
+			id := graph.NodeID(i)
+			d.Nodes[id] = true
+			frontier = append(frontier, id)
+		}
+	}
+	// Propagation: each newly-failed node infects each still-working
+	// neighbour with probability Spread. The frontier is kept sorted so the
+	// rng consumption order is independent of map iteration.
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = n
+	}
+	for round := 0; round < maxRounds && len(frontier) > 0 && cfg.Spread > 0; round++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if d.Nodes[u] {
+					continue
+				}
+				if rng.Float64() < cfg.Spread {
+					d.Nodes[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	// Co-located link damage: edges touching a failed node may be physically
+	// damaged too. Edge-ID order keeps the draw sequence canonical.
+	if cfg.EdgeProb > 0 {
+		for _, e := range g.Edges() {
+			if !d.Nodes[e.From] && !d.Nodes[e.To] {
+				continue
+			}
+			if rng.Float64() < cfg.EdgeProb {
+				d.Edges[e.ID] = true
+			}
+		}
+	}
+	return d
+}

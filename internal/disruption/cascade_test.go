@@ -1,0 +1,138 @@
+package disruption
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netrecovery/internal/graph"
+	"netrecovery/internal/topology"
+)
+
+// lineGraph returns a path 0-1-...-(n-1) with unit capacities and costs.
+func lineGraph(n int) *graph.Graph {
+	g := graph.New(n, n-1)
+	for i := 0; i < n; i++ {
+		g.AddNode("", float64(i), 0, 1)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), 1, 1)
+	}
+	return g
+}
+
+// isolatedGraph returns n nodes and no edges.
+func isolatedGraph(n int) *graph.Graph {
+	g := graph.New(n, 0)
+	for i := 0; i < n; i++ {
+		g.AddNode("", float64(i), 0, 1)
+	}
+	return g
+}
+
+func TestCascadeZeroProbability(t *testing.T) {
+	g := topology.BellCanada()
+	d := Cascade(g, CascadeConfig{SeedProb: 0, Spread: 1, EdgeProb: 1}, rand.New(rand.NewSource(1)))
+	if d.Total() != 0 {
+		t.Errorf("zero seed probability must break nothing, got %d", d.Total())
+	}
+	// Spread 0 degenerates to independent Bernoulli node failures: every
+	// draw order is still canonical, and no propagation may occur. Edges
+	// only break next to failed nodes.
+	d = Cascade(g, CascadeConfig{SeedProb: 0.3, Spread: 0, EdgeProb: 0}, rand.New(rand.NewSource(2)))
+	if len(d.Edges) != 0 {
+		t.Errorf("EdgeProb 0 must break no edges, got %d", len(d.Edges))
+	}
+	want := Random(g, 0.3, 0, rand.New(rand.NewSource(2)))
+	if !reflect.DeepEqual(d.Nodes, want.Nodes) {
+		t.Errorf("Spread 0 cascade should equal Bernoulli node failures: got %v want %v", d.Nodes, want.Nodes)
+	}
+}
+
+func TestCascadeDisconnectedTopology(t *testing.T) {
+	// With no edges there is nothing to propagate along and no edge can
+	// break, whatever the probabilities.
+	g := isolatedGraph(7)
+	d := Cascade(g, CascadeConfig{SeedProb: 1, Spread: 1, EdgeProb: 1}, rand.New(rand.NewSource(3)))
+	if len(d.Nodes) != 7 {
+		t.Errorf("SeedProb 1 must break every node, got %d", len(d.Nodes))
+	}
+	if len(d.Edges) != 0 {
+		t.Errorf("edgeless graph must break no edges, got %d", len(d.Edges))
+	}
+}
+
+func TestCascadeSingleNodeGraph(t *testing.T) {
+	g := isolatedGraph(1)
+	d := Cascade(g, CascadeConfig{SeedProb: 1, Spread: 1, EdgeProb: 1}, rand.New(rand.NewSource(4)))
+	if len(d.Nodes) != 1 || len(d.Edges) != 0 {
+		t.Errorf("single-node cascade: got %d nodes, %d edges", len(d.Nodes), len(d.Edges))
+	}
+	empty := Cascade(graph.New(0, 0), CascadeConfig{SeedProb: 1, Spread: 1}, rand.New(rand.NewSource(4)))
+	if empty.Total() != 0 {
+		t.Errorf("empty-graph cascade must be empty, got %d", empty.Total())
+	}
+}
+
+func TestCascadeFullSpreadIsAllOrNothing(t *testing.T) {
+	// With Spread 1 on a connected graph, any non-empty seed set cascades to
+	// every node; the only other outcome is the empty draw.
+	g := lineGraph(9)
+	sawAll := false
+	for seed := int64(0); seed < 20; seed++ {
+		d := Cascade(g, CascadeConfig{SeedProb: 0.3, Spread: 1}, rand.New(rand.NewSource(seed)))
+		if n := len(d.Nodes); n != 0 && n != 9 {
+			t.Fatalf("seed %d: Spread 1 on a connected graph must break all or nothing, got %d/9", seed, n)
+		}
+		if len(d.Nodes) == 9 {
+			sawAll = true
+		}
+	}
+	if !sawAll {
+		t.Fatal("no seed produced a full cascade; SeedProb 0.3 over 9 nodes and 20 seeds should")
+	}
+}
+
+func TestCascadeMaxRoundsBoundsPropagation(t *testing.T) {
+	g := lineGraph(30)
+	for seed := int64(0); seed < 10; seed++ {
+		one := Cascade(g, CascadeConfig{SeedProb: 0.1, Spread: 1, MaxRounds: 1}, rand.New(rand.NewSource(seed)))
+		full := Cascade(g, CascadeConfig{SeedProb: 0.1, Spread: 1}, rand.New(rand.NewSource(seed)))
+		// The first propagation round consumes identical draws in both
+		// configurations, so the bounded run's nodes are a subset of the
+		// fixpoint run's.
+		for v := range one.Nodes {
+			if !full.Nodes[v] {
+				t.Fatalf("seed %d: MaxRounds=1 broke node %d that the fixpoint run did not", seed, v)
+			}
+		}
+		if len(one.Nodes) > len(full.Nodes) {
+			t.Fatalf("seed %d: bounded cascade broke more nodes (%d) than fixpoint (%d)", seed, len(one.Nodes), len(full.Nodes))
+		}
+	}
+}
+
+func TestCascadeEdgesRequireFailedEndpoint(t *testing.T) {
+	g := topology.BellCanada()
+	d := Cascade(g, CascadeConfig{SeedProb: 0.2, Spread: 0.3, EdgeProb: 1}, rand.New(rand.NewSource(7)))
+	for e := range d.Edges {
+		edge := g.Edge(e)
+		if !d.Nodes[edge.From] && !d.Nodes[edge.To] {
+			t.Errorf("edge %d broke with both endpoints intact", e)
+		}
+	}
+}
+
+func TestCascadeDeterministicPerSeed(t *testing.T) {
+	g := topology.BellCanada()
+	cfg := CascadeConfig{SeedProb: 0.15, Spread: 0.4, EdgeProb: 0.5}
+	a := Cascade(g, cfg, rand.New(rand.NewSource(11)))
+	b := Cascade(g, cfg, rand.New(rand.NewSource(11)))
+	if !reflect.DeepEqual(a.Nodes, b.Nodes) || !reflect.DeepEqual(a.Edges, b.Edges) {
+		t.Fatal("same seed must reproduce the same cascade")
+	}
+	c := Cascade(g, cfg, rand.New(rand.NewSource(12)))
+	if reflect.DeepEqual(a.Nodes, c.Nodes) && reflect.DeepEqual(a.Edges, c.Edges) {
+		t.Fatal("different seeds should draw different cascades on this topology")
+	}
+}

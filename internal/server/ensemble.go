@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"netrecovery/internal/ensemble"
+	"netrecovery/internal/wire"
+)
+
+// buildEnsembleSpec validates an ensemble request and prepares the engine
+// spec under the server's admission policy: the solve pool is clamped to the
+// admission capacity, per-solve parallelism defaults to 1 (each pool worker
+// owns exactly the one admission token it holds), and unique-scenario solves
+// route through the shared plan cache — an ensemble repeated, or one
+// overlapping plan traffic, hits instead of solving.
+func (srv *Server) buildEnsembleSpec(req wire.EnsembleRequest) (ensemble.Spec, *httpError) {
+	spec, err := req.BuildSpec()
+	if err != nil {
+		return ensemble.Spec{}, badRequest("invalid ensemble request: %v", err)
+	}
+	if spec.Workers <= 0 || spec.Workers > cap(srv.sem) {
+		spec.Workers = cap(srv.sem)
+	}
+	if spec.Workers > spec.Samples && spec.Samples > 0 {
+		spec.Workers = spec.Samples
+	}
+	spec.SolverWorkers = 1
+	spec.Cache = srv.cache
+	if err := spec.Validate(); err != nil {
+		return ensemble.Spec{}, badRequest("%v", err)
+	}
+	return spec, nil
+}
+
+// runEnsemble executes a prepared spec with admission accounting: one token
+// per pool worker, like /v1/sweep, so ensembles and plan traffic together
+// never exceed MaxInFlight executing solver workers.
+func (srv *Server) runEnsemble(r *http.Request, spec ensemble.Spec) (*ensemble.Report, *httpError) {
+	ctx, cancel := srv.requestContext(r)
+	defer cancel()
+	if herr := srv.acquireSlots(ctx, spec.Workers); herr != nil {
+		return nil, herr
+	}
+	defer srv.releaseSlots(spec.Workers)
+	srv.inFlight.Add(1)
+	defer srv.inFlight.Add(-1)
+
+	rep, err := ensemble.Run(ctx, spec)
+	if err != nil {
+		return nil, solveError(err)
+	}
+	srv.ensembles.Add(1)
+	srv.ensembleSamples.Add(uint64(rep.Samples))
+	srv.ensembleCacheHits.Add(uint64(rep.CacheHits))
+	srv.solves.Add(uint64(rep.Solves))
+	return rep, nil
+}
+
+// handleEnsemble implements POST /v1/ensemble: draw a Monte-Carlo ensemble
+// of disruptions over the request scenario, solve the unique samples through
+// the plan cache and answer with the aggregated robust-plan report.
+func (srv *Server) handleEnsemble(w http.ResponseWriter, r *http.Request) {
+	srv.requests.Add(1)
+	if r.Method != http.MethodPost {
+		srv.writeError(w, &httpError{code: http.StatusMethodNotAllowed, err: errors.New("use POST")})
+		return
+	}
+	var req wire.EnsembleRequest
+	if herr := decodeJSON(r, &req); herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	spec, herr := srv.buildEnsembleSpec(req)
+	if herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	rep, herr := srv.runEnsemble(r, spec)
+	if herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	srv.writeJSON(w, http.StatusOK, wire.FromEnsemble(spec.Scenario, rep))
+}
+
+// handleEnsembleStream implements POST /v1/ensemble/stream: the same request
+// body as /v1/ensemble, answered as a Server-Sent Events stream of
+// `progress` events ({done, total} in samples) followed by one final
+// `ensemble` (or `error`) event.
+func (srv *Server) handleEnsembleStream(w http.ResponseWriter, r *http.Request) {
+	srv.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		srv.writeError(w, &httpError{code: http.StatusMethodNotAllowed, err: errors.New("use GET or POST with a JSON body")})
+		return
+	}
+	var req wire.EnsembleRequest
+	if herr := decodeJSON(r, &req); herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	spec, herr := srv.buildEnsembleSpec(req)
+	if herr != nil {
+		srv.writeError(w, herr)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		srv.writeError(w, &httpError{code: http.StatusInternalServerError, err: errors.New("response writer does not support streaming")})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	srv.sseStreams.Add(1)
+	defer srv.sseStreams.Add(-1)
+
+	var mu sync.Mutex
+	emit := func(event string, payload any) {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+		flusher.Flush()
+		mu.Unlock()
+	}
+	spec.OnProgress = func(p ensemble.Progress) { emit("progress", p) }
+
+	rep, herr := srv.runEnsemble(r, spec)
+	if herr != nil {
+		srv.errorsTot.Add(1)
+		emit("error", wire.Error{Error: herr.Error()})
+		return
+	}
+	emit("ensemble", wire.FromEnsemble(spec.Scenario, rep))
+}

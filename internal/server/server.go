@@ -7,6 +7,10 @@
 //	POST /v1/plan        solve one scenario (content-addressed plan cache +
 //	                     singleflight coalescing; cache metadata in the response)
 //	POST /v1/sweep       run a declarative scenario sweep on the engine's pool
+//	POST /v1/ensemble    run a Monte-Carlo disruption ensemble (fingerprint
+//	                     dedup + plan-cache routing) and return the aggregated
+//	                     robust-plan report; /v1/ensemble/stream is the SSE
+//	                     variant with sample-level progress
 //	GET  /v1/plan/stream solve one scenario streaming solver progress as
 //	                     Server-Sent Events
 //	GET  /healthz        liveness probe
@@ -92,14 +96,17 @@ type Server struct {
 	sessMu   sync.Mutex
 	sessions map[string]*session
 
-	solves          atomic.Uint64
-	requests        atomic.Uint64
-	errorsTot       atomic.Uint64
-	inFlight        atomic.Int64
-	sseStreams      atomic.Int64
-	sessionsOpened  atomic.Uint64
-	sessionsExpired atomic.Uint64
-	sessionReplans  atomic.Uint64
+	solves            atomic.Uint64
+	requests          atomic.Uint64
+	errorsTot         atomic.Uint64
+	inFlight          atomic.Int64
+	sseStreams        atomic.Int64
+	sessionsOpened    atomic.Uint64
+	sessionsExpired   atomic.Uint64
+	sessionReplans    atomic.Uint64
+	ensembles         atomic.Uint64
+	ensembleSamples   atomic.Uint64
+	ensembleCacheHits atomic.Uint64
 }
 
 // New returns a server configured by cfg.
@@ -142,6 +149,8 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", srv.handlePlan)
 	mux.HandleFunc("/v1/plan/stream", srv.handlePlanStream)
 	mux.HandleFunc("/v1/sweep", srv.handleSweep)
+	mux.HandleFunc("/v1/ensemble", srv.handleEnsemble)
+	mux.HandleFunc("/v1/ensemble/stream", srv.handleEnsembleStream)
 	mux.HandleFunc("POST /v1/session", srv.handleSessionCreate)
 	mux.HandleFunc("GET /v1/session/{id}", srv.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/session/{id}", srv.handleSessionDelete)
@@ -510,6 +519,9 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("nrserved_sessions_opened_total", "Planning sessions opened.", "counter", float64(srv.sessionsOpened.Load()))
 	add("nrserved_sessions_expired_total", "Planning sessions evicted by the idle TTL.", "counter", float64(srv.sessionsExpired.Load()))
 	add("nrserved_session_replans_total", "Delta-triggered session re-plans.", "counter", float64(srv.sessionReplans.Load()))
+	add("nrserved_ensembles_total", "Ensemble runs completed.", "counter", float64(srv.ensembles.Load()))
+	add("nrserved_ensemble_samples_total", "Disruption samples drawn across ensemble runs.", "counter", float64(srv.ensembleSamples.Load()))
+	add("nrserved_ensemble_cache_hits_total", "Unique ensemble scenarios answered from the plan cache.", "counter", float64(srv.ensembleCacheHits.Load()))
 	add("nrserved_uptime_seconds", "Seconds since the server started.", "gauge", srv.now().Sub(srv.start).Seconds())
 	w.Write(b)
 }

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"netrecovery/internal/ensemble"
+)
+
+func TestEnsembleRequestBuildSpec(t *testing.T) {
+	req := EnsembleRequest{
+		Scenario: Scenario{
+			Nodes:   []Node{{Name: "a"}, {Name: "b"}},
+			Links:   []Link{{From: 0, To: 1, Capacity: 3}},
+			Demands: []Demand{{Source: 0, Target: 1, Flow: 2}},
+		},
+		Sampler:            EnsembleSampler{Model: ensemble.ModelCascade, SeedProb: 0.1, Spread: 0.4},
+		Samples:            64,
+		Seed:               5,
+		Algorithm:          "SRT",
+		Options:            SolveOptions{Fast: true, OptTimeLimitMS: 1500, OptMaxNodes: 9, Workers: 3},
+		Alpha:              0.99,
+		ConsensusThreshold: 0.8,
+	}
+	spec, err := req.BuildSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenario == nil || spec.Scenario.Supply.NumNodes() != 2 {
+		t.Fatalf("scenario not built: %+v", spec.Scenario)
+	}
+	if spec.Sampler != req.Sampler {
+		t.Errorf("sampler: got %+v", spec.Sampler)
+	}
+	if spec.Samples != 64 || spec.Seed != 5 || spec.Algorithm != "SRT" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if !spec.Fast || spec.OPTTimeLimit != 1500*time.Millisecond || spec.OPTMaxNodes != 9 || spec.Workers != 3 {
+		t.Errorf("options not mapped: %+v", spec)
+	}
+	if spec.Alpha != 0.99 || spec.ConsensusThreshold != 0.8 {
+		t.Errorf("alpha/threshold: %g/%g", spec.Alpha, spec.ConsensusThreshold)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("built spec must validate: %v", err)
+	}
+
+	// A broken scenario fails at build time.
+	req.Scenario.Links[0].From = 9
+	if _, err := req.BuildSpec(); err == nil {
+		t.Error("out-of-range link endpoint must fail BuildSpec")
+	}
+}
+
+// TestEnsembleReportEncodingDeterministic: the report type re-encodes to the
+// same bytes after a JSON round trip, and wall-clock timing stays out of the
+// encoding (it lives in the response envelope).
+func TestEnsembleReportEncodingDeterministic(t *testing.T) {
+	rep := &EnsembleReport{
+		Algorithm: "ISP",
+		Samples:   10,
+		Unique:    3,
+		Deduped:   7,
+		Solves:    3,
+		HitRatio:  0.7,
+		Alpha:     0.95,
+		Repairs: []ensemble.RepairStat{
+			{Kind: "node", ID: 1, Broken: 5, Repaired: 5, Frequency: 0.5, ConditionalFrequency: 1},
+			{Kind: "link", ID: 0, Broken: 10, Repaired: 9, Frequency: 0.9, ConditionalFrequency: 0.9},
+		},
+		Consensus: ensemble.Consensus{Threshold: 0.9, Nodes: []int{}, Links: []int{0}},
+		Elapsed:   17 * time.Second,
+	}
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded EnsembleReport
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("round trip changed the bytes:\n%s\n%s", first, second)
+	}
+	if decoded.Elapsed != 0 {
+		t.Errorf("Elapsed must not be serialised, got %v", decoded.Elapsed)
+	}
+	if string(first) == "" || string(first)[0] != '{' {
+		t.Fatal("unexpected encoding")
+	}
+}
