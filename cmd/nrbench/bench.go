@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"netrecovery/internal/core"
+	"netrecovery/internal/degrade"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
 	"netrecovery/internal/ensemble"
@@ -301,6 +303,33 @@ func runBenchSuite(ctx context.Context) (benchReport, error) {
 		}
 	}
 
+	// fallback_isp_under_budget: the graceful-degradation serving row — a
+	// deadline-budgeted fallback chain whose primary stage fails immediately
+	// (a downed exact solver) and whose fast-ISP fallback answers inside the
+	// budget. It measures the chain machinery plus the fallback solve: the
+	// latency a degraded /v1/plan response pays over a plain fast-ISP one
+	// (compare against isp_iteration_fast).
+	fallbackSolver, err := heuristics.New("ISP", fastParams)
+	if err != nil {
+		return report, err
+	}
+	errPrimaryDown := errors.New("bench: primary solver down")
+	degradedSolve := func() {
+		stages := []degrade.Stage{
+			{Name: "primary", Level: degrade.LevelNone, Fraction: 0.6,
+				Run: func(context.Context) (*scenario.Plan, error) { return nil, errPrimaryDown }},
+			{Name: "fallback_isp", Level: degrade.LevelFallback,
+				Run: func(c context.Context) (*scenario.Plan, error) { return fallbackSolver.Solve(c, s) }},
+		}
+		res, err := degrade.Execute(ctx, stages, degrade.Options{Deadline: 30 * time.Second})
+		if err != nil {
+			panic(err)
+		}
+		if res.ServedBy != "fallback_isp" {
+			panic(fmt.Sprintf("fallback row served by %q", res.ServedBy))
+		}
+	}
+
 	// Parallel rows need real cores: on a single-core host the deterministic
 	// branch-and-bound explores the same tree but the extra workers only add
 	// round-barrier overhead, so the measurement says nothing about the code.
@@ -361,6 +390,7 @@ func runBenchSuite(ctx context.Context) (benchReport, error) {
 		}},
 		{"ensemble_64_fastisp_cold", 3, mustEnsemble(ensSpec)},
 		{"ensemble_64_fastisp_warm", 10, mustEnsemble(warmSpec)},
+		{"fallback_isp_under_budget", 10, degradedSolve},
 		{"opt_search300_w1", 1, milpSolve(1)},
 		{"opt_search300_w4", 1, milpSolve(4)},
 	}

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"netrecovery/internal/degrade"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
 	"netrecovery/internal/experiments"
@@ -75,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		stages     = fs.Float64("stage-budget", 0, "if positive, also print a progressive repair schedule with this per-stage budget")
 		graphml    = fs.Bool("graphml", false, "parse -topology as an Internet Topology Zoo GraphML file")
 		jsonOut    = fs.Bool("json", false, "emit the plan as JSON in the exact schema the nrserved HTTP daemon returns (includes the stages when -stage-budget is set)")
+		deadline   = fs.Duration("deadline", 0, "overall wall-clock budget for the solve: when the selected solver cannot answer inside it (or fails), degrade to fast ISP instead of erroring; with -json the output is wrapped as {plan, degradation} like a degraded daemon response (0 = off)")
 
 		ensembleN       = fs.Int("ensemble", 0, "draw this many disruption samples and print a robust-plan ensemble report instead of a single plan (0 = off)")
 		ensembleModel   = fs.String("ensemble-model", "geographic", "ensemble failure model: geographic | bernoulli | cascade")
@@ -195,7 +197,18 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := solver.Solve(context.Background(), s)
+	var (
+		plan *scenario.Plan
+		deg  *degrade.Result
+	)
+	if *deadline > 0 {
+		deg, err = solveWithDeadline(context.Background(), s, solver, *solverName, *fast, *optWorkers, *deadline)
+		if deg != nil {
+			plan = deg.Plan
+		}
+	} else {
+		plan, err = solver.Solve(context.Background(), s)
+	}
 	if err != nil {
 		return err
 	}
@@ -203,9 +216,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("produced plan failed verification: %w", err)
 	}
 	if *jsonOut {
-		return printPlanJSON(stdout, s, plan, *stages)
+		return printPlanJSON(stdout, s, plan, *stages, degradationJSON(deg, *deadline))
 	}
 	printPlan(stdout, s, plan)
+	printDegradation(stdout, deg, *deadline)
 	if *routes {
 		printRoutes(stdout, s, plan)
 	}
@@ -217,10 +231,78 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// solveWithDeadline runs the CLI solve through the deadline-budgeted
+// fallback chain: the selected solver under the bulk of the budget, then
+// fast ISP. The CLI has no plan cache, so there is no stale stage.
+func solveWithDeadline(ctx context.Context, s *scenario.Scenario, solver heuristics.Solver, name string, fast bool, optWorkers int, deadline time.Duration) (*degrade.Result, error) {
+	stages := []degrade.Stage{{
+		Name:  "primary",
+		Level: degrade.LevelNone,
+		Run:   func(c context.Context) (*scenario.Plan, error) { return solver.Solve(c, s) },
+	}}
+	if !(name == "ISP" && fast) {
+		stages[0].Fraction = 0.6
+		fallback, err := heuristics.New("ISP", heuristics.Params{Fast: true, OPTWorkers: optWorkers})
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, degrade.Stage{
+			Name:  "fallback_isp",
+			Level: degrade.LevelFallback,
+			Run:   func(c context.Context) (*scenario.Plan, error) { return fallback.Solve(c, s) },
+		})
+	}
+	return degrade.Execute(ctx, stages, degrade.Options{Deadline: deadline})
+}
+
+// degradationJSON converts a chain result into the wire annotation the
+// nrserved daemon attaches to degraded responses (nil when the chain did
+// not run).
+func degradationJSON(deg *degrade.Result, deadline time.Duration) *wire.Degradation {
+	if deg == nil {
+		return nil
+	}
+	d := &wire.Degradation{
+		Level:      deg.Level.String(),
+		ServedBy:   deg.ServedBy,
+		DeadlineMS: deadline.Milliseconds(),
+		Retries:    deg.Retries,
+	}
+	for _, st := range deg.Stages {
+		ts := wire.StageTiming{
+			Stage:     st.Name,
+			Outcome:   st.Outcome,
+			Attempts:  st.Attempts,
+			ElapsedMS: st.Elapsed.Milliseconds(),
+		}
+		if st.Err != nil {
+			ts.Error = st.Err.Error()
+		}
+		d.Stages = append(d.Stages, ts)
+	}
+	return d
+}
+
+// printDegradation summarises the fallback chain after the plan (text mode).
+func printDegradation(w io.Writer, deg *degrade.Result, deadline time.Duration) {
+	if deg == nil {
+		return
+	}
+	fmt.Fprintf(w, "\ndeadline %v: served by %s (degradation level %s)\n", deadline, deg.ServedBy, deg.Level)
+	for _, st := range deg.Stages {
+		line := fmt.Sprintf("  %-12s %s", st.Name, st.Outcome)
+		if st.Err != nil {
+			line += ": " + st.Err.Error()
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
 // printPlanJSON emits the plan in the shared wire schema — the exact JSON
 // the nrserved daemon serves from POST /v1/plan — so CLI output and server
-// responses cannot drift apart.
-func printPlanJSON(w io.Writer, s *scenario.Scenario, plan *scenario.Plan, stageBudget float64) error {
+// responses cannot drift apart. Under -deadline the plan is wrapped with
+// its degradation annotation, mirroring a degraded daemon response.
+func printPlanJSON(w io.Writer, s *scenario.Scenario, plan *scenario.Plan, stageBudget float64, deg *wire.Degradation) error {
 	wp := wire.FromPlan(s, plan)
 	if stageBudget > 0 {
 		staged, err := wp.WithStages(s, plan, stageBudget)
@@ -231,6 +313,12 @@ func printPlanJSON(w io.Writer, s *scenario.Scenario, plan *scenario.Plan, stage
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	if deg != nil {
+		return enc.Encode(struct {
+			Plan        wire.Plan         `json:"plan"`
+			Degradation *wire.Degradation `json:"degradation"`
+		}{wp, deg})
+	}
 	return enc.Encode(wp)
 }
 

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/server"
 )
@@ -65,18 +66,37 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		sessionTTL   = fs.Duration("session-ttl", 10*time.Minute, "idle timeout of an open planning session")
 		maxSessions  = fs.Int("max-sessions", 64, "maximum concurrently open planning sessions")
 		drain        = fs.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+
+		cacheJitter  = fs.Float64("cache-ttl-jitter", 0, "shorten each cached plan's TTL by a deterministic per-key fraction up to this value in [0,1), spreading expiry so a burst of same-age entries does not re-solve at once")
+		degradeDL    = fs.Duration("degrade-deadline", 0, "default deadline budget for /v1/plan requests that set none: inside it the solver chain degrades exact -> fast ISP -> stale cache instead of failing (0 = degrade only on request)")
+		maxQueue     = fs.Int("max-queue", 0, "admission queue bound across all priority classes (0 = 8x max-inflight); excess requests are shed with 429 + Retry-After")
+		faultProfile = fs.String("fault-profile", "", "arm the deterministic fault-injection harness from this JSON profile file (chaos testing; see internal/faultinject)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *faultProfile != "" {
+		profile, err := faultinject.LoadProfile(*faultProfile)
+		if err != nil {
+			return fmt.Errorf("fault profile: %w", err)
+		}
+		faultinject.Arm(profile)
+		fmt.Fprintf(stdout, "nrserved: fault injection armed from %s\n", *faultProfile)
+	}
 
 	srv := server.New(server.Config{
-		Cache:          plancache.New(plancache.Config{MaxEntries: *cacheEntries, TTL: *cacheTTL}),
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		SolverWorkers:  *solverW,
-		SessionTTL:     *sessionTTL,
-		MaxSessions:    *maxSessions,
+		Cache: plancache.New(plancache.Config{
+			MaxEntries: *cacheEntries,
+			TTL:        *cacheTTL,
+			TTLJitter:  *cacheJitter,
+		}),
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		RequestTimeout:  *reqTimeout,
+		DegradeDeadline: *degradeDL,
+		SolverWorkers:   *solverW,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

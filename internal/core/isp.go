@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"time"
 
+	"netrecovery/internal/degrade"
 	"netrecovery/internal/demand"
 	"netrecovery/internal/flow"
 	"netrecovery/internal/graph"
@@ -39,8 +41,17 @@ func Solve(ctx context.Context, s *scenario.Scenario, opts Options) (*scenario.P
 }
 
 // solve is the shared implementation behind Solve (cold, sess == nil) and
-// Session.Solve (warm, subproblems answered from the session memo).
-func solve(ctx context.Context, s *scenario.Scenario, opts Options, sess *Session) (*scenario.Plan, Stats, error) {
+// Session.Solve (warm, subproblems answered from the session memo). A
+// panic anywhere in the ISP pipeline is converted into a typed
+// *degrade.PanicError at this boundary: ISP is the serving stack's
+// fallback solver, and a bug on one input must surface as a failed solve,
+// not a crashed daemon.
+func solve(ctx context.Context, s *scenario.Scenario, opts Options, sess *Session) (plan *scenario.Plan, stats Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, stats, err = nil, Stats{}, degrade.Recovered("core:isp", r, debug.Stack())
+		}
+	}()
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, Stats{}, fmt.Errorf("isp: %w", err)
@@ -136,8 +147,7 @@ func solve(ctx context.Context, s *scenario.Scenario, opts Options, sess *Sessio
 		st.bestEffortRouting()
 	}
 	st.stats.Routability = st.tester.Stats
-	plan := st.buildPlan(start)
-	return plan, st.stats, nil
+	return st.buildPlan(start), st.stats, nil
 }
 
 // checkRoutability runs the per-iteration routability test, answering it

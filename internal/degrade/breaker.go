@@ -1,0 +1,270 @@
+package degrade
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every request (normal operation).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe; its outcome decides
+	// between Closed and another Open period.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. Zero values pick the documented defaults.
+type BreakerConfig struct {
+	// Window is the size of the sliding outcome window consulted by the
+	// failure-ratio trip condition. Default 16.
+	Window int
+	// MinSamples is the minimum number of recorded outcomes in the
+	// window before the ratio condition can trip. Default 8.
+	MinSamples int
+	// FailureRatio trips the breaker when failures/window ≥ ratio (and
+	// MinSamples is met). Default 0.5.
+	FailureRatio float64
+	// ConsecutiveFailures trips the breaker regardless of the window
+	// when this many failures arrive back to back. Default 5.
+	ConsecutiveFailures int
+	// Cooldown is how long an Open breaker refuses requests before
+	// admitting a half-open probe. Default 5s.
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.ConsecutiveFailures <= 0 {
+		c.ConsecutiveFailures = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// BreakerStats is a point-in-time snapshot of a breaker's counters,
+// exported on /metrics.
+type BreakerStats struct {
+	State     BreakerState
+	Opens     uint64 // transitions into Open
+	HalfOpens uint64 // transitions into HalfOpen
+	Closes    uint64 // recoveries into Closed (after at least one Open)
+	Successes uint64 // outcomes recorded as success
+	Failures  uint64 // outcomes recorded as failure
+}
+
+// Breaker is a per-resource circuit breaker: it trips Open on sustained
+// failures, refuses requests for a cooldown, then admits a single
+// half-open probe whose outcome decides between recovery and another
+// Open period. All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	window      []bool // ring of outcomes, true = failure
+	windowIdx   int
+	windowFill  int
+	consecutive int
+	openedAt    time.Time
+	probing     bool // half-open probe currently reserved
+	stats       BreakerStats
+}
+
+// NewBreaker builds a breaker with cfg (zero fields defaulted).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	c := cfg.withDefaults()
+	return &Breaker{cfg: c, window: make([]bool, c.Window)}
+}
+
+// Allow reports whether a request may proceed. In the Open state it flips
+// to HalfOpen once the cooldown has elapsed and admits exactly one probe;
+// every Allow=true in the HalfOpen state reserves the probe, so callers
+// MUST pair it with a Record call, or the breaker stays probing forever.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.stats.HalfOpens++
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Blocked reports whether the breaker would currently refuse a request,
+// without reserving a probe. The fallback chain uses it for Skip checks;
+// it never mutates state, so a half-open probe slot is not consumed.
+func (b *Breaker) Blocked() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown
+	case BreakerHalfOpen:
+		return b.probing
+	}
+	return false
+}
+
+// RetryAfter returns how long until an Open breaker admits a probe
+// (zero when not refusing).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Record feeds an outcome back. Success in HalfOpen closes the breaker;
+// failure re-opens it. In Closed, failures trip the breaker when either
+// the consecutive-failure count or the windowed failure ratio condition
+// fires.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.stats.Successes++
+	} else {
+		b.stats.Failures++
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if success {
+			b.toClosedLocked()
+		} else {
+			b.toOpenLocked()
+		}
+	case BreakerClosed:
+		b.window[b.windowIdx] = !success
+		b.windowIdx = (b.windowIdx + 1) % len(b.window)
+		if b.windowFill < len(b.window) {
+			b.windowFill++
+		}
+		if success {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= b.cfg.ConsecutiveFailures {
+			b.toOpenLocked()
+			return
+		}
+		if b.windowFill >= b.cfg.MinSamples {
+			fails := 0
+			for i := 0; i < b.windowFill; i++ {
+				if b.window[i] {
+					fails++
+				}
+			}
+			if float64(fails) >= b.cfg.FailureRatio*float64(b.windowFill) {
+				b.toOpenLocked()
+			}
+		}
+	case BreakerOpen:
+		// A Record while Open can only come from a request admitted
+		// before the trip; it carries no new admission decision.
+	}
+}
+
+// Cancel releases an admission obtained from Allow without recording an
+// outcome — the request was abandoned (client disconnect) before the
+// resource could prove or disprove itself. A reserved half-open probe is
+// returned so the next Allow can re-probe; in other states it is a no-op.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+func (b *Breaker) toOpenLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.stats.Opens++
+	b.probing = false
+	b.resetWindowLocked()
+}
+
+func (b *Breaker) toClosedLocked() {
+	b.state = BreakerClosed
+	b.stats.Closes++
+	b.resetWindowLocked()
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.windowIdx, b.windowFill, b.consecutive = 0, 0, 0
+}
+
+// State returns the current state (Open flips to the reported state only
+// via Allow/Blocked, so a cooled-down Open breaker still reports Open
+// here until probed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Snapshot returns the breaker's counters.
+func (b *Breaker) Snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.State = b.state
+	return s
+}

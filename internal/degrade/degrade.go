@@ -1,0 +1,195 @@
+package degrade
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"netrecovery/internal/scenario"
+)
+
+// Level classifies how degraded a served plan is.
+type Level int
+
+const (
+	// LevelNone: the primary (requested) stage produced the plan.
+	LevelNone Level = iota
+	// LevelFallback: a cheaper solver stage produced the plan.
+	LevelFallback
+	// LevelStale: an expired cache entry was served.
+	LevelStale
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelFallback:
+		return "fallback"
+	case LevelStale:
+		return "stale"
+	}
+	return "unknown"
+}
+
+// Stage outcome strings, pinned by the wire schema and golden tests.
+const (
+	OutcomeServed      = "served"      // stage produced the plan
+	OutcomeTimeout     = "timeout"     // stage exceeded its deadline slice
+	OutcomeError       = "error"       // stage failed with a non-deadline error
+	OutcomeSkipped     = "skipped"     // stage declined to run (breaker open, no cache)
+	OutcomeUnavailable = "unavailable" // stage had nothing to serve (stale miss)
+)
+
+// Stage is one rung of the fallback chain.
+type Stage struct {
+	// Name labels the stage in wire timings and metrics ("opt",
+	// "fallback_isp", "stale_cache").
+	Name string
+	// Level is the degradation level a plan served by this stage carries.
+	Level Level
+	// Fraction of the overall deadline granted to this stage. Zero means
+	// "all remaining time". Free stages ignore the deadline entirely.
+	Fraction float64
+	// Retry enables the chain-level retry policy for this stage
+	// (solver stages retry transient faults; cache lookups don't need to).
+	Retry bool
+	// Free marks a stage with no meaningful cost (stale-cache lookup):
+	// it runs with the parent context even after the overall deadline has
+	// been consumed, so a stale entry can still be served at the edge.
+	Free bool
+	// Skip, if non-nil and returning a non-empty reason, marks the stage
+	// skipped without running it (circuit breaker open, cache disabled).
+	Skip func() string
+	// Run executes the stage under its deadline slice.
+	Run func(ctx context.Context) (*scenario.Plan, error)
+}
+
+// StageResult records one stage's outcome for wire timings.
+type StageResult struct {
+	Name     string
+	Outcome  string
+	Attempts int
+	Elapsed  time.Duration
+	Err      error
+}
+
+// Result is a successful chain execution.
+type Result struct {
+	Plan     *scenario.Plan
+	Level    Level
+	ServedBy string
+	Stages   []StageResult
+	Retries  int // total transient retries across all stages
+}
+
+// Options configures Execute.
+type Options struct {
+	// Deadline is the overall budget split across stages. Required.
+	Deadline time.Duration
+	// Retry is applied to stages with Retry=true.
+	Retry RetryPolicy
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Execute runs stages in order until one serves a plan. Each non-Free
+// stage gets min(its fraction of Deadline, time remaining); once the
+// overall budget is spent, remaining solver stages are marked timeout
+// without running, but Free stages still run (with the parent context) so
+// a stale cache entry can be served even at the deadline edge. If the
+// parent context dies the chain aborts with its error. When every stage
+// fails, Execute returns the accumulated stage results inside a nil-Plan
+// Result alongside errors.Join(ErrExhausted, lastErr).
+func Execute(ctx context.Context, stages []Stage, opts Options) (*Result, error) {
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	start := now()
+	res := &Result{}
+	var lastErr error
+	for _, st := range stages {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if st.Skip != nil {
+			if reason := st.Skip(); reason != "" {
+				res.Stages = append(res.Stages, StageResult{
+					Name:    st.Name,
+					Outcome: OutcomeSkipped,
+					Err:     errors.New(reason),
+				})
+				continue
+			}
+		}
+		remaining := opts.Deadline - now().Sub(start)
+		if !st.Free && remaining <= 0 {
+			res.Stages = append(res.Stages, StageResult{
+				Name:    st.Name,
+				Outcome: OutcomeTimeout,
+				Err:     context.DeadlineExceeded,
+			})
+			lastErr = context.DeadlineExceeded
+			continue
+		}
+		budget := remaining
+		if st.Fraction > 0 {
+			if slice := time.Duration(st.Fraction * float64(opts.Deadline)); slice < budget {
+				budget = slice
+			}
+		}
+		stageCtx, cancel := ctx, context.CancelFunc(func() {})
+		if !st.Free {
+			stageCtx, cancel = context.WithTimeout(ctx, budget)
+		}
+		stageStart := now()
+		var plan *scenario.Plan
+		attempts := 1
+		var err error
+		run := func() error {
+			var rerr error
+			plan, rerr = st.Run(stageCtx)
+			return rerr
+		}
+		if st.Retry {
+			attempts, err = opts.Retry.Retry(stageCtx, run)
+			res.Retries += attempts - 1
+		} else {
+			err = run()
+		}
+		cancel()
+		sr := StageResult{
+			Name:     st.Name,
+			Attempts: attempts,
+			Elapsed:  now().Sub(stageStart),
+			Err:      err,
+		}
+		switch {
+		case err == nil && plan != nil:
+			sr.Outcome = OutcomeServed
+			res.Stages = append(res.Stages, sr)
+			res.Plan = plan
+			res.Level = st.Level
+			res.ServedBy = st.Name
+			return res, nil
+		case err == nil:
+			// A Free lookup stage may return (nil, nil): nothing to serve.
+			sr.Outcome = OutcomeUnavailable
+			res.Stages = append(res.Stages, sr)
+			lastErr = ErrExhausted
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			sr.Outcome = OutcomeTimeout
+			res.Stages = append(res.Stages, sr)
+			lastErr = err
+		case ctx.Err() != nil:
+			// Parent died mid-stage: abort the whole chain.
+			return nil, ctx.Err()
+		default:
+			sr.Outcome = OutcomeError
+			res.Stages = append(res.Stages, sr)
+			lastErr = err
+		}
+	}
+	return res, errors.Join(ErrExhausted, lastErr)
+}

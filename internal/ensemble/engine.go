@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"netrecovery/internal/degrade"
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/plancache"
@@ -69,8 +70,15 @@ type Spec struct {
 	// Cache, when non-nil, routes unique-scenario solves through the plan
 	// cache: an ensemble re-run (or one overlapping another request's
 	// scenarios) answers repeats in ~µs. Within one run fingerprint dedup
-	// already guarantees at most one solve per unique scenario.
+	// already guarantees at most one solve per unique scenario. A cache
+	// shard fault (plancache.UnavailableError) downgrades that unique to a
+	// direct uncached solve instead of failing its samples.
 	Cache *plancache.Cache
+	// Retry, when configured with MaxAttempts > 1, retries transient
+	// per-unique solve failures (injected faults, shard hiccups) with the
+	// policy's backoff before counting the unique as failed. The zero
+	// value keeps the historical single-attempt behaviour.
+	Retry degrade.RetryPolicy
 	// OnProgress, when set, is called after each unique scenario completes.
 	// Calls are serialised but may come from pool goroutines; it must be
 	// cheap.
@@ -223,14 +231,28 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	err := sweep.ForEach(ctx, spec.Workers, len(uniques), func(ctx context.Context, i int) error {
 		u := uniques[i]
-		solve := func(ctx context.Context) (*scenario.Plan, error) {
+		solveOnce := func(ctx context.Context) (*scenario.Plan, error) {
 			// A fresh solver per solve: registry factories hand out
 			// independent instances, keeping the pool data-race free.
+			// Registry solvers arrive panic-guarded (heuristics.Guard), so
+			// a solver bug fails this unique's samples, never the run.
 			solver, err := heuristics.New(spec.Algorithm, params)
 			if err != nil {
 				return nil, err
 			}
 			return solver.Solve(ctx, u.scn)
+		}
+		solve := func(ctx context.Context) (*scenario.Plan, error) {
+			var plan *scenario.Plan
+			_, err := spec.Retry.Retry(ctx, func() error {
+				p, serr := solveOnce(ctx)
+				if serr != nil {
+					return serr
+				}
+				plan = p
+				return nil
+			})
+			return plan, err
 		}
 		var (
 			plan *scenario.Plan
@@ -240,6 +262,13 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 			key := plancache.Key{Fingerprint: u.fp, Algorithm: spec.Algorithm, Options: optionsDigest}
 			plan, u.outcome, _, err = spec.Cache.Do(ctx, key, solve)
 			u.cached = true
+			var unavailable *plancache.UnavailableError
+			if errors.As(err, &unavailable) {
+				// The cache shard failed, not the solver: downgrade this
+				// unique to a direct uncached solve.
+				u.cached = false
+				plan, err = solve(ctx)
+			}
 		} else {
 			plan, err = solve(ctx)
 		}

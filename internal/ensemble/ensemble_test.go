@@ -12,6 +12,7 @@ import (
 
 	"netrecovery/internal/demand"
 	"netrecovery/internal/disruption"
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/plancache"
@@ -512,5 +513,33 @@ func TestEvaluateRepairsRoutesThroughRepairedOnly(t *testing.T) {
 	all := evaluateRepairs(s, nil, map[graph.EdgeID]bool{0: true})
 	if math.Abs(all-5) > 1e-9 {
 		t.Errorf("repairing edge 0 must restore the full demand, got %g", all)
+	}
+}
+
+// TestRunPanicIsolation: a solver panic (injected at the solver fault point)
+// fails only that unique's samples — the run itself completes with the panic
+// converted to a typed error, never unwinding into the pool.
+func TestRunPanicIsolation(t *testing.T) {
+	faultinject.Arm(faultinject.Profile{Seed: 11, Points: map[faultinject.Point]faultinject.Spec{
+		faultinject.PointSolver: {PanicRate: 1},
+	}})
+	defer faultinject.Disarm()
+
+	rep, err := Run(context.Background(), Spec{
+		Scenario: tinyScenario(t),
+		Sampler:  SamplerSpec{Model: ModelBernoulli},
+		Samples:  10,
+	})
+	if err != nil {
+		t.Fatalf("solver panics must not abort the run: %v", err)
+	}
+	if rep.Failures != rep.Unique || rep.Failures == 0 {
+		t.Fatalf("every unique must fail under PanicRate 1: failures=%d unique=%d", rep.Failures, rep.Unique)
+	}
+	if !strings.Contains(rep.FirstError, "panic") {
+		t.Fatalf("FirstError should carry the recovered panic, got %q", rep.FirstError)
+	}
+	if st := faultinject.Snapshot(); st.Panics == 0 {
+		t.Fatalf("no injected panics recorded: %+v", st)
 	}
 }

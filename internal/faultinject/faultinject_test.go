@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Fault injection is process-global, so every test disarms on exit.
+func arm(t *testing.T, p Profile) {
+	t.Helper()
+	Arm(p)
+	t.Cleanup(Disarm)
+}
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed after Disarm")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := Fire(context.Background(), PointSolver); err != nil {
+			t.Fatalf("disarmed Fire returned %v", err)
+		}
+	}
+	if s := Snapshot(); s != (Stats{}) {
+		t.Fatalf("disarmed Snapshot = %+v", s)
+	}
+}
+
+func TestErrorRateDeterministic(t *testing.T) {
+	run := func() []int {
+		arm(t, Profile{Seed: 7, Points: map[Point]Spec{
+			PointSolver: {ErrorRate: 0.3},
+		}})
+		var errIdx []int
+		for i := 0; i < 200; i++ {
+			if err := Fire(context.Background(), PointSolver); err != nil {
+				errIdx = append(errIdx, i)
+			}
+		}
+		return errIdx
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("0.3 error rate injected nothing in 200 calls")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d errors", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic error positions: %v vs %v", a, b)
+		}
+	}
+	// ~30% of 200: accept a generous deterministic band.
+	if len(a) < 30 || len(a) > 90 {
+		t.Fatalf("error count %d far from 30%% of 200", len(a))
+	}
+}
+
+func TestInjectedErrorIsTransient(t *testing.T) {
+	arm(t, Profile{Seed: 1, Points: map[Point]Spec{PointSolver: {ErrorRate: 1}}})
+	err := Fire(context.Background(), PointSolver)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != PointSolver {
+		t.Fatalf("err = %v", err)
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatal("InjectedError must declare Transient() = true")
+	}
+}
+
+func TestPanicRate(t *testing.T) {
+	arm(t, Profile{Seed: 3, Points: map[Point]Spec{PointSolver: {PanicRate: 1}}})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Point != PointSolver {
+			t.Fatalf("recover() = %v", r)
+		}
+		if s := Snapshot(); s.Panics != 1 {
+			t.Fatalf("Snapshot = %+v", s)
+		}
+	}()
+	Fire(context.Background(), PointSolver)
+	t.Fatal("Fire must panic at PanicRate 1")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	arm(t, Profile{Seed: 1, Points: map[Point]Spec{PointSSE: {Delay: time.Hour}}})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Fire(ctx, PointSSE)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delayed Fire ignored context cancellation")
+	}
+}
+
+func TestUnarmedPointIsFree(t *testing.T) {
+	arm(t, Profile{Seed: 1, Points: map[Point]Spec{PointSolver: {ErrorRate: 1}}})
+	if err := Fire(context.Background(), PointSSE); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if s := Snapshot(); s.Fires != 0 {
+		t.Fatalf("unarmed point counted a fire: %+v", s)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile([]byte(`{"seed": 7, "points": {"solver": {"delay_ms": 25, "error_rate": 0.1}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Points[PointSolver]
+	if p.Seed != 7 || spec.Delay != 25*time.Millisecond || spec.ErrorRate != 0.1 {
+		t.Fatalf("profile = %+v", p)
+	}
+
+	if _, err := ParseProfile([]byte(`{"points": {"sovler": {}}}`)); err == nil {
+		t.Fatal("typo'd point name must be rejected")
+	}
+	if _, err := ParseProfile([]byte(`{"points": {"solver": {"error_rate": 1.5}}}`)); err == nil {
+		t.Fatal("out-of-range rate must be rejected")
+	}
+	if _, err := ParseProfile([]byte(`not json`)); err == nil {
+		t.Fatal("invalid JSON must be rejected")
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	arm(t, Profile{Seed: 9, Points: map[Point]Spec{
+		PointSolver: {ErrorRate: 0.5},
+	}})
+	var errs uint64
+	for i := 0; i < 100; i++ {
+		if Fire(context.Background(), PointSolver) != nil {
+			errs++
+		}
+	}
+	s := Snapshot()
+	if s.Fires != 100 || s.Errors != errs || s.Delays != 0 || s.Panics != 0 {
+		t.Fatalf("Snapshot = %+v, want fires=100 errors=%d", s, errs)
+	}
+}

@@ -1,0 +1,62 @@
+package heuristics
+
+import (
+	"context"
+	"runtime/debug"
+
+	"netrecovery/internal/degrade"
+	"netrecovery/internal/faultinject"
+	"netrecovery/internal/scenario"
+)
+
+// guarded wraps every solver handed out by New with the serving stack's
+// fault boundary: the solver fault-injection point fires at Solve entry
+// (chaos tests inject delays, transient errors and panics there), and any
+// panic out of the underlying solver is converted into a typed
+// *degrade.PanicError instead of unwinding into the caller — a sweep pool,
+// a cache singleflight leader or an HTTP handler.
+type guarded struct {
+	inner Solver
+}
+
+var _ Solver = guarded{}
+
+// Name implements Solver.
+func (g guarded) Name() string { return g.inner.Name() }
+
+// Solve implements Solver.
+func (g guarded) Solve(ctx context.Context, sc *scenario.Scenario) (plan *scenario.Plan, err error) {
+	// The recover boundary is installed before the injection point so an
+	// injected panic is caught exactly like a real solver panic.
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, degrade.Recovered("solver:"+g.inner.Name(), r, debug.Stack())
+		}
+	}()
+	if ferr := faultinject.Fire(ctx, faultinject.PointSolver); ferr != nil {
+		return nil, ferr
+	}
+	return g.inner.Solve(ctx, sc)
+}
+
+// Guard wraps s with the panic-recovery and fault-injection boundary. New
+// applies it to every registry solver; callers constructing solvers
+// directly (custom Solver implementations fed to the facade) can apply it
+// themselves.
+func Guard(s Solver) Solver {
+	if _, ok := s.(guarded); ok {
+		return s
+	}
+	return guarded{inner: s}
+}
+
+// Unwrap returns the solver underneath a Guard wrapper (or s itself when
+// unwrapped). Tests and callers that need the concrete solver type — e.g.
+// to flip ISP options after construction — reach through the boundary
+// with it.
+func Unwrap(s Solver) Solver {
+	if g, ok := s.(guarded); ok {
+		return g.inner
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package heuristics
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"netrecovery/internal/degrade"
+	"netrecovery/internal/faultinject"
+	"netrecovery/internal/scenario"
+)
+
+type panicky struct{}
+
+func (panicky) Name() string { return "PANICKY" }
+func (panicky) Solve(context.Context, *scenario.Scenario) (*scenario.Plan, error) {
+	panic("solver bug")
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	s := Guard(panicky{})
+	if s.Name() != "PANICKY" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	_, err := s.Solve(context.Background(), diamondScenario(t, 4))
+	if !degrade.IsPanic(err) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	var pe *degrade.PanicError
+	if errors.As(err, &pe); pe.Op != "solver:PANICKY" {
+		t.Fatalf("Op = %q", pe.Op)
+	}
+}
+
+func TestGuardIdempotentAndUnwrap(t *testing.T) {
+	inner := panicky{}
+	g := Guard(inner)
+	if Guard(g) != g {
+		t.Fatal("Guard must not double-wrap")
+	}
+	if Unwrap(g) != Solver(inner) {
+		t.Fatal("Unwrap must return the inner solver")
+	}
+	if Unwrap(inner) != Solver(inner) {
+		t.Fatal("Unwrap of an unwrapped solver is the solver")
+	}
+}
+
+func TestNewReturnsGuardedSolver(t *testing.T) {
+	faultinject.Arm(faultinject.Profile{Seed: 1, Points: map[faultinject.Point]faultinject.Spec{
+		faultinject.PointSolver: {ErrorRate: 1},
+	}})
+	defer faultinject.Disarm()
+
+	s, err := New("ISP", Params{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Solve(context.Background(), diamondScenario(t, 4))
+	var ie *faultinject.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want an injected error through the registry solver", err)
+	}
+
+	// Disarmed, the same solver solves normally.
+	faultinject.Disarm()
+	plan, err := s.Solve(context.Background(), diamondScenario(t, 4))
+	if err != nil || plan == nil {
+		t.Fatalf("post-disarm solve: plan=%v err=%v", plan, err)
+	}
+}
+
+func TestSessionSolveGuarded(t *testing.T) {
+	faultinject.Arm(faultinject.Profile{Seed: 1, Points: map[faultinject.Point]faultinject.Spec{
+		faultinject.PointSolver: {ErrorRate: 1},
+	}})
+	defer faultinject.Disarm()
+
+	sess := NewISPSession(Params{Fast: true})
+	_, err := sess.Solve(context.Background(), diamondScenario(t, 4))
+	var ie *faultinject.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want an injected error through the warm session", err)
+	}
+
+	faultinject.Disarm()
+	plan, err := sess.Solve(context.Background(), diamondScenario(t, 4))
+	if err != nil || plan == nil {
+		t.Fatalf("post-disarm session solve: plan=%v err=%v", plan, err)
+	}
+}

@@ -89,21 +89,21 @@ func TestParamsThreadedThroughRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := fast.(*ISPSolver).Options.SplitMode; got != core.SplitGreedy {
+	if got := Unwrap(fast).(*ISPSolver).Options.SplitMode; got != core.SplitGreedy {
 		t.Errorf("Fast ISP split mode = %v, want SplitGreedy", got)
 	}
 	slow, err := New(core.SolverName, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := slow.(*ISPSolver).Options.SplitMode; got != core.SplitMode(0) {
+	if got := Unwrap(slow).(*ISPSolver).Options.SplitMode; got != core.SplitMode(0) {
 		t.Errorf("default ISP split mode = %v, want zero (exact)", got)
 	}
 	opt, err := New(OptName, Params{OPTTimeLimit: 5 * time.Second, OPTMaxNodes: 77})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o := opt.(*Opt); o.TimeLimit != 5*time.Second || o.MaxNodes != 77 {
+	if o := Unwrap(opt).(*Opt); o.TimeLimit != 5*time.Second || o.MaxNodes != 77 {
 		t.Errorf("OPT budget = (%v, %d), want (5s, 77)", o.TimeLimit, o.MaxNodes)
 	}
 }
@@ -139,7 +139,7 @@ func TestProgressEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Disable the warm start so the search itself must find an incumbent.
-	opt.(*Opt).DisableWarmStart = true
+	Unwrap(opt).(*Opt).DisableWarmStart = true
 	if _, err := opt.Solve(context.Background(), diamondScenario(t, 8)); err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,11 @@ package heuristics
 
 import (
 	"context"
+	"runtime/debug"
 
 	"netrecovery/internal/core"
+	"netrecovery/internal/degrade"
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/scenario"
 )
 
@@ -42,8 +45,21 @@ func NewISPSession(p Params) *ISPSession {
 // Name implements Solver.
 func (s *ISPSession) Name() string { return core.SolverName }
 
-// Solve implements Solver, running ISP with the session's warm state.
-func (s *ISPSession) Solve(ctx context.Context, sc *scenario.Scenario) (*scenario.Plan, error) {
+// Solve implements Solver, running ISP with the session's warm state. Like
+// the registry's guarded solvers it fires the solver fault-injection point
+// and converts panics into typed errors — the warm memo state survives a
+// recovered panic only in the parts already committed, which is safe
+// because the memos are content-addressed (a re-solve recomputes what the
+// interrupted solve never stored).
+func (s *ISPSession) Solve(ctx context.Context, sc *scenario.Scenario) (plan *scenario.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, degrade.Recovered("solver:"+core.SolverName+":session", r, debug.Stack())
+		}
+	}()
+	if ferr := faultinject.Fire(ctx, faultinject.PointSolver); ferr != nil {
+		return nil, ferr
+	}
 	opts := s.options
 	if s.progress != nil {
 		progress := s.progress
@@ -56,7 +72,7 @@ func (s *ISPSession) Solve(ctx context.Context, sc *scenario.Scenario) (*scenari
 			})
 		}
 	}
-	plan, _, err := s.sess.Solve(ctx, sc.Clone(), opts)
+	plan, _, err = s.sess.Solve(ctx, sc.Clone(), opts)
 	return plan, err
 }
 

@@ -217,7 +217,9 @@ func (s *ISPSolver) Solve(ctx context.Context, sc *scenario.Scenario) (*scenario
 }
 
 // New returns a fresh solver with the given name, configured from params.
-// Built-in names: ISP, OPT, SRT, GRD-COM, GRD-NC, ALL.
+// Built-in names: ISP, OPT, SRT, GRD-COM, GRD-NC, ALL. Every returned
+// solver is wrapped in the Guard fault boundary (panic recovery + the
+// solver fault-injection point); use Unwrap to reach the concrete type.
 func New(name string, p Params) (Solver, error) {
 	registryMu.RLock()
 	e, ok := registry[name]
@@ -225,7 +227,7 @@ func New(name string, p Params) (Solver, error) {
 	if !ok {
 		return nil, fmt.Errorf("heuristics: unknown solver %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
-	return e.factory(p), nil
+	return Guard(e.factory(p)), nil
 }
 
 // Names returns the registered solver names in registration (presentation)

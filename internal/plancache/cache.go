@@ -19,10 +19,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netrecovery/internal/degrade"
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
 )
@@ -93,6 +96,13 @@ type Config struct {
 	// TTL is the maximum age of a cached plan (0 = never expires). Expired
 	// entries are dropped lazily on lookup.
 	TTL time.Duration
+	// TTLJitter shortens each entry's effective TTL by up to this fraction
+	// of TTL, derived deterministically from the entry's fingerprint. A
+	// value of 0.1 spreads the lifetimes of entries created together over
+	// [0.9·TTL, TTL], so a burst of plans cached at the same instant does
+	// not expire at the same instant and trigger a thundering herd of cold
+	// re-solves. Clamped to [0, 1]; 0 disables jitter.
+	TTLJitter float64
 	// Shards is the number of independently locked shards (0 = 16, rounded
 	// up to a power of two). More shards reduce lock contention under
 	// concurrent load.
@@ -113,17 +123,51 @@ type Stats struct {
 	// being cancelled mid-solve while demand for the key persists (e.g.
 	// impatient clients disconnecting under load).
 	Reelections uint64
+	// StaleServed counts GetStale lookups that returned an entry (the
+	// degradation chain's last resort).
+	StaleServed uint64
+	// Unavailable counts Do calls refused by an injected cache-shard fault.
+	Unavailable uint64
 	// Entries is the current number of cached plans.
 	Entries int
 }
 
 // entry is one cached plan.
 type entry struct {
-	key     Key
-	plan    *scenario.Plan
-	stored  time.Time
-	element *list.Element
+	key    Key
+	plan   *scenario.Plan
+	stored time.Time
+	// ttl is this entry's jittered effective TTL (0 = never expires),
+	// fixed at store time so the entry's lifetime is a deterministic
+	// function of its key.
+	ttl time.Duration
+	// expireCounted dedups the Expired stat: an expired entry now outlives
+	// its TTL (servable via GetStale until refreshed), so Do may observe
+	// the same expiry many times.
+	expireCounted bool
+	element       *list.Element
 }
+
+// expiredLocked reports whether e is past its effective TTL at time now.
+func (e *entry) expiredLocked(now time.Time) bool {
+	return e.ttl > 0 && now.Sub(e.stored) > e.ttl
+}
+
+// UnavailableError reports a cache shard refused by an injected fault.
+// It is transient: the caller may retry, or bypass the cache and solve
+// directly.
+type UnavailableError struct {
+	Err error
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("plancache: shard unavailable: %v", e.Err)
+}
+
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// Transient marks shard unavailability as retryable.
+func (e *UnavailableError) Transient() bool { return true }
 
 // call is one in-flight solve that followers coalesce onto.
 type call struct {
@@ -147,6 +191,7 @@ type Cache struct {
 	shards      []*shard
 	shardMax    int
 	ttl         time.Duration
+	ttlJitter   float64
 	now         func() time.Time
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -154,6 +199,8 @@ type Cache struct {
 	evictions   atomic.Uint64
 	expired     atomic.Uint64
 	reelections atomic.Uint64
+	staleServed atomic.Uint64
+	unavailable atomic.Uint64
 }
 
 // New returns a cache configured by cfg.
@@ -176,11 +223,19 @@ func New(cfg Config) *Cache {
 	if now == nil {
 		now = time.Now
 	}
+	jitter := cfg.TTLJitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
 	c := &Cache{
-		shards:   make([]*shard, n),
-		shardMax: perShard,
-		ttl:      cfg.TTL,
-		now:      now,
+		shards:    make([]*shard, n),
+		shardMax:  perShard,
+		ttl:       cfg.TTL,
+		ttlJitter: jitter,
+		now:       now,
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
@@ -220,6 +275,15 @@ func (c *Cache) shardFor(k Key) *shard {
 // The returned plan is shared with every other caller of the same key and
 // must not be mutated.
 func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context) (*scenario.Plan, error)) (plan *scenario.Plan, outcome Outcome, age time.Duration, err error) {
+	if err := faultinject.Fire(ctx, faultinject.PointCacheShard); err != nil {
+		var ie *faultinject.InjectedError
+		if errors.As(err, &ie) {
+			c.unavailable.Add(1)
+			return nil, Miss, 0, &UnavailableError{Err: err}
+		}
+		// A context error out of an injected delay.
+		return nil, Miss, 0, err
+	}
 	s := c.shardFor(key)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -227,9 +291,16 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context)
 		}
 		s.mu.Lock()
 		if e, ok := s.entries[key]; ok {
-			if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
-				s.removeLocked(e)
-				c.expired.Add(1)
+			if e.expiredLocked(c.now()) {
+				// Expired: fall through to a fresh solve, but leave the
+				// entry in place — a successful solve overwrites it, and
+				// until then it remains servable through GetStale (the
+				// degradation chain's stale stage). Count the expiry only
+				// once per stored generation.
+				if !e.expireCounted {
+					e.expireCounted = true
+					c.expired.Add(1)
+				}
 			} else {
 				s.lru.MoveToFront(e.element)
 				age := c.now().Sub(e.stored)
@@ -262,7 +333,10 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context)
 		s.inflight[key] = cl
 		s.mu.Unlock()
 
-		cl.plan, cl.err = solve(ctx)
+		// The leader's solve runs behind a recovery boundary: a panicking
+		// solver must become an error shared with the coalesced followers,
+		// not a stranded inflight call whose done channel never closes.
+		cl.plan, cl.err = c.leaderSolve(ctx, key, solve)
 		if cl.err == nil && cl.plan == nil {
 			cl.err = errors.New("plancache: solve returned a nil plan")
 		}
@@ -283,6 +357,19 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context)
 	}
 }
 
+// leaderSolve executes the leader's solve with panic recovery, converting
+// a panicking solver into a *degrade.PanicError so the normal
+// inflight-cleanup path runs and followers share the error instead of
+// waiting forever.
+func (c *Cache) leaderSolve(ctx context.Context, key Key, solve func(ctx context.Context) (*scenario.Plan, error)) (plan *scenario.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, degrade.Recovered("plancache:leader:"+key.Algorithm, r, debug.Stack())
+		}
+	}()
+	return solve(ctx)
+}
+
 // Get returns the cached plan for key without solving, or nil. It counts as
 // a hit when present and respects the TTL.
 func (c *Cache) Get(key Key) (*scenario.Plan, time.Duration, bool) {
@@ -293,7 +380,7 @@ func (c *Cache) Get(key Key) (*scenario.Plan, time.Duration, bool) {
 	if !ok {
 		return nil, 0, false
 	}
-	if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
+	if e.expiredLocked(c.now()) {
 		s.removeLocked(e)
 		c.expired.Add(1)
 		return nil, 0, false
@@ -303,12 +390,32 @@ func (c *Cache) Get(key Key) (*scenario.Plan, time.Duration, bool) {
 	return e.plan, c.now().Sub(e.stored), true
 }
 
+// GetStale returns the cached plan for key even when its TTL has passed —
+// the degradation chain's last resort when every solver stage has failed
+// or timed out. A stale entry is served (and counted in StaleServed) but
+// deliberately left in place un-refreshed: the next Do still sees it as
+// expired and re-solves. The age return is the entry's time in cache; the
+// stale return reports whether the TTL had passed.
+func (c *Cache) GetStale(key Key) (plan *scenario.Plan, age time.Duration, stale, ok bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, present := s.entries[key]
+	if !present {
+		return nil, 0, false, false
+	}
+	s.lru.MoveToFront(e.element)
+	c.staleServed.Add(1)
+	return e.plan, c.now().Sub(e.stored), e.expiredLocked(c.now()), true
+}
+
 // storeLocked inserts (or refreshes) an entry, evicting the shard's LRU tail
 // when full. Callers hold s.mu.
 func (s *shard) storeLocked(c *Cache, key Key, plan *scenario.Plan) {
 	if e, ok := s.entries[key]; ok {
 		e.plan = plan
 		e.stored = c.now()
+		e.expireCounted = false
 		s.lru.MoveToFront(e.element)
 		return
 	}
@@ -320,9 +427,24 @@ func (s *shard) storeLocked(c *Cache, key Key, plan *scenario.Plan) {
 		s.removeLocked(tail.Value.(*entry))
 		c.evictions.Add(1)
 	}
-	e := &entry{key: key, plan: plan, stored: c.now()}
+	e := &entry{key: key, plan: plan, stored: c.now(), ttl: c.effectiveTTL(key)}
 	e.element = s.lru.PushFront(e)
 	s.entries[key] = e
+}
+
+// effectiveTTL is the configured TTL shortened by the key's deterministic
+// jitter fraction: u is drawn uniformly from the fingerprint (already a
+// content hash, so uniform and stable for the key), giving each entry a
+// lifetime in [TTL·(1−TTLJitter), TTL] that never varies between runs.
+func (c *Cache) effectiveTTL(k Key) time.Duration {
+	if c.ttl <= 0 {
+		return 0
+	}
+	if c.ttlJitter <= 0 {
+		return c.ttl
+	}
+	u := float64(binary.BigEndian.Uint64(k.Fingerprint[16:24])>>11) / float64(uint64(1)<<53)
+	return c.ttl - time.Duration(c.ttlJitter*u*float64(c.ttl))
 }
 
 // removeLocked drops an entry. Callers hold s.mu.
@@ -351,6 +473,8 @@ func (c *Cache) Stats() Stats {
 		Evictions:   c.evictions.Load(),
 		Expired:     c.expired.Load(),
 		Reelections: c.reelections.Load(),
+		StaleServed: c.staleServed.Load(),
+		Unavailable: c.unavailable.Load(),
 		Entries:     c.Len(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"netrecovery/internal/ensemble"
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/wire"
 )
 
@@ -42,13 +43,18 @@ func (srv *Server) buildEnsembleSpec(req wire.EnsembleRequest) (ensemble.Spec, *
 func (srv *Server) runEnsemble(r *http.Request, spec ensemble.Spec) (*ensemble.Report, *httpError) {
 	ctx, cancel := srv.requestContext(r)
 	defer cancel()
-	if herr := srv.acquireSlots(ctx, spec.Workers); herr != nil {
+	// Ensembles are the lowest priority class: bulk Monte-Carlo work is
+	// the cheapest to shed and retry when the box is contended.
+	if herr := srv.acquireSlots(ctx, spec.Workers, prioEnsemble); herr != nil {
 		return nil, herr
 	}
 	defer srv.releaseSlots(spec.Workers)
 	srv.inFlight.Add(1)
 	defer srv.inFlight.Add(-1)
 
+	// Transient per-unique failures retry under the server's policy (and
+	// count on the retry metric).
+	spec.Retry = srv.retryPolicy()
 	rep, err := ensemble.Run(ctx, spec)
 	if err != nil {
 		return nil, solveError(err)
@@ -123,6 +129,10 @@ func (srv *Server) handleEnsembleStream(w http.ResponseWriter, r *http.Request) 
 
 	var mu sync.Mutex
 	emit := func(event string, payload any) {
+		// Injected SSE fault: a stalled/dead ensemble-stream client.
+		if err := faultinject.Fire(r.Context(), faultinject.PointSSE); err != nil {
+			return
+		}
 		raw, err := json.Marshal(payload)
 		if err != nil {
 			return

@@ -17,9 +17,17 @@
 //	GET  /metrics        Prometheus text metrics (cache, solves, admission)
 //
 // The server applies admission control — at most MaxInFlight solves run
-// concurrently, excess leaders queue on the request context — per-request
-// timeouts, and honours client disconnects by cancelling the solve promptly
-// (reported as HTTP 499, the de-facto "client closed request" status).
+// concurrently, excess requests queue (bounded, shed by priority class with
+// Retry-After) — per-request timeouts, and honours client disconnects by
+// cancelling the solve promptly (reported as HTTP 499, the de-facto "client
+// closed request" status).
+//
+// Robustness (see internal/degrade): every solve runs behind a panic
+// boundary, a bounded transient-failure retry, and a per-algorithm circuit
+// breaker. Requests carrying a deadline (options.deadline_ms, or the
+// server-wide DegradeDeadline default) are answered through a budgeted
+// fallback chain — exact solver, then fast ISP, then a stale cache entry —
+// and annotated with a degradation block instead of failing.
 package server
 
 import (
@@ -31,10 +39,13 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netrecovery/internal/degrade"
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/scenario"
@@ -76,6 +87,21 @@ type Config struct {
 	// MaxSessions bounds the number of concurrently open planning sessions
 	// (0 = 64); POST /v1/session fails with 503 beyond it.
 	MaxSessions int
+	// MaxQueue bounds how many solves may wait for an admission slot
+	// before the priority classes start shedding (429 + Retry-After).
+	// 0 means 8 x MaxInFlight.
+	MaxQueue int
+	// DegradeDeadline, when positive, routes every plan request that does
+	// not set its own options.deadline_ms through the deadline-budgeted
+	// fallback chain with this budget. Zero leaves degradation opt-in
+	// per request.
+	DegradeDeadline time.Duration
+	// Breaker tunes the per-algorithm circuit breakers (zero values pick
+	// the degrade.BreakerConfig defaults).
+	Breaker degrade.BreakerConfig
+	// Retry tunes the transient-failure solve retry (zero MaxAttempts
+	// means 3 attempts with the default jittered backoff).
+	Retry degrade.RetryPolicy
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -96,6 +122,17 @@ type Server struct {
 	sessMu   sync.Mutex
 	sessions map[string]*session
 
+	// maxQueue bounds the admission queue (see Config.MaxQueue); queued
+	// tracks its current depth; shed counts rejections per priority class.
+	maxQueue int
+	queued   atomic.Int64
+	shed     [numPriorities]atomic.Uint64
+
+	// breakerMu guards breakers, the lazily-built per-algorithm circuit
+	// breakers.
+	breakerMu sync.Mutex
+	breakers  map[string]*degrade.Breaker
+
 	solves            atomic.Uint64
 	requests          atomic.Uint64
 	errorsTot         atomic.Uint64
@@ -107,13 +144,20 @@ type Server struct {
 	ensembles         atomic.Uint64
 	ensembleSamples   atomic.Uint64
 	ensembleCacheHits atomic.Uint64
+	solverPanics      atomic.Uint64
+	solverRetries     atomic.Uint64
+	degradedFallback  atomic.Uint64
+	degradedStale     atomic.Uint64
+	degradeExhausted  atomic.Uint64
 }
 
 // New returns a server configured by cfg.
 func New(cfg Config) *Server {
 	cache := cfg.Cache
 	if cache == nil {
-		cache = plancache.New(plancache.Config{})
+		// The default cache shares the server clock so TTL ages and
+		// stale-serve decisions agree with request timestamps.
+		cache = plancache.New(plancache.Config{Now: cfg.Now})
 	}
 	maxInFlight := cfg.MaxInFlight
 	if maxInFlight <= 0 {
@@ -123,12 +167,18 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = time.Now
 	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = defaultQueueFactor * maxInFlight
+	}
 	srv := &Server{
 		cfg:      cfg,
 		cache:    cache,
 		sem:      make(chan struct{}, maxInFlight),
 		now:      now,
 		sessions: make(map[string]*session),
+		maxQueue: maxQueue,
+		breakers: make(map[string]*degrade.Breaker),
 	}
 	srv.start = now()
 	return srv
@@ -170,22 +220,27 @@ func (srv *Server) requestContext(r *http.Request) (context.Context, context.Can
 }
 
 // solveOutcome is the result of solveRequest: the solved scenario and plan
-// plus the cache disposition.
+// plus the cache disposition and (when the fallback chain ran) the
+// degradation annotation.
 type solveOutcome struct {
-	scenario *scenario.Scenario
-	plan     *scenario.Plan
-	status   string // miss | hit | coalesced | bypass
-	age      time.Duration
-	fp       string
+	scenario    *scenario.Scenario
+	plan        *scenario.Plan
+	status      string // miss | hit | coalesced | bypass | stale
+	age         time.Duration
+	fp          string
+	degradation *wire.Degradation
 }
 
-// httpError carries a status code with an error.
+// httpError carries a status code with an error; retryAfter, when positive,
+// becomes a Retry-After header (seconds) on shed and unavailable responses.
 type httpError struct {
-	code int
-	err  error
+	code       int
+	err        error
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
 
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
@@ -215,19 +270,18 @@ func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progr
 		return nil, badRequest("%v", err)
 	}
 
+	// A deadline (per request, or the server-wide default) routes the solve
+	// through the budgeted fallback chain unless the request opts out.
+	deadline := time.Duration(req.Options.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = srv.cfg.DegradeDeadline
+	}
+	if deadline > 0 && !req.Options.NoDegrade {
+		return srv.solveDegraded(ctx, req, s, alg, params, solver, deadline)
+	}
+
 	solve := func(ctx context.Context) (*scenario.Plan, error) {
-		// Admission control: a bounded number of solves run at once; the
-		// rest queue here on their request context.
-		select {
-		case srv.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		defer func() { <-srv.sem }()
-		srv.solves.Add(1)
-		srv.inFlight.Add(1)
-		defer srv.inFlight.Add(-1)
-		return solver.Solve(ctx, s)
+		return srv.retrySolve(ctx, alg, solver, s, prioPlan)
 	}
 
 	out := &solveOutcome{scenario: s, fp: s.FingerprintHex()}
@@ -245,6 +299,16 @@ func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progr
 		Options:     plancache.ParamsDigest(params),
 	}
 	plan, outcome, age, err := srv.cache.Do(ctx, key, solve)
+	var unavailable *plancache.UnavailableError
+	if errors.As(err, &unavailable) {
+		// The cache shard itself failed; the solver is fine — bypass.
+		plan, err = solve(ctx)
+		if herr := solveError(err); herr != nil {
+			return nil, herr
+		}
+		out.plan, out.status = plan, "bypass"
+		return out, nil
+	}
 	if herr := solveError(err); herr != nil {
 		return nil, herr
 	}
@@ -253,10 +317,16 @@ func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progr
 }
 
 // solveError maps a solve failure to an HTTP status: 499 when the client
-// went away, 504 when the per-request timeout fired, 500 otherwise.
+// went away, 504 when the per-request timeout fired, 500 otherwise. An
+// *httpError produced deeper in the stack (admission shed, breaker open)
+// passes through with its status and Retry-After intact.
 func solveError(err error) *httpError {
 	if err == nil {
 		return nil
+	}
+	var herr *httpError
+	if errors.As(err, &herr) {
+		return herr
 	}
 	switch {
 	case errors.Is(err, context.Canceled):
@@ -286,6 +356,7 @@ func (srv *Server) buildResponse(out *solveOutcome, opts wire.SolveOptions) (wir
 			Fingerprint: out.fp,
 			AgeMS:       out.age.Milliseconds(),
 		},
+		Degradation: out.degradation,
 	}, nil
 }
 
@@ -361,6 +432,11 @@ func (srv *Server) handlePlanStream(w http.ResponseWriter, r *http.Request) {
 	// serialise all writes to the stream.
 	var mu sync.Mutex
 	emit := func(event string, payload any) {
+		// The SSE fault point models a stuck or dead client connection:
+		// an injected delay stalls this write, an injected error drops it.
+		if err := faultinject.Fire(r.Context(), faultinject.PointSSE); err != nil {
+			return
+		}
 		raw, err := json.Marshal(payload)
 		if err != nil {
 			return
@@ -442,7 +518,7 @@ func (srv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := srv.requestContext(r)
 	defer cancel()
-	if herr := srv.acquireSlots(ctx, spec.Workers); herr != nil {
+	if herr := srv.acquireSlots(ctx, spec.Workers, prioSweep); herr != nil {
 		srv.writeError(w, herr)
 		return
 	}
@@ -457,16 +533,37 @@ func (srv *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	srv.writeJSON(w, http.StatusOK, report)
 }
 
-// acquireSlots takes n admission tokens, serialised so that concurrent
-// multi-token acquisitions cannot deadlock holding partial sets. On context
-// cancellation the tokens already held are returned.
-func (srv *Server) acquireSlots(ctx context.Context, n int) *httpError {
+// acquireSlots takes n admission tokens for a bulk run of the given
+// priority class, serialised so that concurrent multi-token acquisitions
+// cannot deadlock holding partial sets. Each token that must wait counts
+// against the class's queue-depth limit, so a bulk run beyond its class
+// budget is shed rather than parked. On context cancellation or shed the
+// tokens already held are returned.
+func (srv *Server) acquireSlots(ctx context.Context, n, prio int) *httpError {
 	srv.sweepMu.Lock()
 	defer srv.sweepMu.Unlock()
 	for i := 0; i < n; i++ {
 		select {
 		case srv.sem <- struct{}{}:
+			continue
+		default:
+		}
+		q := srv.queued.Add(1)
+		if q > srv.classLimit(prio) {
+			srv.queued.Add(-1)
+			srv.shed[prio].Add(1)
+			srv.releaseSlots(i)
+			return &httpError{
+				code:       http.StatusTooManyRequests,
+				err:        fmt.Errorf("admission queue full for class %q (%d queued)", prioNames[prio], q-1),
+				retryAfter: srv.retryAfterSeconds(),
+			}
+		}
+		select {
+		case srv.sem <- struct{}{}:
+			srv.queued.Add(-1)
 		case <-ctx.Done():
+			srv.queued.Add(-1)
 			srv.releaseSlots(i)
 			return solveError(ctx.Err())
 		}
@@ -522,6 +619,53 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("nrserved_ensembles_total", "Ensemble runs completed.", "counter", float64(srv.ensembles.Load()))
 	add("nrserved_ensemble_samples_total", "Disruption samples drawn across ensemble runs.", "counter", float64(srv.ensembleSamples.Load()))
 	add("nrserved_ensemble_cache_hits_total", "Unique ensemble scenarios answered from the plan cache.", "counter", float64(srv.ensembleCacheHits.Load()))
+	add("nrserved_solver_panics_total", "Solver panics converted to errors at the recovery boundary.", "counter", float64(srv.solverPanics.Load()))
+	add("nrserved_solver_retries_total", "Transient solve failures retried with backoff.", "counter", float64(srv.solverRetries.Load()))
+	add("nrserved_degraded_fallback_total", "Plan requests served by the fast-ISP fallback stage.", "counter", float64(srv.degradedFallback.Load()))
+	add("nrserved_degraded_stale_total", "Plan requests served from a stale cache entry.", "counter", float64(srv.degradedStale.Load()))
+	add("nrserved_degrade_exhausted_total", "Plan requests whose fallback chain exhausted every stage.", "counter", float64(srv.degradeExhausted.Load()))
+	add("nrserved_cache_stale_served_total", "Expired cache entries served by the degradation chain.", "counter", float64(st.StaleServed))
+	add("nrserved_cache_unavailable_total", "Cache lookups failed by an (injected) shard fault.", "counter", float64(st.Unavailable))
+	add("nrserved_admission_queued", "Solves waiting for an admission slot.", "gauge", float64(srv.queued.Load()))
+	add("nrserved_admission_queue_capacity", "Admission queue bound (sheds beyond it).", "gauge", float64(srv.maxQueue))
+
+	// Labeled families are emitted by hand in a fixed order so the
+	// exposition stays byte-deterministic for a given state.
+	header := func(name, help, typ string) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)...)
+	}
+	header("nrserved_shed_total", "Requests shed by the bounded priority admission queue.", "counter")
+	for i, class := range prioNames {
+		b = append(b, fmt.Sprintf("nrserved_shed_total{class=%q} %g\n", class, float64(srv.shed[i].Load()))...)
+	}
+	algs, breakers := srv.breakerSnapshots()
+	header("nrserved_breaker_state", "Circuit breaker state per algorithm (0 closed, 1 open, 2 half-open).", "gauge")
+	for i, alg := range algs {
+		b = append(b, fmt.Sprintf("nrserved_breaker_state{algorithm=%q} %g\n", alg, float64(breakers[i].State))...)
+	}
+	header("nrserved_breaker_opens_total", "Circuit breaker trips into the open state.", "counter")
+	for i, alg := range algs {
+		b = append(b, fmt.Sprintf("nrserved_breaker_opens_total{algorithm=%q} %g\n", alg, float64(breakers[i].Opens))...)
+	}
+	header("nrserved_breaker_half_opens_total", "Circuit breaker transitions into half-open probing.", "counter")
+	for i, alg := range algs {
+		b = append(b, fmt.Sprintf("nrserved_breaker_half_opens_total{algorithm=%q} %g\n", alg, float64(breakers[i].HalfOpens))...)
+	}
+	header("nrserved_breaker_closes_total", "Circuit breaker recoveries into the closed state.", "counter")
+	for i, alg := range algs {
+		b = append(b, fmt.Sprintf("nrserved_breaker_closes_total{algorithm=%q} %g\n", alg, float64(breakers[i].Closes))...)
+	}
+
+	fi := faultinject.Snapshot()
+	armed := 0.0
+	if faultinject.Armed() {
+		armed = 1
+	}
+	add("nrserved_faultinject_armed", "1 when a fault-injection profile is armed.", "gauge", armed)
+	add("nrserved_faultinject_fires_total", "Fault points evaluated while armed.", "counter", float64(fi.Fires))
+	add("nrserved_faultinject_delays_total", "Injected delays.", "counter", float64(fi.Delays))
+	add("nrserved_faultinject_errors_total", "Injected errors.", "counter", float64(fi.Errors))
+	add("nrserved_faultinject_panics_total", "Injected panics.", "counter", float64(fi.Panics))
 	add("nrserved_uptime_seconds", "Seconds since the server started.", "gauge", srv.now().Sub(srv.start).Seconds())
 	w.Write(b)
 }
@@ -570,8 +714,12 @@ func (srv *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the JSON error envelope and counts the failure.
+// writeError writes the JSON error envelope and counts the failure. Shed
+// and unavailable responses carry a Retry-After hint.
 func (srv *Server) writeError(w http.ResponseWriter, herr *httpError) {
 	srv.errorsTot.Add(1)
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(herr.retryAfter))
+	}
 	srv.writeJSON(w, herr.code, wire.Error{Error: herr.Error()})
 }

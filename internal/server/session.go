@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"netrecovery/internal/faultinject"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/wire"
@@ -181,16 +182,9 @@ func (srv *Server) sessionSolve(ctx context.Context, s *session) (*scenario.Plan
 			return nil, &httpError{code: http.StatusInternalServerError, err: err}
 		}
 	}
-	select {
-	case srv.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, solveError(ctx.Err())
-	}
-	defer func() { <-srv.sem }()
-	srv.solves.Add(1)
-	srv.inFlight.Add(1)
-	defer srv.inFlight.Add(-1)
-	plan, err := solver.Solve(ctx, s.cur)
+	// Sessions solve at the highest priority class: their warm state makes
+	// a shed replan the most expensive kind of rejected work.
+	plan, err := srv.retrySolve(ctx, s.alg, solver, s.cur, prioSession)
 	if herr := solveError(err); herr != nil {
 		return nil, herr
 	}
@@ -248,8 +242,9 @@ func (srv *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if len(srv.sessions) >= srv.maxSessions() {
 		srv.sessMu.Unlock()
 		srv.writeError(w, &httpError{
-			code: http.StatusServiceUnavailable,
-			err:  fmt.Errorf("session capacity exhausted (%d open)", srv.maxSessions()),
+			code:       http.StatusServiceUnavailable,
+			err:        fmt.Errorf("session capacity exhausted (%d open)", srv.maxSessions()),
+			retryAfter: srv.retryAfterSeconds(),
 		})
 		return
 	}
@@ -448,6 +443,10 @@ func (srv *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		case frame, open := <-ch:
 			if !open {
 				return // session closed; terminal end frame already sent
+			}
+			// Injected SSE fault: a stalled/dead subscriber connection.
+			if err := faultinject.Fire(r.Context(), faultinject.PointSSE); err != nil {
+				return
 			}
 			if _, err := w.Write(frame); err != nil {
 				return

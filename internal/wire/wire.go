@@ -246,6 +246,16 @@ type SolveOptions struct {
 	// NoCache bypasses the plan cache for this request (always solves, does
 	// not store).
 	NoCache bool `json:"no_cache,omitempty"`
+	// DeadlineMS, when positive, runs the request through the server's
+	// deadline-budgeted degradation chain: the requested solver gets a
+	// slice of this budget, then a fast-ISP fallback, then a
+	// stale-but-served cache entry. The response's degradation block
+	// reports which stage answered.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// NoDegrade disables the fallback chain even when the server has a
+	// default degradation deadline configured: the request either gets the
+	// exact answer it asked for or an error.
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 // CacheInfo reports how the server obtained the plan.
@@ -258,10 +268,45 @@ type CacheInfo struct {
 	AgeMS int64 `json:"age_ms"`
 }
 
+// StageTiming reports one degradation-chain stage's outcome. The encoding
+// is deterministic: field order is fixed and durations are integral
+// milliseconds.
+type StageTiming struct {
+	// Stage names the chain rung: "primary", "fallback_isp", "stale_cache".
+	Stage string `json:"stage"`
+	// Outcome is "served", "timeout", "error", "skipped" or "unavailable".
+	Outcome string `json:"outcome"`
+	// Attempts counts solve attempts (>1 when transient faults were
+	// retried); 0 for stages that never ran.
+	Attempts int `json:"attempts,omitempty"`
+	// ElapsedMS is the stage's wall time.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Error is the stage's failure (or skip reason), empty when served.
+	Error string `json:"error,omitempty"`
+}
+
+// Degradation annotates a response served through the fallback chain.
+type Degradation struct {
+	// Level is "none" (primary stage answered), "fallback" (a cheaper
+	// solver answered) or "stale" (an expired cache entry was served).
+	Level string `json:"level"`
+	// ServedBy is the stage that produced the plan.
+	ServedBy string `json:"served_by"`
+	// DeadlineMS is the overall budget the chain ran under.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Retries counts transient-fault retries across all stages.
+	Retries int `json:"retries,omitempty"`
+	// Stages lists every chain rung in execution order.
+	Stages []StageTiming `json:"stages"`
+}
+
 // PlanResponse is the response body of POST /v1/plan.
 type PlanResponse struct {
 	Plan  Plan      `json:"plan"`
 	Cache CacheInfo `json:"cache"`
+	// Degradation is present only when the request ran through the
+	// deadline-budgeted fallback chain.
+	Degradation *Degradation `json:"degradation,omitempty"`
 }
 
 // Delta kind names, the wire values of Delta.Kind.

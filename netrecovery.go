@@ -447,10 +447,18 @@ type Plan struct {
 	// stages is the progressive timeline computed when the Planner was
 	// configured with WithSchedule.
 	stages []RecoveryStage
+	// degradation annotates a plan produced under WithDeadline.
+	degradation *Degradation
 }
 
 // Algorithm returns the name of the algorithm that produced the plan.
 func (p *Plan) Algorithm() string { return p.inner.Solver }
+
+// Degradation reports how the plan was obtained when the Planner ran under
+// WithDeadline: which fallback-chain stage served it and how each stage
+// spent its slice of the budget. It returns nil for Planners without a
+// deadline (the chain never ran).
+func (p *Plan) Degradation() *Degradation { return p.degradation }
 
 // RepairedNodes returns the IDs of the nodes to repair, and RepairedLinks
 // the IDs of the links to repair.

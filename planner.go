@@ -2,10 +2,12 @@ package netrecovery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"netrecovery/internal/degrade"
 	"netrecovery/internal/graph"
 	"netrecovery/internal/heuristics"
 	"netrecovery/internal/plancache"
@@ -179,6 +181,7 @@ type plannerConfig struct {
 	schedule     bool
 	stageBudget  float64
 	cache        *PlanCache
+	deadline     time.Duration
 }
 
 // PlannerOption configures a Planner. Options are applied by NewPlanner in
@@ -260,6 +263,50 @@ func WithSchedule(stageBudget float64) PlannerOption {
 	}
 }
 
+// WithDeadline bounds every Plan call by an overall wall-clock budget and
+// enables graceful degradation inside it: the configured algorithm gets the
+// bulk of the budget, and when it cannot answer in time (or fails) the
+// Planner falls back to fast ISP — the paper's polynomial heuristic in
+// greedy split mode — and finally, when a cache is configured (WithCache),
+// to a stale cached plan for the same scenario. Which stage served, and how
+// each stage spent its slice, is reported by Plan.Degradation. Plan returns
+// an error only when every stage is exhausted. A zero deadline (the
+// default) disables the chain: the solver runs to completion exactly as
+// before.
+func WithDeadline(d time.Duration) PlannerOption {
+	return func(c *plannerConfig) { c.deadline = d }
+}
+
+// DegradationStage reports how one fallback-chain stage spent its share of
+// the Plan deadline.
+type DegradationStage struct {
+	// Stage is the chain stage name: "primary", "fallback_isp" or
+	// "stale_cache".
+	Stage string
+	// Outcome is "served", "timeout", "error", "skipped" or "unavailable".
+	Outcome string
+	// Attempts counts solve attempts (0 for stages that never ran).
+	Attempts int
+	// Elapsed is the wall-clock time the stage consumed.
+	Elapsed time.Duration
+	// Err describes the failure for non-served stages ("" otherwise).
+	Err string
+}
+
+// Degradation annotates a plan produced under WithDeadline: which stage of
+// the fallback chain served it and how the deadline budget was spent.
+type Degradation struct {
+	// Level is "none" (the requested algorithm answered), "fallback" (fast
+	// ISP answered) or "stale" (an expired cache entry was served).
+	Level string
+	// ServedBy is the name of the stage that produced the plan.
+	ServedBy string
+	// Deadline is the overall budget the chain ran under.
+	Deadline time.Duration
+	// Stages records every chain stage in order.
+	Stages []DegradationStage
+}
+
 // Planner computes recovery plans for scenarios. A Planner is configured
 // once with functional options and is immutable afterwards: it is safe for
 // concurrent use, and one Planner may solve many scenarios (and the same
@@ -295,6 +342,9 @@ func (p *Planner) Plan(ctx context.Context, sc *Scenario) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.cfg.deadline > 0 {
+		return p.planDegraded(ctx, sc, params, solver)
+	}
 	var inner *scenario.Plan
 	if p.cfg.cache != nil {
 		key := plancache.Key{
@@ -314,6 +364,117 @@ func (p *Planner) Plan(ctx context.Context, sc *Scenario) (*Plan, error) {
 	plan := &Plan{inner: inner, scen: sc.inner}
 	if p.cfg.schedule {
 		stages, err := buildStages(sc.inner, inner, p.cfg.stageBudget)
+		if err != nil {
+			return nil, err
+		}
+		plan.stages = stages
+	}
+	return plan, nil
+}
+
+// planDegraded runs the WithDeadline fallback chain: the configured solver
+// under the bulk of the budget, then fast ISP, then (with a cache) a stale
+// cached plan. It mirrors the serving daemon's chain without its admission
+// control — a library caller owns its own concurrency.
+func (p *Planner) planDegraded(ctx context.Context, sc *Scenario, params heuristics.Params, solver heuristics.Solver) (*Plan, error) {
+	primaryKey := plancache.Key{
+		Fingerprint: sc.inner.Fingerprint(),
+		Algorithm:   string(p.cfg.alg),
+		Options:     plancache.ParamsDigest(params),
+	}
+	solveStage := func(stageCtx context.Context, stageSolver heuristics.Solver, key plancache.Key) (*scenario.Plan, error) {
+		if p.cfg.cache == nil {
+			return stageSolver.Solve(stageCtx, sc.inner)
+		}
+		plan, _, _, err := p.cfg.cache.inner.Do(stageCtx, key, func(c context.Context) (*scenario.Plan, error) {
+			return stageSolver.Solve(c, sc.inner)
+		})
+		var unavailable *plancache.UnavailableError
+		if errors.As(err, &unavailable) {
+			return stageSolver.Solve(stageCtx, sc.inner)
+		}
+		return plan, err
+	}
+
+	stages := []degrade.Stage{{
+		Name:  "primary",
+		Level: degrade.LevelNone,
+		Retry: true,
+		Run: func(stageCtx context.Context) (*scenario.Plan, error) {
+			return solveStage(stageCtx, solver, primaryKey)
+		},
+	}}
+	// Fast ISP is the fallback unless it is already the primary.
+	fallbackParams := heuristics.Params{Fast: true, OPTWorkers: params.OPTWorkers}
+	haveFallback := !(p.cfg.alg == ISP && p.cfg.fast)
+	var fallbackKey plancache.Key
+	if haveFallback {
+		stages[0].Fraction = 0.6
+		fallbackSolver, err := heuristics.New(string(ISP), fallbackParams)
+		if err != nil {
+			return nil, err
+		}
+		fallbackKey = plancache.Key{
+			Fingerprint: sc.inner.Fingerprint(),
+			Algorithm:   string(ISP),
+			Options:     plancache.ParamsDigest(fallbackParams),
+		}
+		stages = append(stages, degrade.Stage{
+			Name:  "fallback_isp",
+			Level: degrade.LevelFallback,
+			Retry: true,
+			Run: func(stageCtx context.Context) (*scenario.Plan, error) {
+				return solveStage(stageCtx, fallbackSolver, fallbackKey)
+			},
+		})
+	}
+	stages = append(stages, degrade.Stage{
+		Name:  "stale_cache",
+		Level: degrade.LevelStale,
+		Free:  true,
+		Skip: func() string {
+			if p.cfg.cache == nil {
+				return "no cache configured"
+			}
+			return ""
+		},
+		Run: func(context.Context) (*scenario.Plan, error) {
+			if plan, _, _, ok := p.cfg.cache.inner.GetStale(primaryKey); ok {
+				return plan, nil
+			}
+			if haveFallback {
+				if plan, _, _, ok := p.cfg.cache.inner.GetStale(fallbackKey); ok {
+					return plan, nil
+				}
+			}
+			return nil, nil
+		},
+	})
+
+	res, err := degrade.Execute(ctx, stages, degrade.Options{Deadline: p.cfg.deadline})
+	if err != nil {
+		return nil, err
+	}
+	deg := &Degradation{
+		Level:    res.Level.String(),
+		ServedBy: res.ServedBy,
+		Deadline: p.cfg.deadline,
+	}
+	for _, st := range res.Stages {
+		ds := DegradationStage{
+			Stage:    st.Name,
+			Outcome:  st.Outcome,
+			Attempts: st.Attempts,
+			Elapsed:  st.Elapsed,
+		}
+		if st.Err != nil {
+			ds.Err = st.Err.Error()
+		}
+		deg.Stages = append(deg.Stages, ds)
+	}
+	plan := &Plan{inner: res.Plan, scen: sc.inner, degradation: deg}
+	if p.cfg.schedule {
+		stages, err := buildStages(sc.inner, res.Plan, p.cfg.stageBudget)
 		if err != nil {
 			return nil, err
 		}
