@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"netrecovery/internal/cluster"
+	"netrecovery/internal/loadgen"
+	"netrecovery/internal/server"
+)
+
+// serveRowSpec pins the serving-path measurement: an in-process fleet on
+// loopback listeners driven by the deterministic loadgen closed loop. Small
+// enough to ride in the CI bench gate, large enough that the percentiles
+// are percentiles and not single samples.
+const (
+	serveScenarios = 32
+	serveRequests  = 600
+	serveWarmup    = 200
+	serveWorkers   = 4
+)
+
+// serveLatencies boots an n-node fleet, drives the standard serve workload
+// at it and returns the measured p50/p99 in ns/op plus the request count.
+// A 1-node fleet is prewarmed (the row measures the steady-state local-hit
+// path); a multi-node fleet instead gets an unmeasured warm-up run, so the
+// measured window covers the real steady state of a cluster: mostly local
+// hits with a peer-filled and coalesced tail.
+func serveLatencies(ctx context.Context, nodes int) (p50, p99 float64, reqs int, err error) {
+	lc, err := loadgen.StartLocal(nodes, server.Config{}, cluster.Config{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer lc.Close()
+	spec := loadgen.Spec{
+		Targets:     lc.URLs,
+		MaxRequests: serveRequests,
+		Concurrency: serveWorkers,
+		Scenarios:   serveScenarios,
+		Seed:        1,
+		Fast:        true,
+		PrewarmAll:  nodes == 1,
+	}
+	if nodes > 1 {
+		warm := spec
+		warm.PrewarmAll = false
+		warm.MaxRequests = serveWarmup
+		if _, err := loadgen.Run(ctx, warm); err != nil {
+			return 0, 0, 0, fmt.Errorf("serve warm-up (%d nodes): %w", nodes, err)
+		}
+	}
+	rep, err := loadgen.Run(ctx, spec)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("serve rows (%d nodes): %w", nodes, err)
+	}
+	if rep.Errors > 0 || rep.Err5xx > 0 {
+		return 0, 0, 0, fmt.Errorf("serve rows (%d nodes): %d errors, %d 5xx — refusing to record latencies of a failing fleet",
+			nodes, rep.Errors, rep.Err5xx)
+	}
+	const msToNs = 1e6
+	return rep.Latency.P50MS * msToNs, rep.Latency.P99MS * msToNs, rep.Requests, nil
+}
+
+// runServeRows measures the HTTP serving path end to end — request decode,
+// cache, admission, peer-fill, response render — as trajectory rows:
+// serve_plan_{p50,p99}_1node on a single warmed node and
+// serve_plan_{p50,p99}_3node_warm on a 3-node consistent-hash fleet.
+// Like the micro rows, each configuration is measured twice keeping the
+// faster sample, so a one-off CPU-steal burst on a shared runner does not
+// read as a code regression. Allocation columns are zero: per-op heap
+// accounting is meaningless across an HTTP round trip with background
+// goroutines.
+func runServeRows(ctx context.Context) ([]benchRecord, error) {
+	type config struct {
+		nodes  int
+		suffix string
+	}
+	configs := []config{{1, "1node"}, {3, "3node_warm"}}
+	rows := make([]benchRecord, 0, 2*len(configs))
+	for _, cfg := range configs {
+		p50, p99, reqs, err := serveLatencies(ctx, cfg.nodes)
+		if err != nil {
+			return nil, err
+		}
+		if p50b, p99b, _, err := serveLatencies(ctx, cfg.nodes); err != nil {
+			return nil, err
+		} else {
+			if p50b < p50 {
+				p50 = p50b
+			}
+			if p99b < p99 {
+				p99 = p99b
+			}
+		}
+		rows = append(rows,
+			benchRecord{Name: "serve_plan_p50_" + cfg.suffix, Reps: reqs, NsPerOp: p50},
+			benchRecord{Name: "serve_plan_p99_" + cfg.suffix, Reps: reqs, NsPerOp: p99},
+		)
+	}
+	return rows, nil
+}

@@ -1,0 +1,173 @@
+// Command nrload replays Zipf-distributed recovery-planning traffic
+// against one or more nrserved nodes and reports latency percentiles,
+// throughput and the fleet's cache dispositions as a single JSON
+// wire.LoadReport.
+//
+// Usage:
+//
+//	nrload -targets http://localhost:8080 -duration 15s
+//	nrload -targets http://n1:8080,http://n2:8080,http://n3:8080 \
+//	       -duration 15s -concurrency 8 -scenarios 128 \
+//	       -mix plan=8,session=1,ensemble=1 -out report.json
+//
+// A closed loop (fixed -concurrency) is the default; -rate switches to an
+// open loop with that arrival rate per second and a bounded dispatch
+// queue. The -assert-* flags turn the run into an SLO gate for CI: the
+// process exits non-zero when an assertion fails, after printing the
+// report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"netrecovery/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nrload:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "plan=8,session=1,ensemble=1" (weights, not ratios).
+func parseMix(s string) (loadgen.Mix, error) {
+	var mix loadgen.Mix
+	if s == "" {
+		return mix, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return mix, fmt.Errorf("bad mix component %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch k {
+		case "plan":
+			mix.Plan = w
+		case "session":
+			mix.Session = w
+		case "ensemble":
+			mix.Ensemble = w
+		default:
+			return mix, fmt.Errorf("unknown mix kind %q (want plan, session or ensemble)", k)
+		}
+	}
+	return mix, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nrload", flag.ContinueOnError)
+	var (
+		targets     = fs.String("targets", "", "comma-separated node base URLs (required)")
+		duration    = fs.Duration("duration", 15*time.Second, "run wall-time budget (0 = until -max-requests)")
+		maxRequests = fs.Int("max-requests", 0, "stop after this many requests (0 = until -duration)")
+		concurrency = fs.Int("concurrency", loadgen.DefaultConcurrency, "worker count")
+		rate        = fs.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
+		queueDepth  = fs.Int("queue-depth", 0, "open-loop dispatch queue bound (0 = 2x concurrency); overflow arrivals are dropped and counted")
+		scenarios   = fs.Int("scenarios", loadgen.DefaultScenarios, "scenario population size")
+		zipfS       = fs.Float64("zipf-s", loadgen.DefaultZipfS, "Zipf exponent of the key distribution (>1; larger = hotter hot set)")
+		zipfV       = fs.Float64("zipf-v", loadgen.DefaultZipfV, "Zipf v parameter (>=1)")
+		seed        = fs.Uint64("seed", 1, "root seed of every random stream")
+		algorithm   = fs.String("algorithm", loadgen.DefaultAlgorithm, "solver algorithm the plan requests ask for")
+		fast        = fs.Bool("fast", true, "request the fast (greedy split) ISP mode")
+		mixFlag     = fs.String("mix", "plan=1", "op mix weights, e.g. plan=8,session=1,ensemble=1")
+		topo        = fs.String("topology", loadgen.DefaultTopology, "base graph: grid:RxC or bell-canada")
+		pairs       = fs.Int("pairs", loadgen.DefaultPairs, "demand pairs")
+		flow        = fs.Float64("flow", loadgen.DefaultFlow, "flow per demand pair")
+		reqTimeout  = fs.Duration("request-timeout", 10*time.Second, "per-request budget")
+		prewarm     = fs.Bool("prewarm", false, "issue every scenario once against every target before measuring")
+		out         = fs.String("out", "", "write the JSON report to this file (default stdout)")
+
+		assertP99      = fs.Float64("assert-p99-ms", 0, "fail unless p99 latency is at or below this many milliseconds (0 = no assertion)")
+		assertNo5xx    = fs.Bool("assert-no-5xx", false, "fail if any request answered 5xx")
+		assertPeerFill = fs.Bool("assert-peer-fill", false, "fail unless at least one plan was peer-filled (multi-node cache path observed)")
+		assertMinReqs  = fs.Int("assert-min-requests", 0, "fail unless at least this many requests completed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *targets == "" {
+		return fmt.Errorf("-targets required")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	targetList := strings.Split(*targets, ",")
+	for i := range targetList {
+		targetList[i] = strings.TrimSpace(strings.TrimSuffix(targetList[i], "/"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Spec{
+		Targets:        targetList,
+		Duration:       *duration,
+		MaxRequests:    *maxRequests,
+		Concurrency:    *concurrency,
+		Rate:           *rate,
+		QueueDepth:     *queueDepth,
+		Scenarios:      *scenarios,
+		ZipfS:          *zipfS,
+		ZipfV:          *zipfV,
+		Seed:           *seed,
+		Algorithm:      *algorithm,
+		Fast:           *fast,
+		Mix:            mix,
+		Topology:       *topo,
+		Pairs:          *pairs,
+		Flow:           *flow,
+		RequestTimeout: *reqTimeout,
+		PrewarmAll:     *prewarm,
+	})
+	if err != nil {
+		return err
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "nrload: report written to %s\n", *out)
+	} else {
+		stdout.Write(raw)
+	}
+
+	var failures []string
+	if *assertP99 > 0 && rep.Latency.P99MS > *assertP99 {
+		failures = append(failures, fmt.Sprintf("p99 %.2fms > %.2fms", rep.Latency.P99MS, *assertP99))
+	}
+	if *assertNo5xx && rep.Err5xx > 0 {
+		failures = append(failures, fmt.Sprintf("%d requests answered 5xx", rep.Err5xx))
+	}
+	if *assertPeerFill && rep.Cache.PeerFilled == 0 {
+		failures = append(failures, "no peer-filled plan observed")
+	}
+	if *assertMinReqs > 0 && rep.Requests < *assertMinReqs {
+		failures = append(failures, fmt.Sprintf("only %d requests completed, want >= %d", rep.Requests, *assertMinReqs))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("SLO assertions failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netrecovery/internal/cluster"
+	"netrecovery/internal/loadgen"
+	"netrecovery/internal/server"
+	"netrecovery/internal/wire"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("plan=8,session=1,ensemble=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix != (loadgen.Mix{Plan: 8, Session: 1, Ensemble: 1}) {
+		t.Fatalf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"plan", "plan=x", "plan=-1", "sweep=1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunAgainstFleet drives the CLI end to end against an in-process
+// 3-node fleet and checks the report file and the SLO assertions.
+func TestRunAgainstFleet(t *testing.T) {
+	lc, err := loadgen.StartLocal(3, server.Config{}, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	targets := strings.Join(lc.URLs, ",")
+	out := filepath.Join(t.TempDir(), "report.json")
+
+	var stdout bytes.Buffer
+	err = run([]string{
+		"-targets", targets,
+		"-duration", "0",
+		"-max-requests", "40",
+		"-concurrency", "4",
+		"-scenarios", "6",
+		"-topology", "grid:4x4",
+		"-seed", "3",
+		"-out", out,
+		"-assert-no-5xx",
+		"-assert-min-requests", "40",
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep wire.LoadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, raw)
+	}
+	if rep.Requests != 40 || rep.Err5xx != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Targets) != 3 {
+		t.Fatalf("targets = %v", rep.Targets)
+	}
+
+	// An impossible SLO fails the run after writing the report.
+	err = run([]string{
+		"-targets", targets,
+		"-duration", "0",
+		"-max-requests", "10",
+		"-scenarios", "4",
+		"-topology", "grid:4x4",
+		"-out", filepath.Join(t.TempDir(), "r.json"),
+		"-assert-p99-ms", "0.000001",
+	}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Fatalf("impossible p99 assertion passed: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{}, &stdout); err == nil {
+		t.Fatal("run accepted missing -targets")
+	}
+	if err := run([]string{"-targets", "http://x", "-mix", "bogus"}, &stdout); err == nil {
+		t.Fatal("run accepted bogus -mix")
+	}
+}

@@ -18,8 +18,17 @@
 //	POST /v1/session/{id}/delta  apply scenario deltas, warm re-plan -> new plan
 //	GET  /v1/session/{id}/stream SSE feed of the session's plan updates
 //	GET  /v1/session/{id}        session info + last plan; DELETE closes it
+//	GET  /v1/peer/plan/{fp}      cluster peer-fill lookup (cache-only, never solves)
 //	GET  /healthz        liveness
 //	GET  /metrics        Prometheus text metrics
+//
+// Cluster mode (-peers with the base URLs of every node, -self with this
+// node's) places all nodes on one consistent-hash ring: each scenario
+// fingerprint has an owning node, and a cache miss elsewhere asks the owner
+// before solving locally, so a plan computed anywhere is a hit everywhere:
+//
+//	nrserved -addr :8080 -self http://10.0.0.1:8080 \
+//	         -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, lets in-flight requests drain up to -drain, then exits.
@@ -36,9 +45,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"netrecovery/internal/cluster"
 	"netrecovery/internal/faultinject"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/server"
@@ -71,6 +82,14 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		degradeDL    = fs.Duration("degrade-deadline", 0, "default deadline budget for /v1/plan requests that set none: inside it the solver chain degrades exact -> fast ISP -> stale cache instead of failing (0 = degrade only on request)")
 		maxQueue     = fs.Int("max-queue", 0, "admission queue bound across all priority classes (0 = 8x max-inflight); excess requests are shed with 429 + Retry-After")
 		faultProfile = fs.String("fault-profile", "", "arm the deterministic fault-injection harness from this JSON profile file (chaos testing; see internal/faultinject)")
+
+		selfURL       = fs.String("self", "", "this node's advertised base URL in cluster mode, e.g. http://10.0.0.1:8080 (must appear in -peers)")
+		peers         = fs.String("peers", "", "comma-separated base URLs of every cluster node including self; empty = single-node mode")
+		peerTimeout   = fs.Duration("peer-timeout", cluster.DefaultFillTimeout, "per-peer-fill budget before falling back to a local solve")
+		peerMailbox   = fs.Int("peer-mailbox", cluster.DefaultMailboxSize, "pending peer-fill queue bound per peer (full queue = immediate local solve)")
+		peerInflight  = fs.Int("peer-inflight", cluster.DefaultWorkersPerPeer, "concurrent in-flight peer-fills per peer")
+		probeInterval = fs.Duration("probe-interval", cluster.DefaultProbeInterval, "peer /healthz probing cadence (negative = no probing)")
+		probeFailures = fs.Int("probe-failures", cluster.DefaultProbeFailures, "consecutive failed probes that eject a peer from the ring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +103,33 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		fmt.Fprintf(stdout, "nrserved: fault injection armed from %s\n", *faultProfile)
 	}
 
+	var clu *cluster.Cluster
+	if *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(strings.TrimSuffix(peerList[i], "/"))
+		}
+		self := strings.TrimSpace(strings.TrimSuffix(*selfURL, "/"))
+		var err error
+		clu, err = cluster.New(cluster.Config{
+			Self:           self,
+			Peers:          peerList,
+			FillTimeout:    *peerTimeout,
+			MailboxSize:    *peerMailbox,
+			WorkersPerPeer: *peerInflight,
+			ProbeInterval:  *probeInterval,
+			ProbeFailures:  *probeFailures,
+		})
+		if err != nil {
+			return err
+		}
+		clu.Start()
+		defer clu.Close()
+		fmt.Fprintf(stdout, "nrserved cluster mode: %d peers, self %s\n", clu.Size(), self)
+	}
+
 	srv := server.New(server.Config{
+		Cluster: clu,
 		Cache: plancache.New(plancache.Config{
 			MaxEntries: *cacheEntries,
 			TTL:        *cacheTTL,

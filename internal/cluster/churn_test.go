@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netrecovery/internal/graph"
+	"netrecovery/internal/plancache"
+	"netrecovery/internal/scenario"
+)
+
+// TestPeerFillReelectionChurn is the cluster-path counterpart of the plan
+// cache's TestDoReelectionChurn: the solve function handed to Do is the
+// peer-fill wrapper nrserved uses (try the owner, fall back to a local
+// solve), and every round the coalescing leader is cancelled while its fill
+// is blocked inside the remote peer. A queued follower must re-elect
+// itself, repeat the fill against the now-responsive peer, and share the
+// peer's plan with every waiter — the local fallback solver must never run,
+// because each round's plan is available remotely the moment the new leader
+// asks.
+func TestPeerFillReelectionChurn(t *testing.T) {
+	const (
+		rounds    = 8
+		followers = 4
+	)
+	fp := newFakePeer(t)
+	clu := newTestCluster(t, fp.srv.URL, nil)
+	cache := plancache.New(plancache.Config{})
+	base := peerKey(t, clu, fp.srv.URL)
+
+	var localSolves, peerFills atomic.Int64
+	wrapper := func(key plancache.Key) func(context.Context) (*scenario.Plan, error) {
+		return func(ctx context.Context) (*scenario.Plan, error) {
+			if plan, _, ok := clu.Fill(ctx, key); ok {
+				peerFills.Add(1)
+				return plan, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err // cancelled mid-fill: no local fallback to run
+			}
+			localSolves.Add(1)
+			return scenario.NewPlan("ISP"), nil
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Same peer-owned fingerprint, fresh cache key each round.
+		key := base
+		key.Options[0] = byte(round)
+
+		// The doomed leader's fill reaches the peer and parks there.
+		fp.mode.Store(modeBlock)
+		leaderCtx, cancelLeader := context.WithCancel(context.Background())
+		leaderDone := make(chan error, 1)
+		go func() {
+			_, _, _, err := cache.Do(leaderCtx, key, wrapper(key))
+			leaderDone <- err
+		}()
+		select {
+		case <-fp.entered:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: leader fill never reached the peer", round)
+		}
+
+		var wg sync.WaitGroup
+		errs := make([]error, followers)
+		plans := make([]*scenario.Plan, followers)
+		for f := 0; f < followers; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				plans[f], _, _, errs[f] = cache.Do(context.Background(), key, wrapper(key))
+			}(f)
+		}
+		// Let the followers coalesce onto the doomed leader, make the peer
+		// answer hits from now on, then kill the leader mid-fill.
+		time.Sleep(20 * time.Millisecond)
+		fp.mode.Store(modeHit)
+		cancelLeader()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: followers stalled after leader cancellation", round)
+		}
+		if err := <-leaderDone; err == nil {
+			t.Fatalf("round %d: cancelled leader reported success", round)
+		}
+		for f := 0; f < followers; f++ {
+			if errs[f] != nil {
+				t.Fatalf("round %d follower %d: %v (leader cancellation leaked)", round, f, errs[f])
+			}
+			// The shared plan is the fake peer's, not a local fallback's.
+			if plans[f] == nil || plans[f] != plans[0] {
+				t.Fatalf("round %d follower %d: followers did not share one plan", round, f)
+			}
+			if !plans[f].RepairedNodes[graph.NodeID(3)] || plans[f].SatisfiedDemand != 4 {
+				t.Fatalf("round %d follower %d: plan is not the peer's: %+v", round, f, plans[f])
+			}
+		}
+		// The re-elected fill stored the peer's plan; the key now hits
+		// locally without another fill.
+		if _, outcome, _, _ := cache.Do(context.Background(), key, func(context.Context) (*scenario.Plan, error) {
+			t.Fatalf("round %d: post-churn lookup solved again", round)
+			return nil, nil
+		}); outcome != plancache.Hit {
+			t.Fatalf("round %d: post-churn outcome = %v, want Hit", round, outcome)
+		}
+	}
+
+	if got := localSolves.Load(); got != 0 {
+		t.Errorf("local fallback solves = %d, want 0 (every round must be peer-filled)", got)
+	}
+	if got := peerFills.Load(); got != rounds {
+		t.Errorf("peer fills = %d, want %d (exactly one re-elected fill per round)", got, rounds)
+	}
+	cst := cache.Stats()
+	if cst.Reelections < rounds || cst.Reelections > rounds*followers {
+		t.Errorf("Reelections = %d, want within [%d, %d]", cst.Reelections, rounds, rounds*followers)
+	}
+	st := clu.Stats()
+	// One successful fill per round from the re-elected leader; the
+	// cancelled leader's fill dispatched but resolved through ctx.Done, so
+	// it counts as a dispatch and nothing else.
+	if st.Hits != rounds || st.Fills != 2*rounds {
+		t.Errorf("cluster stats = %+v, want hits=%d fills=%d", st, rounds, 2*rounds)
+	}
+}

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBuildPopulationDeterministic: identical specs render byte-identical
+// request bodies; a different seed changes the disruptions.
+func TestBuildPopulationDeterministic(t *testing.T) {
+	spec := Spec{Scenarios: 6, Seed: 42, Fast: true}.withDefaults()
+	a, err := buildPopulation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildPopulation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].planBody, b[i].planBody) {
+			t.Fatalf("scenario %d: same seed, different plan body", i)
+		}
+		if !bytes.Equal(a[i].ensembleBody, b[i].ensembleBody) {
+			t.Fatalf("scenario %d: same seed, different ensemble body", i)
+		}
+	}
+	spec.Seed = 43
+	c, err := buildPopulation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].planBody, c[i].planBody) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seed produced an identical population")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	if g, err := parseTopology("grid:3x4"); err != nil || g.NumNodes() != 12 {
+		t.Fatalf("grid:3x4 = %v nodes, err %v", g.NumNodes(), err)
+	}
+	if g, err := parseTopology("bell-canada"); err != nil || g.NumNodes() == 0 {
+		t.Fatalf("bell-canada failed: %v", err)
+	}
+	for _, bad := range []string{"", "grid:axb", "grid:3", "torus:3x3"} {
+		if _, err := parseTopology(bad); err == nil {
+			t.Errorf("parseTopology(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentileMS(t *testing.T) {
+	lats := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 5 * time.Millisecond, 6 * time.Millisecond,
+		7 * time.Millisecond, 8 * time.Millisecond, 9 * time.Millisecond,
+		10 * time.Millisecond,
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5}, {0.90, 9}, {0.99, 10}, {0.999, 10}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := percentileMS(lats, c.q); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentileMS(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Duration: time.Second}); err == nil {
+		t.Fatal("Run accepted empty targets")
+	}
+	if _, err := Run(context.Background(), Spec{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("Run accepted no Duration and no MaxRequests")
+	}
+}

@@ -390,6 +390,24 @@ func (c *Cache) Get(key Key) (*scenario.Plan, time.Duration, bool) {
 	return e.plan, c.now().Sub(e.stored), true
 }
 
+// Peek returns the cached plan for key without counting a hit — the
+// cluster peer-fill endpoint's lookup, which must not distort the local
+// hit/miss ratio (a peer's lookup is not local demand). It respects the
+// TTL like Get (expired entries are not served, but are left in place for
+// GetStale) and refreshes LRU recency: a plan the fleet keeps asking for
+// is a plan worth keeping.
+func (c *Cache) Peek(key Key) (*scenario.Plan, time.Duration, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.expiredLocked(c.now()) {
+		return nil, 0, false
+	}
+	s.lru.MoveToFront(e.element)
+	return e.plan, c.now().Sub(e.stored), true
+}
+
 // GetStale returns the cached plan for key even when its TTL has passed —
 // the degradation chain's last resort when every solver stage has failed
 // or timed out. A stale entry is served (and counted in StaleServed) but

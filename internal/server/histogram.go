@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// durationBounds are the request-duration histogram bucket upper bounds in
+// seconds, fixed so the /metrics exposition is stable across builds. The
+// range spans a sub-millisecond cache hit to a ten-second exact solve.
+var durationBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket duration histogram with lock-free observes,
+// exposed in the Prometheus text format as
+// nrserved_request_duration_seconds.
+type histogram struct {
+	buckets []atomic.Uint64 // one per bound; +Inf is derived from count
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Uint64, len(durationBounds))}
+}
+
+// Observe records one request duration.
+func (h *histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sec := d.Seconds()
+	for i, bound := range durationBounds {
+		if sec <= bound {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d))
+}
+
+// routeHistogram is one instrumented route: the route label is the
+// registered path (sub-paths folded in), the class label the admission
+// priority class the route's work is accounted under ("infra" for the
+// probes, "peer" for the cluster fill endpoint).
+type routeHistogram struct {
+	route, class string
+	hist         *histogram
+}
+
+// newRouteHistograms builds the per-route histogram set in the fixed
+// emission order of /metrics.
+func newRouteHistograms() []*routeHistogram {
+	mk := func(route, class string) *routeHistogram {
+		return &routeHistogram{route: route, class: class, hist: newHistogram()}
+	}
+	return []*routeHistogram{
+		mk("/v1/plan", "plan"),
+		mk("/v1/plan/stream", "plan"),
+		mk("/v1/sweep", "sweep"),
+		mk("/v1/ensemble", "ensemble"),
+		mk("/v1/ensemble/stream", "ensemble"),
+		mk("/v1/session", "session"),
+		mk("/v1/peer/plan", "peer"),
+		mk("/healthz", "infra"),
+		mk("/metrics", "infra"),
+	}
+}
+
+// appendHistograms emits the nrserved_request_duration_seconds family in
+// deterministic order (route slice order, ascending buckets).
+func appendHistograms(b []byte, routes []*routeHistogram) []byte {
+	const name = "nrserved_request_duration_seconds"
+	b = append(b, fmt.Sprintf("# HELP %s HTTP request duration by route and admission class.\n# TYPE %s histogram\n", name, name)...)
+	for _, rh := range routes {
+		cum := uint64(0)
+		for i, bound := range durationBounds {
+			cum += rh.hist.buckets[i].Load()
+			b = append(b, fmt.Sprintf("%s_bucket{route=%q,class=%q,le=%q} %d\n",
+				name, rh.route, rh.class, strconv.FormatFloat(bound, 'g', -1, 64), cum)...)
+		}
+		count := rh.hist.count.Load()
+		b = append(b, fmt.Sprintf("%s_bucket{route=%q,class=%q,le=\"+Inf\"} %d\n", name, rh.route, rh.class, count)...)
+		b = append(b, fmt.Sprintf("%s_sum{route=%q,class=%q} %g\n", name, rh.route, rh.class,
+			time.Duration(rh.hist.sumNS.Load()).Seconds())...)
+		b = append(b, fmt.Sprintf("%s_count{route=%q,class=%q} %d\n", name, rh.route, rh.class, count)...)
+	}
+	return b
+}

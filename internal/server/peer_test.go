@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"netrecovery/internal/heuristics"
+	"netrecovery/internal/plancache"
+	"netrecovery/internal/wire"
+)
+
+// peerURL builds the /v1/peer/plan URL for the test scenario under the
+// given algorithm and options digest.
+func peerURL(t *testing.T, base, alg string, params heuristics.Params) string {
+	t.Helper()
+	s, err := testScenarioJSON().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := plancache.ParamsDigest(params)
+	return fmt.Sprintf("%s/v1/peer/plan/%s?algorithm=%s&options=%s",
+		base, s.FingerprintHex(), alg, hex.EncodeToString(digest[:]))
+}
+
+// TestPeerPlanEndpoint: after a local solve, the peer-fill endpoint serves
+// the cached plan — and the transferred plan renders byte-identically to
+// the locally served one (the fidelity contract peer-fill relies on).
+func TestPeerPlanEndpoint(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, local := postPlan(t, ts, planRequestBody(t, "ISP", wire.SolveOptions{Fast: true}))
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/plan: %d", code)
+	}
+
+	resp, err := http.Get(peerURL(t, ts.URL, "ISP", heuristics.Params{Fast: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/peer/plan: %d", resp.StatusCode)
+	}
+	var pr wire.PeerPlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Found || pr.Plan == nil {
+		t.Fatalf("peer response = %+v, want found", pr)
+	}
+	rebuilt, err := pr.Plan.Build()
+	if err != nil {
+		t.Fatalf("Build transferred plan: %v", err)
+	}
+	s, err := testScenarioJSON().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(wire.FromPlan(s, rebuilt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localCompact bytes.Buffer
+	if err := json.Compact(&localCompact, local.Plan); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != localCompact.String() {
+		t.Fatalf("transferred plan renders differently:\n local %s\n  peer %s", localCompact.String(), got)
+	}
+}
+
+// TestPeerPlanMissAndErrors: unknown keys answer 200/found=false (a miss is
+// not an error), malformed requests answer 400, and peer lookups never
+// count as local cache hits.
+func TestPeerPlanMissAndErrors(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Miss: nothing cached yet.
+	resp, err := http.Get(peerURL(t, ts.URL, "ISP", heuristics.Params{Fast: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr wire.PeerPlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Found {
+		t.Fatalf("miss: code=%d found=%v, want 200/false", resp.StatusCode, pr.Found)
+	}
+
+	// Different options digest than the cached entry is a miss, not a hit.
+	if code, _ := postPlan(t, ts, planRequestBody(t, "ISP", wire.SolveOptions{Fast: true})); code != http.StatusOK {
+		t.Fatalf("POST /v1/plan: %d", code)
+	}
+	resp, err = http.Get(peerURL(t, ts.URL, "ISP", heuristics.Params{Fast: false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.Found {
+		t.Fatal("peer lookup ignored the options digest")
+	}
+
+	// Malformed fingerprint / missing parameters.
+	for _, u := range []string{
+		ts.URL + "/v1/peer/plan/zzzz?algorithm=ISP&options=" + strings.Repeat("0", 64),
+		ts.URL + "/v1/peer/plan/" + strings.Repeat("0", 64) + "?options=" + strings.Repeat("0", 64),
+		ts.URL + "/v1/peer/plan/" + strings.Repeat("0", 64) + "?algorithm=ISP&options=xx",
+	} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: %d, want 400", u, resp.StatusCode)
+		}
+	}
+
+	// Peek must not have inflated the local hit ratio: a real client hit
+	// is still reported as the cache's first.
+	metrics := scrapeMetrics(t, ts)
+	if !strings.Contains(metrics, "nrserved_cache_hits_total 0") {
+		t.Fatalf("peer lookups counted as cache hits:\n%s", grepMetrics(metrics, "nrserved_cache_"))
+	}
+	// 5 = 2 well-formed lookups + 3 malformed (the counter tracks endpoint
+	// traffic, not validity).
+	if !strings.Contains(metrics, "nrserved_peer_lookups_total 5") {
+		t.Fatalf("peer lookup counter wrong:\n%s", grepMetrics(metrics, "nrserved_peer_"))
+	}
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func grepMetrics(metrics, prefix string) string {
+	var out []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestRequestDurationHistogram pins the metric NAME and label shape of the
+// per-route duration histogram — dashboards and the CI load-smoke job key
+// on these exact strings.
+func TestRequestDurationHistogram(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := postPlan(t, ts, planRequestBody(t, "ISP", wire.SolveOptions{Fast: true})); code != http.StatusOK {
+		t.Fatal("plan request failed")
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	metrics := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		"# TYPE nrserved_request_duration_seconds histogram",
+		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="0.001"} `,
+		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="10"} 1`,
+		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="+Inf"} 1`,
+		`nrserved_request_duration_seconds_count{route="/v1/plan",class="plan"} 1`,
+		`nrserved_request_duration_seconds_sum{route="/v1/plan",class="plan"} `,
+		`nrserved_request_duration_seconds_count{route="/healthz",class="infra"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Every instrumented route emits a _count series, in fixed order.
+	routes := []string{
+		"/v1/plan", "/v1/plan/stream", "/v1/sweep", "/v1/ensemble",
+		"/v1/ensemble/stream", "/v1/session", "/v1/peer/plan", "/healthz", "/metrics",
+	}
+	last := -1
+	for _, route := range routes {
+		needle := fmt.Sprintf("nrserved_request_duration_seconds_count{route=%q,", route)
+		idx := strings.Index(metrics, needle)
+		if idx < 0 {
+			t.Errorf("metrics missing series for route %s", route)
+			continue
+		}
+		if idx < last {
+			t.Errorf("route %s emitted out of order", route)
+		}
+		last = idx
+	}
+	if t.Failed() {
+		t.Logf("histogram exposition:\n%s", grepMetrics(metrics, "nrserved_request_duration_seconds"))
+	}
+}

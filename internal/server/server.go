@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netrecovery/internal/cluster"
 	"netrecovery/internal/degrade"
 	"netrecovery/internal/faultinject"
 	"netrecovery/internal/heuristics"
@@ -99,6 +100,13 @@ type Config struct {
 	// Breaker tunes the per-algorithm circuit breakers (zero values pick
 	// the degrade.BreakerConfig defaults).
 	Breaker degrade.BreakerConfig
+	// Cluster, when non-nil, puts the server in multi-node mode: each
+	// scenario fingerprint has one owning peer on the cluster's
+	// consistent-hash ring, a local cache miss on a non-owner first
+	// attempts a bounded peer-fill from the owner (GET /v1/peer/plan/{fp})
+	// before solving locally, and the server answers its own peers' fill
+	// lookups. The caller owns the cluster's lifecycle (Start/Close).
+	Cluster *cluster.Cluster
 	// Retry tunes the transient-failure solve retry (zero MaxAttempts
 	// means 3 attempts with the default jittered backoff).
 	Retry degrade.RetryPolicy
@@ -133,7 +141,14 @@ type Server struct {
 	breakerMu sync.Mutex
 	breakers  map[string]*degrade.Breaker
 
+	// routeHists are the per-route request-duration histograms behind
+	// nrserved_request_duration_seconds.
+	routeHists []*routeHistogram
+
 	solves            atomic.Uint64
+	peerLookups       atomic.Uint64
+	peerServed        atomic.Uint64
+	peerFilledPlans   atomic.Uint64
 	requests          atomic.Uint64
 	errorsTot         atomic.Uint64
 	inFlight          atomic.Int64
@@ -180,6 +195,7 @@ func New(cfg Config) *Server {
 		maxQueue: maxQueue,
 		breakers: make(map[string]*degrade.Breaker),
 	}
+	srv.routeHists = newRouteHistograms()
 	srv.start = now()
 	return srv
 }
@@ -193,21 +209,36 @@ func (srv *Server) Cache() *plancache.Cache { return srv.cache }
 // assert the exactly-one-solve guarantees.
 func (srv *Server) SolveCount() uint64 { return srv.solves.Load() }
 
-// Handler returns the server's routing handler.
+// Handler returns the server's routing handler. Every route is wrapped in
+// its request-duration histogram (see routeHistogram); the session
+// sub-routes share the /v1/session histogram.
 func (srv *Server) Handler() http.Handler {
+	obs := make(map[string]func(http.HandlerFunc) http.HandlerFunc, len(srv.routeHists))
+	for _, rh := range srv.routeHists {
+		hist := rh.hist
+		obs[rh.route] = func(fn http.HandlerFunc) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				start := time.Now()
+				fn(w, r)
+				hist.Observe(time.Since(start))
+			}
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/plan", srv.handlePlan)
-	mux.HandleFunc("/v1/plan/stream", srv.handlePlanStream)
-	mux.HandleFunc("/v1/sweep", srv.handleSweep)
-	mux.HandleFunc("/v1/ensemble", srv.handleEnsemble)
-	mux.HandleFunc("/v1/ensemble/stream", srv.handleEnsembleStream)
-	mux.HandleFunc("POST /v1/session", srv.handleSessionCreate)
-	mux.HandleFunc("GET /v1/session/{id}", srv.handleSessionGet)
-	mux.HandleFunc("DELETE /v1/session/{id}", srv.handleSessionDelete)
-	mux.HandleFunc("POST /v1/session/{id}/delta", srv.handleSessionDelta)
-	mux.HandleFunc("GET /v1/session/{id}/stream", srv.handleSessionStream)
-	mux.HandleFunc("/healthz", srv.handleHealthz)
-	mux.HandleFunc("/metrics", srv.handleMetrics)
+	mux.HandleFunc("/v1/plan", obs["/v1/plan"](srv.handlePlan))
+	mux.HandleFunc("/v1/plan/stream", obs["/v1/plan/stream"](srv.handlePlanStream))
+	mux.HandleFunc("/v1/sweep", obs["/v1/sweep"](srv.handleSweep))
+	mux.HandleFunc("/v1/ensemble", obs["/v1/ensemble"](srv.handleEnsemble))
+	mux.HandleFunc("/v1/ensemble/stream", obs["/v1/ensemble/stream"](srv.handleEnsembleStream))
+	sess := obs["/v1/session"]
+	mux.HandleFunc("POST /v1/session", sess(srv.handleSessionCreate))
+	mux.HandleFunc("GET /v1/session/{id}", sess(srv.handleSessionGet))
+	mux.HandleFunc("DELETE /v1/session/{id}", sess(srv.handleSessionDelete))
+	mux.HandleFunc("POST /v1/session/{id}/delta", sess(srv.handleSessionDelta))
+	mux.HandleFunc("GET /v1/session/{id}/stream", sess(srv.handleSessionStream))
+	mux.HandleFunc("GET /v1/peer/plan/{fp}", obs["/v1/peer/plan"](srv.handlePeerPlan))
+	mux.HandleFunc("/healthz", obs["/healthz"](srv.handleHealthz))
+	mux.HandleFunc("/metrics", obs["/metrics"](srv.handleMetrics))
 	return mux
 }
 
@@ -225,7 +256,7 @@ func (srv *Server) requestContext(r *http.Request) (context.Context, context.Can
 type solveOutcome struct {
 	scenario    *scenario.Scenario
 	plan        *scenario.Plan
-	status      string // miss | hit | coalesced | bypass | stale
+	status      string // miss | hit | coalesced | bypass | stale | peer
 	age         time.Duration
 	fp          string
 	degradation *wire.Degradation
@@ -298,7 +329,27 @@ func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progr
 		Algorithm:   alg,
 		Options:     plancache.ParamsDigest(params),
 	}
-	plan, outcome, age, err := srv.cache.Do(ctx, key, solve)
+	// In multi-node mode a local miss on a non-owner first asks the
+	// fingerprint's owning peer for its cached plan — a plan computed
+	// anywhere in the fleet becomes a hit everywhere. The fill runs inside
+	// the cache's coalescing leader (so concurrent identical requests
+	// trigger at most one fill) and its result is stored like a local
+	// solve; any fill failure — ejected owner, open breaker, full mailbox,
+	// timeout, or the owner just not having it — falls back to the local
+	// solve. NoCache requests never peer-fill: bypass means "solve here".
+	peerFilled := false
+	cachedSolve := solve
+	if srv.cfg.Cluster != nil {
+		cachedSolve = func(ctx context.Context) (*scenario.Plan, error) {
+			if plan, _, ok := srv.cfg.Cluster.Fill(ctx, key); ok {
+				peerFilled = true
+				srv.peerFilledPlans.Add(1)
+				return plan, nil
+			}
+			return solve(ctx)
+		}
+	}
+	plan, outcome, age, err := srv.cache.Do(ctx, key, cachedSolve)
 	var unavailable *plancache.UnavailableError
 	if errors.As(err, &unavailable) {
 		// The cache shard itself failed; the solver is fine — bypass.
@@ -313,6 +364,11 @@ func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progr
 		return nil, herr
 	}
 	out.plan, out.status, out.age = plan, outcome.String(), age
+	if peerFilled && outcome == plancache.Miss {
+		// This request led the solve but answered from a peer's cache;
+		// surface that in the response's cache metadata.
+		out.status = "peer"
+	}
 	return out, nil
 }
 
@@ -628,6 +684,23 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("nrserved_cache_unavailable_total", "Cache lookups failed by an (injected) shard fault.", "counter", float64(st.Unavailable))
 	add("nrserved_admission_queued", "Solves waiting for an admission slot.", "gauge", float64(srv.queued.Load()))
 	add("nrserved_admission_queue_capacity", "Admission queue bound (sheds beyond it).", "gauge", float64(srv.maxQueue))
+	add("nrserved_peer_lookups_total", "Peer-fill lookups served on /v1/peer/plan.", "counter", float64(srv.peerLookups.Load()))
+	add("nrserved_peer_served_total", "Peer-fill lookups answered with a cached plan.", "counter", float64(srv.peerServed.Load()))
+	add("nrserved_peer_filled_plans_total", "Plan requests this node answered by fetching the owner peer's cached plan.", "counter", float64(srv.peerFilledPlans.Load()))
+	if cl := srv.cfg.Cluster; cl != nil {
+		cs := cl.Stats()
+		add("nrserved_cluster_peers", "Static cluster membership size (including self).", "gauge", float64(cs.Peers))
+		add("nrserved_cluster_peers_alive", "Peers currently in the ring (including self).", "gauge", float64(cs.Alive))
+		add("nrserved_peer_fills_total", "Peer-fill attempts dispatched to owners.", "counter", float64(cs.Fills))
+		add("nrserved_peer_fill_hits_total", "Peer-fills answered from the owner's cache.", "counter", float64(cs.Hits))
+		add("nrserved_peer_fill_misses_total", "Peer-fills the owner had nothing cached for.", "counter", float64(cs.Misses))
+		add("nrserved_peer_fill_errors_total", "Peer-fills failed by transport or decode errors.", "counter", float64(cs.Errors))
+		add("nrserved_peer_fill_timeouts_total", "Peer-fills that hit their jittered deadline.", "counter", float64(cs.Timeouts))
+		add("nrserved_peer_fill_dropped_total", "Peer-fills shed because the owner's bounded mailbox was full.", "counter", float64(cs.Dropped))
+		add("nrserved_peer_fill_breaker_skipped_total", "Peer-fills refused by the owner's open circuit breaker.", "counter", float64(cs.BreakerSkipped))
+		add("nrserved_peer_ejections_total", "Peers ejected from the ring by failed health probes.", "counter", float64(cs.Ejections))
+		add("nrserved_peer_readmissions_total", "Ejected peers readmitted after a successful probe.", "counter", float64(cs.Readmissions))
+	}
 
 	// Labeled families are emitted by hand in a fixed order so the
 	// exposition stays byte-deterministic for a given state.
@@ -666,6 +739,7 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("nrserved_faultinject_delays_total", "Injected delays.", "counter", float64(fi.Delays))
 	add("nrserved_faultinject_errors_total", "Injected errors.", "counter", float64(fi.Errors))
 	add("nrserved_faultinject_panics_total", "Injected panics.", "counter", float64(fi.Panics))
+	b = appendHistograms(b, srv.routeHists)
 	add("nrserved_uptime_seconds", "Seconds since the server started.", "gauge", srv.now().Sub(srv.start).Seconds())
 	w.Write(b)
 }

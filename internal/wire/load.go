@@ -1,0 +1,68 @@
+package wire
+
+// LoadLatency is a latency distribution summary in milliseconds. P999 is
+// the 99.9th percentile — the SLO tail the nrload harness gates on.
+type LoadLatency struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// LoadCache aggregates the cache dispositions reported by the servers'
+// plan responses (the cache.status field): how the fleet actually answered.
+type LoadCache struct {
+	// Hits/Misses/Coalesced are the single-node dispositions; PeerFilled
+	// counts plans fetched from their owning peer's cache — the multi-node
+	// "computed anywhere, hit everywhere" path.
+	Hits       int `json:"hits"`
+	Misses     int `json:"misses"`
+	Coalesced  int `json:"coalesced"`
+	PeerFilled int `json:"peer_filled"`
+	Bypass     int `json:"bypass"`
+	Stale      int `json:"stale"`
+	// HitRatio is (Hits+Coalesced+PeerFilled)/plans — requests answered
+	// without a local cold solve. PeerFillRatio is PeerFilled/plans.
+	HitRatio      float64 `json:"hit_ratio"`
+	PeerFillRatio float64 `json:"peer_fill_ratio"`
+}
+
+// LoadOps counts completed requests by kind.
+type LoadOps struct {
+	Plans     int `json:"plans"`
+	Sessions  int `json:"sessions"`
+	Ensembles int `json:"ensembles"`
+}
+
+// LoadReport is the wire form of one nrload run: the SLO-relevant facts of
+// replaying Zipf-distributed scenario traffic against one or N nodes. It is
+// the artifact the load-smoke CI job uploads and the source of the serve_*
+// rows merged into the benchmark trajectory.
+type LoadReport struct {
+	// Targets are the node base URLs the run addressed.
+	Targets []string `json:"targets"`
+	// Mode is "closed" (fixed concurrency) or "open" (fixed arrival rate).
+	Mode string `json:"mode"`
+	// DurationMS is the measured wall time of the run.
+	DurationMS float64 `json:"duration_ms"`
+	// Requests counts completed requests; Errors those answered with a
+	// non-2xx status or a transport failure; Dropped open-loop arrivals
+	// shed because the bounded dispatch queue was full.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Dropped  int `json:"dropped"`
+	// OK2xx/Err4xx/Err5xx split completed requests by status class.
+	OK2xx  int `json:"ok_2xx"`
+	Err4xx int `json:"err_4xx"`
+	Err5xx int `json:"err_5xx"`
+	// ThroughputRPS is completed requests per second of wall time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency summarises completed-request latency (open-loop latencies
+	// include bounded queue wait, i.e. coordinated omission is avoided up
+	// to the queue bound).
+	Latency LoadLatency `json:"latency"`
+	Ops     LoadOps     `json:"ops"`
+	Cache   LoadCache   `json:"cache"`
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"netrecovery/internal/graph"
+	"netrecovery/internal/scenario"
+)
+
+// peerTestScenario is a 3-node path with the middle node and both links
+// broken.
+func peerTestScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	ws := Scenario{
+		Nodes: []Node{
+			{Name: "a", RepairCost: 1},
+			{Name: "b", X: 1, RepairCost: 2},
+			{Name: "c", X: 2, RepairCost: 3},
+		},
+		Links: []Link{
+			{From: 0, To: 1, Capacity: 10, RepairCost: 4},
+			{From: 1, To: 2, Capacity: 10, RepairCost: 5},
+		},
+		Demands:     []Demand{{Source: 0, Target: 2, Flow: 5}},
+		BrokenNodes: []int{1},
+		BrokenLinks: []int{0, 1},
+	}
+	s, err := ws.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// TestCachedPlanRoundTrip pins the peer-fill fidelity guarantee: a plan
+// that travelled through CachedPlan JSON renders (FromPlan) byte-identically
+// to the original — the receiving node's cache entry is indistinguishable
+// from a local solve.
+func TestCachedPlanRoundTrip(t *testing.T) {
+	s := peerTestScenario(t)
+	p := &scenario.Plan{
+		Solver:          "OPT",
+		RepairedNodes:   map[graph.NodeID]bool{1: true},
+		RepairedEdges:   map[graph.EdgeID]bool{0: true, 1: true},
+		SatisfiedDemand: 5.0000000000000004, // a value JSON text could mangle
+		TotalDemand:     5,
+		Optimal:         true,
+		Bound:           11.000000000000002,
+		Runtime:         1234567 * time.Nanosecond,
+		Notes:           "closed gap",
+	}
+
+	raw, err := json.Marshal(FromCachedPlan(p))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var cp CachedPlan
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	back, err := cp.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	want, err := json.Marshal(FromPlan(s, p))
+	if err != nil {
+		t.Fatalf("marshal original: %v", err)
+	}
+	got, err := json.Marshal(FromPlan(s, back))
+	if err != nil {
+		t.Fatalf("marshal rebuilt: %v", err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("rebuilt plan renders differently:\n want %s\n  got %s", want, got)
+	}
+	if back.Runtime != p.Runtime {
+		t.Errorf("Runtime = %v, want %v", back.Runtime, p.Runtime)
+	}
+}
+
+// TestCachedPlanInfBound pins that the solvers' ±Inf bound sentinel — which
+// a JSON number cannot carry — survives the bit-pattern encoding.
+func TestCachedPlanInfBound(t *testing.T) {
+	p := scenario.NewPlan("ISP")
+	p.Bound = math.Inf(1)
+	raw, err := json.Marshal(FromCachedPlan(p))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var cp CachedPlan
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	back, err := cp.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !math.IsInf(back.Bound, 1) {
+		t.Fatalf("Bound = %v, want +Inf", back.Bound)
+	}
+}
+
+// TestCachedPlanBadBits rejects malformed bit patterns instead of silently
+// zeroing them.
+func TestCachedPlanBadBits(t *testing.T) {
+	cp := CachedPlan{SatisfiedDemandBits: "zz", TotalDemandBits: floatBits(0), BoundBits: floatBits(0)}
+	if _, err := cp.Build(); err == nil {
+		t.Fatal("Build accepted malformed float bits")
+	}
+}
