@@ -26,8 +26,8 @@ const (
 // path); a multi-node fleet instead gets an unmeasured warm-up run, so the
 // measured window covers the real steady state of a cluster: mostly local
 // hits with a peer-filled and coalesced tail.
-func serveLatencies(ctx context.Context, nodes int) (p50, p99 float64, reqs int, err error) {
-	lc, err := loadgen.StartLocal(nodes, server.Config{}, cluster.Config{})
+func serveLatencies(ctx context.Context, nodes int, opts ...loadgen.LocalOption) (p50, p99 float64, reqs int, err error) {
+	lc, err := loadgen.StartLocal(nodes, server.Config{}, cluster.Config{}, opts...)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -97,5 +97,49 @@ func runServeRows(ctx context.Context) ([]benchRecord, error) {
 			benchRecord{Name: "serve_plan_p99_" + cfg.suffix, Reps: reqs, NsPerOp: p99},
 		)
 	}
-	return rows, nil
+	traced, err := runTracedRows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, traced...), nil
+}
+
+// runTracedRows pins the tracing layer's overhead on the 1-node warmed
+// plan path:
+//
+//   - plan_traced_overhead is the p50 with tracing DISABLED — the cost of
+//     the dormant span sites (one atomic load each) riding in every build.
+//     It is gated against the serve_plan_p50_1node baseline of the PR that
+//     predates tracing, so a hot-path regression from instrumentation
+//     alone fails the bench gate.
+//   - plan_traced_p50_1node is the p50 with tracing ENABLED (informational:
+//     no baseline, so -compare reports it as new). The EXPERIMENTS
+//     traced-vs-untraced table reads these two rows.
+//
+// Both are measured twice keeping the faster sample, like the serve rows.
+func runTracedRows(ctx context.Context) ([]benchRecord, error) {
+	measure := func(opts ...loadgen.LocalOption) (float64, int, error) {
+		p50, _, reqs, err := serveLatencies(ctx, 1, opts...)
+		if err != nil {
+			return 0, 0, err
+		}
+		if p50b, _, _, err := serveLatencies(ctx, 1, opts...); err != nil {
+			return 0, 0, err
+		} else if p50b < p50 {
+			p50 = p50b
+		}
+		return p50, reqs, nil
+	}
+	disabled, reqs, err := measure()
+	if err != nil {
+		return nil, fmt.Errorf("traced-overhead rows (tracing off): %w", err)
+	}
+	enabled, treqs, err := measure(loadgen.WithTracing(1))
+	if err != nil {
+		return nil, fmt.Errorf("traced-overhead rows (tracing on): %w", err)
+	}
+	return []benchRecord{
+		{Name: "plan_traced_overhead", Reps: reqs, NsPerOp: disabled},
+		{Name: "plan_traced_p50_1node", Reps: treqs, NsPerOp: enabled},
+	}, nil
 }

@@ -76,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		stages     = fs.Float64("stage-budget", 0, "if positive, also print a progressive repair schedule with this per-stage budget")
 		graphml    = fs.Bool("graphml", false, "parse -topology as an Internet Topology Zoo GraphML file")
 		jsonOut    = fs.Bool("json", false, "emit the plan as JSON in the exact schema the nrserved HTTP daemon returns (includes the stages when -stage-budget is set)")
+		solveStats = fs.Bool("solver-stats", false, "print solver depth statistics (simplex iterations, refactorisations, warm starts; branch-and-bound nodes, steals, incumbent timeline) as JSON on stderr")
 		deadline   = fs.Duration("deadline", 0, "overall wall-clock budget for the solve: when the selected solver cannot answer inside it (or fails), degrade to fast ISP instead of erroring; with -json the output is wrapped as {plan, degradation} like a degraded daemon response (0 = off)")
 
 		ensembleN       = fs.Int("ensemble", 0, "draw this many disruption samples and print a robust-plan ensemble report instead of a single plan (0 = off)")
@@ -193,7 +194,17 @@ func run(args []string, stdout io.Writer) error {
 		return table.Render(stdout)
 	}
 
-	solver, err := buildSolver(*solverName, *fast, *optTime, *optWorkers)
+	var onStats heuristics.StatsFunc
+	if *solveStats {
+		onStats = func(_ context.Context, st heuristics.SolveStats) {
+			raw, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "nrecover solver stats: %s\n", raw)
+		}
+	}
+	solver, err := buildSolver(*solverName, *fast, *optTime, *optWorkers, onStats)
 	if err != nil {
 		return err
 	}
@@ -202,7 +213,7 @@ func run(args []string, stdout io.Writer) error {
 		deg  *degrade.Result
 	)
 	if *deadline > 0 {
-		deg, err = solveWithDeadline(context.Background(), s, solver, *solverName, *fast, *optWorkers, *deadline)
+		deg, err = solveWithDeadline(context.Background(), s, solver, *solverName, *fast, *optWorkers, onStats, *deadline)
 		if deg != nil {
 			plan = deg.Plan
 		}
@@ -234,7 +245,7 @@ func run(args []string, stdout io.Writer) error {
 // solveWithDeadline runs the CLI solve through the deadline-budgeted
 // fallback chain: the selected solver under the bulk of the budget, then
 // fast ISP. The CLI has no plan cache, so there is no stale stage.
-func solveWithDeadline(ctx context.Context, s *scenario.Scenario, solver heuristics.Solver, name string, fast bool, optWorkers int, deadline time.Duration) (*degrade.Result, error) {
+func solveWithDeadline(ctx context.Context, s *scenario.Scenario, solver heuristics.Solver, name string, fast bool, optWorkers int, onStats heuristics.StatsFunc, deadline time.Duration) (*degrade.Result, error) {
 	stages := []degrade.Stage{{
 		Name:  "primary",
 		Level: degrade.LevelNone,
@@ -242,7 +253,7 @@ func solveWithDeadline(ctx context.Context, s *scenario.Scenario, solver heurist
 	}}
 	if !(name == "ISP" && fast) {
 		stages[0].Fraction = 0.6
-		fallback, err := heuristics.New("ISP", heuristics.Params{Fast: true, OPTWorkers: optWorkers})
+		fallback, err := heuristics.New("ISP", heuristics.Params{Fast: true, OPTWorkers: optWorkers, OnStats: onStats})
 		if err != nil {
 			return nil, err
 		}
@@ -396,8 +407,8 @@ func printSolvers(w io.Writer) {
 // buildSolver resolves the solver through the registry; the CLI knobs ride
 // along as registry params, so custom solvers are constructed exactly like
 // the built-ins.
-func buildSolver(name string, fast bool, optTime time.Duration, optWorkers int) (heuristics.Solver, error) {
-	return heuristics.New(name, heuristics.Params{Fast: fast, OPTTimeLimit: optTime, OPTWorkers: optWorkers})
+func buildSolver(name string, fast bool, optTime time.Duration, optWorkers int, onStats heuristics.StatsFunc) (heuristics.Solver, error) {
+	return heuristics.New(name, heuristics.Params{Fast: fast, OPTTimeLimit: optTime, OPTWorkers: optWorkers, OnStats: onStats})
 }
 
 func printPlan(w io.Writer, s *scenario.Scenario, plan *scenario.Plan) {

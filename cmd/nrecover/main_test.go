@@ -136,13 +136,13 @@ func TestRunListSolvers(t *testing.T) {
 }
 
 func TestBuildSolverVariants(t *testing.T) {
-	if s, err := buildSolver("ISP", true, 0, 0); err != nil || s.Name() != "ISP" {
+	if s, err := buildSolver("ISP", true, 0, 0, nil); err != nil || s.Name() != "ISP" {
 		t.Errorf("buildSolver ISP fast: %v, %v", s, err)
 	}
-	if s, err := buildSolver("OPT", false, 0, 2); err != nil || s.Name() != "OPT" {
+	if s, err := buildSolver("OPT", false, 0, 2, nil); err != nil || s.Name() != "OPT" {
 		t.Errorf("buildSolver OPT: %v, %v", s, err)
 	}
-	if _, err := buildSolver("junk", false, 0, 0); err == nil {
+	if _, err := buildSolver("junk", false, 0, 0, nil); err == nil {
 		t.Error("expected error for unknown solver")
 	}
 }

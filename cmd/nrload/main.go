@@ -90,6 +90,7 @@ func run(args []string, stdout io.Writer) error {
 		flow        = fs.Float64("flow", loadgen.DefaultFlow, "flow per demand pair")
 		reqTimeout  = fs.Duration("request-timeout", 10*time.Second, "per-request budget")
 		prewarm     = fs.Bool("prewarm", false, "issue every scenario once against every target before measuring")
+		timing      = fs.Bool("timing", false, "request per-response traced timing breakdowns and report queue/solve/peer-fill percentiles (needs tracing enabled on the fleet)")
 		out         = fs.String("out", "", "write the JSON report to this file (default stdout)")
 
 		assertP99      = fs.Float64("assert-p99-ms", 0, "fail unless p99 latency is at or below this many milliseconds (0 = no assertion)")
@@ -134,6 +135,7 @@ func run(args []string, stdout io.Writer) error {
 		Flow:           *flow,
 		RequestTimeout: *reqTimeout,
 		PrewarmAll:     *prewarm,
+		Timing:         *timing,
 	})
 	if err != nil {
 		return err
@@ -151,6 +153,10 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "nrload: report written to %s\n", *out)
 	} else {
 		stdout.Write(raw)
+	}
+	if t := rep.Timing; t != nil {
+		fmt.Fprintf(stdout, "nrload timing (%d samples): queue p50 %.3fms p99 %.3fms; solve p50 %.3fms p99 %.3fms; peer-fill p50 %.3fms p99 %.3fms\n",
+			t.Samples, t.QueueP50MS, t.QueueP99MS, t.SolveP50MS, t.SolveP99MS, t.PeerFillP50MS, t.PeerFillP99MS)
 	}
 
 	var failures []string

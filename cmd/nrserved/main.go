@@ -43,14 +43,17 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"netrecovery/internal/cluster"
 	"netrecovery/internal/faultinject"
+	"netrecovery/internal/obs"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/server"
 )
@@ -83,6 +86,14 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		maxQueue     = fs.Int("max-queue", 0, "admission queue bound across all priority classes (0 = 8x max-inflight); excess requests are shed with 429 + Retry-After")
 		faultProfile = fs.String("fault-profile", "", "arm the deterministic fault-injection harness from this JSON profile file (chaos testing; see internal/faultinject)")
 
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		trace       = fs.Bool("trace", true, "trace API requests into the in-memory ring exposed at /debug/traces (disabled tracing costs one atomic load per request)")
+		traceSeed   = fs.Uint64("trace-seed", 0, "seed of the deterministic trace/span ID stream (0 = derived from the listen address)")
+		traceCap    = fs.Int("trace-capacity", 0, "bounded trace ring size (0 = 256); the oldest trace is evicted beyond that")
+		debugAddr   = fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/traces (empty = no debug listener; traces also ride the main listener)")
+		profileRate = fs.Int("debug-profile-rate", 0, "runtime block-profile rate and mutex-profile fraction for the pprof endpoints (0 = off)")
+
 		selfURL       = fs.String("self", "", "this node's advertised base URL in cluster mode, e.g. http://10.0.0.1:8080 (must appear in -peers)")
 		peers         = fs.String("peers", "", "comma-separated base URLs of every cluster node including self; empty = single-node mode")
 		peerTimeout   = fs.Duration("peer-timeout", cluster.DefaultFillTimeout, "per-peer-fill budget before falling back to a local solve")
@@ -94,13 +105,34 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
+	}
+	logger := obs.NewLogger(obs.LoggerConfig{
+		W:      stdout,
+		Format: *logFormat,
+		Level:  obs.ParseLevel(*logLevel),
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *faultProfile != "" {
 		profile, err := faultinject.LoadProfile(*faultProfile)
 		if err != nil {
 			return fmt.Errorf("fault profile: %w", err)
 		}
 		faultinject.Arm(profile)
-		fmt.Fprintf(stdout, "nrserved: fault injection armed from %s\n", *faultProfile)
+		logger.Warn(ctx, fmt.Sprintf("nrserved: fault injection armed from %s", *faultProfile))
+	}
+
+	var tracer *obs.Tracer
+	if *trace {
+		seed := *traceSeed
+		if seed == 0 {
+			seed = hashString(*addr)
+		}
+		tracer = obs.NewTracer(obs.Config{Seed: seed, Capacity: *traceCap})
+		tracer.Enable()
 	}
 
 	var clu *cluster.Cluster
@@ -119,13 +151,14 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 			WorkersPerPeer: *peerInflight,
 			ProbeInterval:  *probeInterval,
 			ProbeFailures:  *probeFailures,
+			Logger:         logger,
 		})
 		if err != nil {
 			return err
 		}
 		clu.Start()
 		defer clu.Close()
-		fmt.Fprintf(stdout, "nrserved cluster mode: %d peers, self %s\n", clu.Size(), self)
+		logger.Info(ctx, fmt.Sprintf("nrserved cluster mode: %d peers, self %s", clu.Size(), self))
 	}
 
 	srv := server.New(server.Config{
@@ -142,6 +175,8 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		SolverWorkers:   *solverW,
 		SessionTTL:      *sessionTTL,
 		MaxSessions:     *maxSessions,
+		Tracer:          tracer,
+		Logger:          logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -153,13 +188,34 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		// Solves stream or run long; only bound the header read here, the
 		// per-request budget is enforced inside the handler.
 		ReadHeaderTimeout: 10 * time.Second,
-		ErrorLog:          log.New(io.Discard, "", 0),
+		// Accept errors, TLS handshake failures and handler panics land in
+		// the structured log, rate-limited per second so a port scan or a
+		// misbehaving client cannot flood it.
+		ErrorLog: log.New(logger.LineWriter(obs.LevelWarn, "http-server"), "", 0),
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer debugLn.Close()
+		if *profileRate > 0 {
+			runtime.SetBlockProfileRate(*profileRate)
+			runtime.SetMutexProfileFraction(*profileRate)
+		}
+		debugSrv := &http.Server{
+			Handler:           debugMux(tracer),
+			ReadHeaderTimeout: 10 * time.Second,
+			ErrorLog:          log.New(logger.LineWriter(obs.LevelWarn, "debug-server"), "", 0),
+		}
+		go debugSrv.Serve(debugLn)
+		defer debugSrv.Close()
+		logger.Info(ctx, fmt.Sprintf("nrserved debug listener on %s (pprof, traces)", debugLn.Addr()))
+	}
 
-	fmt.Fprintf(stdout, "nrserved listening on %s\n", ln.Addr())
+	logger.Info(ctx, fmt.Sprintf("nrserved listening on %s", ln.Addr()),
+		"tracing", tracer.Enabled(), "log_format", *logFormat)
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -176,14 +232,54 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(stdout, "nrserved shutting down")
+	logger.Info(ctx, "nrserved shutting down", "drain_budget", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		// The drain budget expired with requests still in flight; close
 		// them hard.
 		httpSrv.Close()
+		logger.Error(ctx, "nrserved drain budget expired, closing in-flight requests", "err", err.Error())
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	logger.Info(ctx, "nrserved drained cleanly")
 	return nil
+}
+
+// debugMux serves the opt-in debug listener: pprof (with the block/mutex
+// rates set by -debug-profile-rate) plus the trace ring.
+func debugMux(tracer *obs.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tracer != nil {
+		th := tracer.Handler("/debug/traces")
+		mux.Handle("GET /debug/traces", th)
+		mux.Handle("GET /debug/traces/{rest...}", th)
+	}
+	return mux
+}
+
+// hashString derives a deterministic tracer seed from the listen address
+// (splitmix64 over the bytes), so multi-node fleets started without
+// -trace-seed still get distinct ID streams.
+func hashString(s string) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < len(s); i++ {
+		h = splitmix64(h ^ uint64(s[i]))
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

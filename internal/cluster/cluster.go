@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"netrecovery/internal/degrade"
+	"netrecovery/internal/obs"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/wire"
@@ -83,6 +84,9 @@ type Config struct {
 	Client *http.Client
 	// Seed roots the deterministic jitter stream.
 	Seed uint64
+	// Logger, when non-nil, receives ring-membership lifecycle events
+	// (peer ejection after consecutive probe failures, readmission).
+	Logger *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -305,8 +309,15 @@ func (c *Cluster) Fill(ctx context.Context, key plancache.Key) (plan *scenario.P
 	if p == nil {
 		return nil, 0, false
 	}
+	// The fill span's ctx rides inside fillReq, so the worker's HTTP round
+	// trip can stamp its traceparent on the request — the owner adopts the
+	// trace ID and the two nodes' traces stitch into one.
+	ctx, sp := obs.StartSpan(ctx, "peer.fill")
+	sp.SetAttr("owner", owner)
+	defer sp.End()
 	if !p.breaker.Allow() {
 		c.breakerSkipped.Add(1)
+		sp.SetAttr("outcome", "breaker_open")
 		return nil, 0, false
 	}
 	req := &fillReq{ctx: ctx, url: FillURL(owner, key), done: make(chan fillResult, 1)}
@@ -318,6 +329,7 @@ func (c *Cluster) Fill(ctx context.Context, key plancache.Key) (plan *scenario.P
 		// nothing about the peer's health.
 		p.breaker.Cancel()
 		c.dropped.Add(1)
+		sp.SetAttr("outcome", "mailbox_full")
 		return nil, 0, false
 	}
 	c.fills.Add(1)
@@ -327,27 +339,34 @@ func (c *Cluster) Fill(ctx context.Context, key plancache.Key) (plan *scenario.P
 		case res.err != nil:
 			if errors.Is(res.err, context.DeadlineExceeded) {
 				c.timeouts.Add(1)
+				sp.SetAttr("outcome", "timeout")
 			} else {
 				c.errs.Add(1)
+				sp.SetAttr("outcome", "error")
 			}
+			sp.SetError(res.err)
 			p.breaker.Record(false)
 			return nil, 0, false
 		case !res.found:
 			c.misses.Add(1)
 			p.breaker.Record(true)
+			sp.SetAttr("outcome", "miss")
 			return nil, 0, false
 		default:
 			c.hits.Add(1)
 			p.breaker.Record(true)
+			sp.SetAttr("outcome", "hit")
 			return res.plan, res.age, true
 		}
 	case <-ctx.Done():
 		// The requester went away; the worker will finish (or time out)
 		// on its own and drop the buffered result.
 		p.breaker.Cancel()
+		sp.SetAttr("outcome", "cancelled")
 		return nil, 0, false
 	case <-c.stop:
 		p.breaker.Cancel()
+		sp.SetAttr("outcome", "shutdown")
 		return nil, 0, false
 	}
 }
@@ -373,6 +392,11 @@ func (c *Cluster) fetch(req *fillReq) fillResult {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, req.url, nil)
 	if err != nil {
 		return fillResult{err: err}
+	}
+	// Propagate the requester's trace (W3C traceparent) so the owner's
+	// peer-plan handler joins the same trace.
+	if sp := obs.SpanFromContext(req.ctx); sp != nil {
+		httpReq.Header.Set("traceparent", sp.Traceparent())
 	}
 	resp, err := c.cfg.Client.Do(httpReq)
 	if err != nil {
@@ -438,12 +462,15 @@ func (c *Cluster) ProbeOnce(ctx context.Context) {
 			p.probeFails = 0
 			if p.down.CompareAndSwap(true, false) {
 				c.readmissions.Add(1)
+				c.cfg.Logger.Info(ctx, "peer readmitted to ring", "peer", addr)
 			}
 			continue
 		}
 		p.probeFails++
 		if p.probeFails >= c.cfg.ProbeFailures && p.down.CompareAndSwap(false, true) {
 			c.ejections.Add(1)
+			c.cfg.Logger.WarnClass(ctx, "peer-eject", "peer ejected from ring",
+				"peer", addr, "consecutive_failures", p.probeFails)
 		}
 	}
 }

@@ -3,8 +3,10 @@ package degrade
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
+	"netrecovery/internal/obs"
 	"netrecovery/internal/scenario"
 )
 
@@ -120,6 +122,7 @@ func Execute(ctx context.Context, stages []Stage, opts Options) (*Result, error)
 					Outcome: OutcomeSkipped,
 					Err:     errors.New(reason),
 				})
+				stageSpanZero(ctx, st.Name, OutcomeSkipped, reason)
 				continue
 			}
 		}
@@ -131,6 +134,7 @@ func Execute(ctx context.Context, stages []Stage, opts Options) (*Result, error)
 				Err:     context.DeadlineExceeded,
 			})
 			lastErr = context.DeadlineExceeded
+			stageSpanZero(ctx, st.Name, OutcomeTimeout, "deadline budget exhausted before stage ran")
 			continue
 		}
 		budget := remaining
@@ -142,6 +146,13 @@ func Execute(ctx context.Context, stages []Stage, opts Options) (*Result, error)
 		stageCtx, cancel := ctx, context.CancelFunc(func() {})
 		if !st.Free {
 			stageCtx, cancel = context.WithTimeout(ctx, budget)
+		}
+		// The stage span's ctx flows into st.Run, so solver spans started
+		// inside the stage nest under it.
+		stageCtx, ssp := obs.StartSpan(stageCtx, "stage."+st.Name)
+		ssp.SetAttr("level", st.Level.String())
+		if !st.Free {
+			ssp.SetAttr("budget_ms", strconv.FormatInt(budget.Milliseconds(), 10))
 		}
 		stageStart := now()
 		var plan *scenario.Plan
@@ -172,6 +183,7 @@ func Execute(ctx context.Context, stages []Stage, opts Options) (*Result, error)
 			res.Plan = plan
 			res.Level = st.Level
 			res.ServedBy = st.Name
+			endStageSpan(ssp, sr)
 			return res, nil
 		case err == nil:
 			// A Free lookup stage may return (nil, nil): nothing to serve.
@@ -184,12 +196,38 @@ func Execute(ctx context.Context, stages []Stage, opts Options) (*Result, error)
 			lastErr = err
 		case ctx.Err() != nil:
 			// Parent died mid-stage: abort the whole chain.
+			sr.Outcome = OutcomeError
+			endStageSpan(ssp, sr)
 			return nil, ctx.Err()
 		default:
 			sr.Outcome = OutcomeError
 			res.Stages = append(res.Stages, sr)
 			lastErr = err
 		}
+		endStageSpan(ssp, sr)
 	}
 	return res, errors.Join(ErrExhausted, lastErr)
+}
+
+// endStageSpan lands a stage's result on its span. Outcome strings match
+// the wire timings so a trace and a degradation block read the same way.
+func endStageSpan(sp *obs.Span, sr StageResult) {
+	sp.SetAttr("outcome", sr.Outcome)
+	if sr.Attempts > 1 {
+		sp.SetInt("attempts", int64(sr.Attempts))
+	}
+	if sr.Err != nil && sr.Outcome != OutcomeServed {
+		sp.SetError(sr.Err)
+	}
+	sp.End()
+}
+
+// stageSpanZero records a stage that never ran (skipped, or the budget was
+// already spent) as a zero-length span so the trace shows the whole chain
+// decision, not just the stages that executed.
+func stageSpanZero(ctx context.Context, name, outcome, reason string) {
+	_, sp := obs.StartSpan(ctx, "stage."+name)
+	sp.SetAttr("outcome", outcome)
+	sp.SetAttr("reason", reason)
+	sp.End()
 }

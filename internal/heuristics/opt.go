@@ -43,6 +43,8 @@ type Opt struct {
 	// Progress, when set, receives EventIncumbent / EventBound events from
 	// the branch-and-bound search.
 	Progress ProgressFunc
+	// OnStats, when set, receives the search's milp.Stats after each solve.
+	OnStats StatsFunc
 }
 
 var _ Solver = (*Opt)(nil)
@@ -129,6 +131,9 @@ func (o *Opt) Solve(ctx context.Context, s *scenario.Scenario) (*scenario.Plan, 
 
 	sol := milp.Solve(ctx, milp.Problem{LP: model.problem, Binary: model.binaries}, opts)
 	plan.Runtime = time.Since(start)
+	if o.OnStats != nil && sol.Stats != nil {
+		o.OnStats(ctx, SolveStats{Solver: OptName, MILP: sol.Stats})
+	}
 	// A fired context trumps whatever partial result the search produced: the
 	// caller asked the solver to stop, so report the cancellation.
 	if err := ctx.Err(); err != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"netrecovery/internal/core"
+	"netrecovery/internal/milp"
 	"netrecovery/internal/scenario"
 )
 
@@ -94,7 +95,33 @@ type Params struct {
 	OPTWorkers int
 	// Progress, when set, receives the solver's progress events.
 	Progress ProgressFunc
+	// OnStats, when set, receives the solver-depth statistics of each
+	// completed solve (ISP and OPT; other algorithms do not report). It is
+	// invoked synchronously on the solver goroutine with the Solve context
+	// — serving-time tracing attaches the stats to the current span — and
+	// must be cheap. Like Progress it is answer-invariant and excluded
+	// from ParamsDigest.
+	OnStats StatsFunc
 }
+
+// SolveStats is the solver-depth record of one completed solve: what the
+// algorithm actually did, as opposed to what it answered. Exactly one of
+// Core/MILP is set, matching the algorithm family.
+type SolveStats struct {
+	// Solver is the reporting algorithm's registry name.
+	Solver string
+	// Core carries ISP's iteration/prune/repair counters (including the
+	// routability tester's LP call and warm-start counts).
+	Core *core.Stats
+	// MILP carries OPT's branch-and-bound depth record: nodes, rounds,
+	// steal counts, aggregated LP iterations/refactorisations and the
+	// incumbent/bound timeline.
+	MILP *milp.Stats
+}
+
+// StatsFunc receives solver-depth statistics after a solve completes. The
+// context is the Solve call's context.
+type StatsFunc func(ctx context.Context, st SolveStats)
 
 // Factory constructs a fresh solver instance configured from the given
 // params. Factories keep the registry free of shared mutable solver state:
@@ -149,7 +176,7 @@ func init() {
 		Description: "Iterative Split and Prune, the paper's polynomial heuristic (recommended)",
 		Scalability: "hundreds of nodes (greedy split mode for larger topologies)",
 	}, func(p Params) Solver {
-		s := &ISPSolver{Progress: p.Progress}
+		s := &ISPSolver{Progress: p.Progress, OnStats: p.OnStats}
 		if p.Fast {
 			s.Options = core.FastOptions()
 		}
@@ -161,7 +188,7 @@ func init() {
 		Exact:       true,
 		Scalability: "small instances only (tens of broken elements)",
 	}, func(p Params) Solver {
-		return &Opt{MaxNodes: p.OPTMaxNodes, TimeLimit: p.OPTTimeLimit, Workers: p.OPTWorkers, Progress: p.Progress}
+		return &Opt{MaxNodes: p.OPTMaxNodes, TimeLimit: p.OPTTimeLimit, Workers: p.OPTWorkers, Progress: p.Progress, OnStats: p.OnStats}
 	})
 	Register(Info{
 		Name:        SRTName,
@@ -191,6 +218,8 @@ type ISPSolver struct {
 	// Progress, when set, receives an EventIteration event per main-loop
 	// iteration.
 	Progress ProgressFunc
+	// OnStats, when set, receives the run's core.Stats after each solve.
+	OnStats StatsFunc
 }
 
 var _ Solver = (*ISPSolver)(nil)
@@ -212,7 +241,10 @@ func (s *ISPSolver) Solve(ctx context.Context, sc *scenario.Scenario) (*scenario
 			})
 		}
 	}
-	plan, _, err := core.Solve(ctx, sc.Clone(), opts)
+	plan, stats, err := core.Solve(ctx, sc.Clone(), opts)
+	if s.OnStats != nil && err == nil {
+		s.OnStats(ctx, SolveStats{Solver: core.SolverName, Core: &stats})
+	}
 	return plan, err
 }
 

@@ -103,6 +103,12 @@ type Spec struct {
 	// PrewarmAll issues every scenario once against every target before
 	// measuring, so the measured window starts cache-warm fleet-wide.
 	PrewarmAll bool
+	// Timing requests the per-response traced timing breakdown
+	// (options.timing) on plan requests and aggregates it into the
+	// report's Timing block — attributing latency to queue wait, solver
+	// execution and peer fills. Needs tracing enabled on the fleet;
+	// untraced responses simply carry no block and are not sampled.
+	Timing bool
 	// Client is the HTTP client (nil = a default client).
 	Client *http.Client
 }
@@ -210,7 +216,7 @@ func buildPopulation(spec Spec) ([]workItem, error) {
 		items[i].planBody, err = json.Marshal(wire.PlanRequest{
 			Scenario:  ws,
 			Algorithm: spec.Algorithm,
-			Options:   wire.SolveOptions{Fast: spec.Fast, Workers: 1},
+			Options:   wire.SolveOptions{Fast: spec.Fast, Workers: 1, Timing: spec.Timing},
 		})
 		if err != nil {
 			return nil, err
@@ -253,6 +259,11 @@ type sample struct {
 	status  int // 0 = transport error
 	cache   string
 	latency time.Duration
+	// timed is true when the plan response carried a timing block; the
+	// phase durations below are summed per phase across the trace's spans.
+	timed            bool
+	queueUS, solveUS int64
+	peerUS           int64
 }
 
 // runner carries the shared run state.
@@ -452,13 +463,29 @@ func (r *runner) roundTrip(ctx context.Context, method, url string, body []byte,
 	return resp.StatusCode
 }
 
-// doPlan posts one plan request and records the server's cache verdict.
+// doPlan posts one plan request and records the server's cache verdict
+// (and, when the run requested timing, the traced phase breakdown).
 func (r *runner) doPlan(ctx context.Context, target string, item *workItem) sample {
 	var resp struct {
-		Cache wire.CacheInfo `json:"cache"`
+		Cache  wire.CacheInfo `json:"cache"`
+		Timing *wire.Timing   `json:"timing"`
 	}
 	code := r.post(ctx, target+"/v1/plan", item.planBody, &resp)
-	return sample{op: opPlan, status: code, cache: resp.Cache.Status}
+	s := sample{op: opPlan, status: code, cache: resp.Cache.Status}
+	if t := resp.Timing; t != nil {
+		s.timed = true
+		for _, span := range t.Spans {
+			switch span.Name {
+			case "admission.wait":
+				s.queueUS += span.DurationUS
+			case "solve":
+				s.solveUS += span.DurationUS
+			case "peer.fill":
+				s.peerUS += span.DurationUS
+			}
+		}
+	}
+	return s
 }
 
 // doSession runs a create → (optional) delta re-plan → delete lifecycle.
@@ -611,5 +638,39 @@ func aggregate(spec Spec, samples []sample, elapsed time.Duration) *wire.LoadRep
 		rep.Cache.HitRatio = float64(rep.Cache.Hits+rep.Cache.Coalesced+rep.Cache.PeerFilled) / float64(plans)
 		rep.Cache.PeerFillRatio = float64(rep.Cache.PeerFilled) / float64(plans)
 	}
+	if spec.Timing {
+		rep.Timing = aggregateTiming(samples)
+	}
 	return rep
+}
+
+// aggregateTiming folds the per-response phase breakdowns into the report's
+// timing block. Every timed plan sample contributes to every phase (0 when
+// the phase did not run), so the phase percentiles are over the same
+// population as the whole-request latency percentiles.
+func aggregateTiming(samples []sample) *wire.LoadTiming {
+	var queue, solve, peer []time.Duration
+	for _, s := range samples {
+		if !s.timed || s.op != opPlan || s.status/100 != 2 {
+			continue
+		}
+		queue = append(queue, time.Duration(s.queueUS)*time.Microsecond)
+		solve = append(solve, time.Duration(s.solveUS)*time.Microsecond)
+		peer = append(peer, time.Duration(s.peerUS)*time.Microsecond)
+	}
+	if len(queue) == 0 {
+		return nil
+	}
+	for _, phase := range [][]time.Duration{queue, solve, peer} {
+		sort.Slice(phase, func(i, j int) bool { return phase[i] < phase[j] })
+	}
+	return &wire.LoadTiming{
+		Samples:       len(queue),
+		QueueP50MS:    percentileMS(queue, 0.50),
+		QueueP99MS:    percentileMS(queue, 0.99),
+		SolveP50MS:    percentileMS(solve, 0.50),
+		SolveP99MS:    percentileMS(solve, 0.99),
+		PeerFillP50MS: percentileMS(peer, 0.50),
+		PeerFillP99MS: percentileMS(peer, 0.99),
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 
 	"netrecovery/internal/cluster"
+	"netrecovery/internal/obs"
 	"netrecovery/internal/server"
 )
 
@@ -20,8 +21,29 @@ type LocalCluster struct {
 	// runs without a cluster layer.
 	Servers  []*server.Server
 	Clusters []*cluster.Cluster
+	// Tracers are the per-node tracers, index-aligned with URLs; nil
+	// unless the fleet was started with WithTracing.
+	Tracers []*obs.Tracer
 
 	https []*httptest.Server
+}
+
+// LocalOption tweaks StartLocal.
+type LocalOption func(*localOptions)
+
+type localOptions struct {
+	traceSeed uint64
+	tracing   bool
+}
+
+// WithTracing gives every node an enabled tracer (deterministic IDs rooted
+// in seed+nodeIndex) exposed via LocalCluster.Tracers and the nodes'
+// /debug/traces endpoints.
+func WithTracing(seed uint64) LocalOption {
+	return func(o *localOptions) {
+		o.tracing = true
+		o.traceSeed = seed
+	}
 }
 
 // StartLocal boots an n-node fleet. scfg seeds every node's server config
@@ -29,12 +51,16 @@ type LocalCluster struct {
 // the cluster config (Self and Peers are filled in per node, probing
 // defaults to disabled so tests control liveness; set ccfg.ProbeInterval
 // to enable it).
-func StartLocal(n int, scfg server.Config, ccfg cluster.Config) (*LocalCluster, error) {
+func StartLocal(n int, scfg server.Config, ccfg cluster.Config, opts ...LocalOption) (*LocalCluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("loadgen: need at least 1 node, got %d", n)
 	}
 	if scfg.Cache != nil || scfg.Cluster != nil {
 		return nil, fmt.Errorf("loadgen: scfg.Cache and scfg.Cluster must be unset")
+	}
+	var lo localOptions
+	for _, opt := range opts {
+		opt(&lo)
 	}
 	lc := &LocalCluster{}
 	// Unstarted servers bind their listeners immediately, so every node's
@@ -46,6 +72,12 @@ func StartLocal(n int, scfg server.Config, ccfg cluster.Config) (*LocalCluster, 
 	}
 	for i := 0; i < n; i++ {
 		nodeCfg := scfg
+		if lo.tracing {
+			tr := obs.NewTracer(obs.Config{Seed: lo.traceSeed + uint64(i)})
+			tr.Enable()
+			lc.Tracers = append(lc.Tracers, tr)
+			nodeCfg.Tracer = tr
+		}
 		if n > 1 {
 			cc := ccfg
 			cc.Self = lc.URLs[i]

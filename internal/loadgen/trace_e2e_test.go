@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"netrecovery/internal/cluster"
+	"netrecovery/internal/obs"
+	"netrecovery/internal/server"
+)
+
+// waitTraceRoot polls tr's store until a trace rooted at root seals (the
+// root span ends after the response is written, so the client can observe
+// the answer a beat before the trace lands).
+func waitTraceRoot(t *testing.T, tr *obs.Tracer, root string) obs.TraceDetail {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, sum := range tr.Store().List() {
+			if sum.Root != root {
+				continue
+			}
+			if det, ok := tr.Store().Get(sum.TraceID); ok {
+				return det
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no trace rooted at %q sealed within 2s", root)
+	return obs.TraceDetail{}
+}
+
+// waitTraceID polls tr's store for a specific trace ID.
+func waitTraceID(t *testing.T, tr *obs.Tracer, traceID string) obs.TraceDetail {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if det, ok := tr.Store().Get(traceID); ok {
+			return det
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never sealed on the peer within 2s", traceID)
+	return obs.TraceDetail{}
+}
+
+func spanByName(t *testing.T, det obs.TraceDetail, name string) obs.SpanSnapshot {
+	t.Helper()
+	for _, sp := range det.Spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	names := make([]string, len(det.Spans))
+	for i, sp := range det.Spans {
+		names[i] = sp.Name
+	}
+	t.Fatalf("trace %s has no span %q (spans: %v)", det.TraceID, name, names)
+	return obs.SpanSnapshot{}
+}
+
+func attrValue(sp obs.SpanSnapshot, key string) (string, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TestTraceStitchesAcrossPeerFill is the multi-node acceptance path for
+// tracing: a cold plan on a non-owning node consults the fingerprint's
+// owner (a peer-fill miss) before solving locally. The requester's trace
+// must cover admission, cache, peer-fill and solve with solver-depth
+// attributes — and the owner must hold a trace under the SAME trace ID
+// (propagated via the traceparent header) rooted at its peer endpoint.
+func TestTraceStitchesAcrossPeerFill(t *testing.T) {
+	lc, err := StartLocal(2, server.Config{}, cluster.Config{}, WithTracing(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	items, err := buildPopulation(Spec{Scenarios: 1, Fast: true, Topology: "grid:4x4"}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := itemFingerprints(t, items)[0]
+	owner, nonOwner := lc.Owner(fp), lc.NonOwner(fp)
+	if owner == nonOwner {
+		t.Fatal("owner == nonOwner in a 2-node fleet")
+	}
+
+	// Cold fleet: the non-owner asks the owner first (miss), then solves.
+	status, _ := planVia(t, nonOwner, items[0].planBody)
+	if status != "miss" {
+		t.Fatalf("cold non-owner plan: status %q, want miss", status)
+	}
+
+	var reqTracer, ownTracer *obs.Tracer
+	for i, u := range lc.URLs {
+		switch u {
+		case nonOwner:
+			reqTracer = lc.Tracers[i]
+		case owner:
+			ownTracer = lc.Tracers[i]
+		}
+	}
+
+	det := waitTraceRoot(t, reqTracer, "/v1/plan")
+	if len(det.Spans) < 5 {
+		t.Fatalf("requester trace has %d spans, want >= 5: %+v", len(det.Spans), det.Spans)
+	}
+	spanByName(t, det, "admission.wait")
+	spanByName(t, det, "cache.lookup")
+	fill := spanByName(t, det, "peer.fill")
+	if v, _ := attrValue(fill, "outcome"); v != "miss" {
+		t.Fatalf("peer.fill outcome = %q, want miss (cold owner)", v)
+	}
+	if v, _ := attrValue(fill, "owner"); v != owner {
+		t.Fatalf("peer.fill owner = %q, want %q", v, owner)
+	}
+	solve := spanByName(t, det, "solve")
+	if _, ok := attrValue(solve, "isp_iterations"); !ok {
+		t.Fatalf("solve span lacks solver-depth attrs: %+v", solve.Attrs)
+	}
+
+	// The owner's side of the same request: a trace under the SAME ID,
+	// rooted at the peer endpoint, showing the cache peek that missed.
+	ownDet := waitTraceID(t, ownTracer, det.TraceID)
+	if ownDet.Root != "/v1/peer/plan" {
+		t.Fatalf("owner trace root = %q, want /v1/peer/plan", ownDet.Root)
+	}
+	peek := spanByName(t, ownDet, "cache.peek")
+	if v, _ := attrValue(peek, "found"); v != "false" {
+		t.Fatalf("owner cache.peek found = %q, want false", v)
+	}
+
+	// The two stores are distinct rings — the stitch is by ID, not by
+	// shared storage.
+	if reqTracer == ownTracer {
+		t.Fatal("requester and owner share a tracer")
+	}
+}

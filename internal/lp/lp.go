@@ -283,6 +283,26 @@ type Solution struct {
 	// of a same-structured problem (bounds, costs and right-hand sides may
 	// differ) typically re-solves in a handful of pivots.
 	Basis *Basis
+	// Stats describes how the sparse solver got to the answer (solver-depth
+	// telemetry; zero for the dense fallback). It never affects the result.
+	Stats Stats
+}
+
+// Stats is the solver-depth record of one sparse solve, surfaced so the
+// serving stack can attribute latency to simplex work rather than infer
+// it from wall time alone.
+type Stats struct {
+	// Iterations mirrors Solution.Iterations (total pivots, both phases).
+	Iterations int
+	// Refactorisations counts basis-inverse rebuilds from scratch during
+	// the solve — periodic (every refactorEv pivots), on warm-start
+	// installation, and on numerical-recovery paths.
+	Refactorisations int
+	// Warm reports that a supplied warm-start basis was accepted: it was
+	// primal-feasible as-is, or dual-simplex repair restored feasibility.
+	// False means the solve cold-started (no basis given, stale basis, or
+	// repair failed).
+	Warm bool
 }
 
 // Value returns the value of variable v in the solution (0 when the solution

@@ -75,6 +75,11 @@ type Solver struct {
 	cost1   []float64
 	tmpB    []int
 	tmpS    []uint8
+
+	// Per-solve depth counters, reset at Solve entry and published on the
+	// returned Solution.Stats. statWarm records warm-basis acceptance.
+	statRefactors int
+	statWarm      bool
 }
 
 // NewSolver returns an empty reusable solver.
@@ -97,6 +102,7 @@ func (s *Solver) Solve(p *Problem, opts Options) Solution {
 	if opts.Dense {
 		return solveDense(p, opts)
 	}
+	s.statRefactors, s.statWarm = 0, false
 	if s.prob != p || s.version != p.version {
 		s.sf.build(p)
 		s.prob, s.version = p, p.version
@@ -124,11 +130,11 @@ func (s *Solver) Solve(p *Problem, opts Options) Solution {
 	// Bound sanity: crossed bounds make the problem trivially infeasible.
 	for j := 0; j < nStd; j++ {
 		if s.sf.lower[j] > s.sf.upper[j]+feasTol {
-			return Solution{Status: StatusInfeasible}
+			return s.done(Solution{Status: StatusInfeasible})
 		}
 	}
 	if opts.MaxIterations < 0 {
-		return Solution{Status: StatusIterLimit}
+		return s.done(Solution{Status: StatusIterLimit})
 	}
 	budget := opts.MaxIterations
 	totalIters := 0
@@ -149,26 +155,28 @@ func (s *Solver) Solve(p *Problem, opts Options) Solution {
 				warmed = true
 			case dualInfeasible:
 				s.haveBasis = true
-				return Solution{Status: StatusInfeasible, Iterations: totalIters}
+				s.statWarm = true
+				return s.done(Solution{Status: StatusInfeasible, Iterations: totalIters})
 			}
 		}
 	}
+	s.statWarm = warmed
 	if !warmed {
 		if s.coldStart() {
 			status, iters := s.primal(s.cost1, tol, budget-totalIters)
 			totalIters += iters
 			if status == StatusIterLimit {
-				return Solution{Status: StatusIterLimit, Iterations: totalIters}
+				return s.done(Solution{Status: StatusIterLimit, Iterations: totalIters})
 			}
 			if status == StatusUnbounded {
 				// Phase 1 minimises a sum of non-negative variables and cannot
 				// be unbounded; reaching here means numerical trouble, which
 				// we surface as an iteration limit rather than a wrong answer.
-				return Solution{Status: StatusIterLimit, Iterations: totalIters}
+				return s.done(Solution{Status: StatusIterLimit, Iterations: totalIters})
 			}
 			if s.phase1Infeasibility() > infeasTol {
 				s.haveBasis = true
-				return Solution{Status: StatusInfeasible, Iterations: totalIters}
+				return s.done(Solution{Status: StatusInfeasible, Iterations: totalIters})
 			}
 		}
 		s.closeArtificials()
@@ -178,9 +186,19 @@ func (s *Solver) Solve(p *Problem, opts Options) Solution {
 	totalIters += iters
 	s.haveBasis = true
 	if status != StatusOptimal {
-		return Solution{Status: status, Iterations: totalIters}
+		return s.done(Solution{Status: status, Iterations: totalIters})
 	}
-	return s.extract(totalIters)
+	return s.done(s.extract(totalIters))
+}
+
+// done stamps the per-solve depth counters onto the outgoing solution.
+func (s *Solver) done(sol Solution) Solution {
+	sol.Stats = Stats{
+		Iterations:       sol.Iterations,
+		Refactorisations: s.statRefactors,
+		Warm:             s.statWarm,
+	}
+	return sol
 }
 
 // dualBudget caps the dual-simplex repair phase: warm starts that need more
@@ -267,6 +285,7 @@ func (s *Solver) computeXB() {
 // refactor rebuilds binv from the current basis by Gauss-Jordan elimination
 // with partial pivoting. It reports false when the basis matrix is singular.
 func (s *Solver) refactor() bool {
+	s.statRefactors++
 	m := s.sf.m
 	for i := range s.fac[:m*m] {
 		s.fac[i] = 0

@@ -143,6 +143,43 @@ type Solution struct {
 	// Gap is |Objective - Bound| / max(1, |Objective|), meaningful when an
 	// incumbent exists.
 	Gap float64
+	// Stats carries the search-depth telemetry of the solve (see Stats).
+	// It never affects the answer; deterministic fields stay deterministic
+	// across worker counts, while Steals and the LP aggregates depend on
+	// scheduling and are telemetry only.
+	Stats *Stats
+}
+
+// Stats is the solver-depth record of one branch-and-bound run, surfaced
+// so serving-time traces can show where a MILP solve spent its effort.
+type Stats struct {
+	// Nodes mirrors Solution.NodesExplored. Rounds counts the barrier
+	// rounds of the deterministic batch schedule.
+	Nodes  int `json:"nodes"`
+	Rounds int `json:"rounds"`
+	// Steals counts successful work-steals between worker deques. The
+	// value depends on scheduling and is NOT deterministic.
+	Steals int64 `json:"steals"`
+	// LPIterations/Refactorisations/WarmSolves/ColdSolves aggregate the
+	// per-node relaxation solves (scheduling-dependent only in so far as
+	// pruning order changes which nodes are solved; deterministic for the
+	// deterministic schedule).
+	LPIterations     int64 `json:"lp_iterations"`
+	Refactorisations int64 `json:"lp_refactorisations"`
+	WarmSolves       int64 `json:"lp_warm_solves"`
+	ColdSolves       int64 `json:"lp_cold_solves"`
+	// Incumbents is the timeline of accepted incumbents in acceptance
+	// order (deterministic: acceptance happens at round barriers).
+	Incumbents []IncumbentEvent `json:"incumbents,omitempty"`
+}
+
+// IncumbentEvent is one point on the incumbent/bound timeline.
+type IncumbentEvent struct {
+	// Nodes is NodesExplored at the moment the incumbent was accepted;
+	// Objective its value; Bound the best proven bound at that point.
+	Nodes     int     `json:"nodes"`
+	Objective float64 `json:"objective"`
+	Bound     float64 `json:"bound"`
 }
 
 // node is a branch-and-bound tree node: a set of fixed binary variables plus

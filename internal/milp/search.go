@@ -85,6 +85,15 @@ type search struct {
 	// no twin: workers prune on their node's own bound, and the pool's
 	// stripe heads yield the global bound on demand.)
 	incumbentBits atomic.Uint64
+
+	// Depth telemetry (Solution.Stats). steals is scheduling-dependent;
+	// the LP aggregates are deterministic for the deterministic schedule
+	// (atomics only because workers write them concurrently).
+	steals      atomic.Int64
+	lpIters     atomic.Int64
+	lpRefactors atomic.Int64
+	lpWarm      atomic.Int64
+	lpCold      atomic.Int64
 }
 
 func newSearch(p Problem, opts Options) *search {
@@ -155,6 +164,8 @@ func (s *search) run(ctx context.Context) Solution {
 	nextID := uint64(1)
 
 	nodes := 0
+	rounds := 0
+	var incumbents []IncumbentEvent
 	sawFeasibleRelaxation := false
 	sawIterLimit := false
 	hitLimit := false
@@ -175,6 +186,7 @@ func (s *search) run(ctx context.Context) Solution {
 		// are independent of solve order.
 		roundBase := nextID
 		nextID += 2 * uint64(len(items))
+		rounds++
 		s.solveBatch(ctx, items, roundBase, s.pool.len())
 
 		// Ordered commit: results are applied in rank (= best-first
@@ -199,7 +211,8 @@ func (s *search) run(ctx context.Context) Solution {
 			case lp.StatusInfeasible:
 				continue
 			case lp.StatusUnbounded:
-				return Solution{Status: StatusUnbounded, NodesExplored: nodes}
+				return Solution{Status: StatusUnbounded, NodesExplored: nodes,
+					Stats: s.stats(nodes, rounds, incumbents)}
 			case lp.StatusIterLimit:
 				// The relaxation's answer is unknown, not "infeasible":
 				// drop the node but remember that the search is no longer
@@ -224,6 +237,11 @@ func (s *search) run(ctx context.Context) Solution {
 			if it.branchVar < 0 {
 				incumbentObj = it.objective
 				incumbentValues = it.values
+				incumbents = append(incumbents, IncumbentEvent{
+					Nodes:     nodes,
+					Objective: incumbentObj,
+					Bound:     it.node.bound,
+				})
 				if s.opts.Progress != nil {
 					s.opts.Progress(incumbentObj, it.node.bound, nodes, true)
 				}
@@ -254,9 +272,11 @@ func (s *search) run(ctx context.Context) Solution {
 	haveIncumbent := incumbentValues != nil || s.opts.WarmStart != nil
 	switch {
 	case !haveIncumbent && !sawFeasibleRelaxation && !hitLimit && !sawIterLimit:
-		return Solution{Status: StatusInfeasible, NodesExplored: nodes}
+		return Solution{Status: StatusInfeasible, NodesExplored: nodes,
+			Stats: s.stats(nodes, rounds, incumbents)}
 	case !haveIncumbent:
-		return Solution{Status: StatusLimit, NodesExplored: nodes, Bound: bestBound}
+		return Solution{Status: StatusLimit, NodesExplored: nodes, Bound: bestBound,
+			Stats: s.stats(nodes, rounds, incumbents)}
 	}
 
 	status := StatusOptimal
@@ -278,6 +298,22 @@ func (s *search) run(ctx context.Context) Solution {
 		NodesExplored: nodes,
 		Bound:         bestBound,
 		Gap:           gap,
+		Stats:         s.stats(nodes, rounds, incumbents),
+	}
+}
+
+// stats assembles the Solution.Stats record from the search's telemetry
+// counters (called at every exit path of run).
+func (s *search) stats(nodes, rounds int, incumbents []IncumbentEvent) *Stats {
+	return &Stats{
+		Nodes:            nodes,
+		Rounds:           rounds,
+		Steals:           s.steals.Load(),
+		LPIterations:     s.lpIters.Load(),
+		Refactorisations: s.lpRefactors.Load(),
+		WarmSolves:       s.lpWarm.Load(),
+		ColdSolves:       s.lpCold.Load(),
+		Incumbents:       incumbents,
 	}
 }
 
@@ -320,8 +356,13 @@ func (s *search) solveBatch(ctx context.Context, items []batchItem, roundBase ui
 func (s *search) runWorker(ctx context.Context, w int, items []batchItem, deques []*rankDeque, roundBase uint64, poolLen0 int) {
 	for {
 		rank, ok := deques[w].popFront()
-		for off := 1; !ok && off < len(deques); off++ {
-			rank, ok = deques[(w+off)%len(deques)].popBack()
+		if !ok {
+			for off := 1; !ok && off < len(deques); off++ {
+				rank, ok = deques[(w+off)%len(deques)].popBack()
+			}
+			if ok {
+				s.steals.Add(1)
+			}
 		}
 		if !ok {
 			return
@@ -351,6 +392,13 @@ func (s *search) processItem(w int, it *batchItem, rank int, roundBase uint64, p
 	sol := s.relaxer(w).solve(it.node)
 	it.status = sol.Status
 	it.objective = sol.Objective
+	s.lpIters.Add(int64(sol.Stats.Iterations))
+	s.lpRefactors.Add(int64(sol.Stats.Refactorisations))
+	if sol.Stats.Warm {
+		s.lpWarm.Add(1)
+	} else {
+		s.lpCold.Add(1)
+	}
 	if sol.Status != lp.StatusOptimal {
 		return
 	}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceSummary is the list-view record of one finished trace.
+type TraceSummary struct {
+	TraceID    string `json:"trace_id"`
+	Root       string `json:"root"`
+	StartUnix  int64  `json:"start_unix_us"`
+	DurationUS int64  `json:"duration_us"`
+	Spans      int    `json:"spans"`
+}
+
+// TraceDetail is the by-ID view: every finished span of the trace.
+type TraceDetail struct {
+	TraceID    string         `json:"trace_id"`
+	Root       string         `json:"root"`
+	StartUnix  int64          `json:"start_unix_us"`
+	DurationUS int64          `json:"duration_us"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+// Store is a bounded ring of finished traces. When full, sealing a new
+// trace overwrites the oldest. Tail subscribers receive each sealed
+// trace's summary on a buffered channel (dropped, never blocked, when a
+// subscriber lags).
+type Store struct {
+	mu    sync.Mutex
+	ring  []*traceRec
+	next  int
+	count int
+	subs  map[chan TraceSummary]struct{}
+}
+
+func newStore(capacity int) *Store {
+	return &Store{
+		ring: make([]*traceRec, capacity),
+		subs: make(map[chan TraceSummary]struct{}),
+	}
+}
+
+// Capacity returns the ring bound.
+func (s *Store) Capacity() int { return len(s.ring) }
+
+// Len returns the number of traces currently held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func (s *Store) add(rec *traceRec) {
+	sum := summarize(rec)
+	s.mu.Lock()
+	s.ring[s.next] = rec
+	s.next = (s.next + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+	for ch := range s.subs {
+		select {
+		case ch <- sum:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+func summarize(rec *traceRec) TraceSummary {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return TraceSummary{
+		TraceID:    hexString(rec.traceID[:]),
+		Root:       rec.rootName,
+		StartUnix:  rec.start.UnixMicro(),
+		DurationUS: rec.rootDur.Microseconds(),
+		Spans:      len(rec.finished),
+	}
+}
+
+// List returns summaries of the held traces, newest first.
+func (s *Store) List() []TraceSummary {
+	recs := s.newestFirst()
+	out := make([]TraceSummary, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, summarize(rec))
+	}
+	return out
+}
+
+// Slowest returns summaries of the n slowest held traces (by root
+// duration, ties broken newest first).
+func (s *Store) Slowest(n int) []TraceSummary {
+	out := s.List()
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].DurationUS > out[j].DurationUS
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Get returns the full detail of the trace with the given 32-hex-digit
+// ID, or ok=false.
+func (s *Store) Get(traceID string) (TraceDetail, bool) {
+	var want [16]byte
+	if len(traceID) != 32 || !hexDecode(want[:], traceID) {
+		return TraceDetail{}, false
+	}
+	for _, rec := range s.newestFirst() {
+		if rec.traceID != want {
+			continue
+		}
+		rec.mu.Lock()
+		det := TraceDetail{
+			TraceID:    traceID,
+			Root:       rec.rootName,
+			StartUnix:  rec.start.UnixMicro(),
+			DurationUS: rec.rootDur.Microseconds(),
+			Spans:      append([]SpanSnapshot(nil), rec.finished...),
+		}
+		rec.mu.Unlock()
+		return det, true
+	}
+	return TraceDetail{}, false
+}
+
+// newestFirst snapshots the ring contents, newest insertion first.
+func (s *Store) newestFirst() []*traceRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*traceRec, 0, s.count)
+	for i := 1; i <= s.count; i++ {
+		out = append(out, s.ring[(s.next-i+len(s.ring))%len(s.ring)])
+	}
+	return out
+}
+
+// Subscribe registers a tail subscriber. The returned channel receives
+// each newly sealed trace's summary; call the cancel func to detach.
+func (s *Store) Subscribe() (<-chan TraceSummary, func()) {
+	ch := make(chan TraceSummary, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// W3C trace-context propagation: the peer-fill client attaches the
+// current span as a `traceparent` request header and the peer's server
+// middleware adopts the trace ID, so one logical request stitches into a
+// single trace across the cluster. Only version 00 with the sampled flag
+// is emitted; parsing accepts any two-hex-digit version and flags so a
+// header minted by another tracer still stitches.
+
+// FormatTraceparent renders "00-<32 hex trace>-<16 hex span>-01".
+func FormatTraceparent(traceID [16]byte, spanID [8]byte) string {
+	return "00-" + hexString(traceID[:]) + "-" + hexString(spanID[:]) + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. ok is false on
+// any malformed input, including the all-zero trace or span ID the spec
+// forbids.
+func ParseTraceparent(h string) (traceID [16]byte, spanID [8]byte, ok bool) {
+	// version(2) - trace(32) - span(16) - flags(2) with literal dashes.
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return traceID, spanID, false
+	}
+	if !hexDecode(traceID[:], h[3:35]) || !hexDecode(spanID[:], h[36:52]) {
+		return traceID, spanID, false
+	}
+	if !isHex(h[0]) || !isHex(h[1]) || !isHex(h[53]) || !isHex(h[54]) {
+		return traceID, spanID, false
+	}
+	if traceID == ([16]byte{}) || spanID == ([8]byte{}) {
+		return traceID, spanID, false
+	}
+	return traceID, spanID, true
+}
+
+func hexDecode(dst []byte, src string) bool {
+	for i := range dst {
+		hi, ok1 := hexVal(src[2*i])
+		lo, ok2 := hexVal(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+func isHex(c byte) bool {
+	_, ok := hexVal(c)
+	return ok
+}

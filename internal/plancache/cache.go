@@ -27,6 +27,7 @@ import (
 	"netrecovery/internal/degrade"
 	"netrecovery/internal/faultinject"
 	"netrecovery/internal/heuristics"
+	"netrecovery/internal/obs"
 	"netrecovery/internal/scenario"
 )
 
@@ -251,12 +252,17 @@ func New(cfg Config) *Cache {
 // uniform hash; the algorithm and options are folded in so keys differing
 // only there still spread).
 func (c *Cache) shardFor(k Key) *shard {
+	return c.shards[c.shardIndex(k)]
+}
+
+// shardIndex is the shard number a key maps to (also a trace attribute).
+func (c *Cache) shardIndex(k Key) int {
 	h := binary.BigEndian.Uint64(k.Fingerprint[:8])
 	h ^= binary.BigEndian.Uint64(k.Options[:8])
 	for i := 0; i < len(k.Algorithm); i++ {
 		h = h*131 + uint64(k.Algorithm[i])
 	}
-	return c.shards[h&uint64(len(c.shards)-1)]
+	return int(h & uint64(len(c.shards)-1))
 }
 
 // Do returns the plan for key, solving at most once per key across all
@@ -275,6 +281,27 @@ func (c *Cache) shardFor(k Key) *shard {
 // The returned plan is shared with every other caller of the same key and
 // must not be mutated.
 func (c *Cache) Do(ctx context.Context, key Key, solve func(ctx context.Context) (*scenario.Plan, error)) (plan *scenario.Plan, outcome Outcome, age time.Duration, err error) {
+	ctx, sp := obs.StartSpan(ctx, "cache.lookup")
+	if sp != nil {
+		sp.SetAttr("algorithm", key.Algorithm)
+		sp.SetInt("shard", int64(c.shardIndex(key)))
+		defer func() {
+			if err != nil {
+				sp.SetError(err)
+			} else {
+				sp.SetAttr("outcome", outcome.String())
+				// The miss leader is the caller that executed the solve
+				// (coalesced followers shared its result).
+				sp.SetBool("leader", outcome == Miss)
+			}
+			sp.End()
+		}()
+	}
+	return c.do(ctx, key, solve)
+}
+
+// do is Do minus the tracing shell.
+func (c *Cache) do(ctx context.Context, key Key, solve func(ctx context.Context) (*scenario.Plan, error)) (plan *scenario.Plan, outcome Outcome, age time.Duration, err error) {
 	if err := faultinject.Fire(ctx, faultinject.PointCacheShard); err != nil {
 		var ie *faultinject.InjectedError
 		if errors.As(err, &ie) {

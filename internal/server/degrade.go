@@ -11,6 +11,7 @@ import (
 
 	"netrecovery/internal/degrade"
 	"netrecovery/internal/heuristics"
+	"netrecovery/internal/obs"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/wire"
@@ -59,8 +60,12 @@ func (srv *Server) retryAfterSeconds() int {
 // bounded queue sheds the least important work first and never collapses
 // into an unbounded backlog.
 func (srv *Server) acquireSlot(ctx context.Context, prio int) *httpError {
+	_, sp := obs.StartSpan(ctx, "admission.wait")
+	sp.SetAttr("class", prioNames[prio])
+	defer sp.End()
 	select {
 	case srv.sem <- struct{}{}:
+		sp.SetAttr("outcome", "immediate")
 		return nil
 	default:
 	}
@@ -68,6 +73,7 @@ func (srv *Server) acquireSlot(ctx context.Context, prio int) *httpError {
 	if q > srv.classLimit(prio) {
 		srv.queued.Add(-1)
 		srv.shed[prio].Add(1)
+		sp.SetAttr("outcome", "shed")
 		return &httpError{
 			code:       http.StatusTooManyRequests,
 			err:        fmt.Errorf("admission queue full for class %q (%d queued)", prioNames[prio], q-1),
@@ -77,8 +83,10 @@ func (srv *Server) acquireSlot(ctx context.Context, prio int) *httpError {
 	defer srv.queued.Add(-1)
 	select {
 	case srv.sem <- struct{}{}:
+		sp.SetAttr("outcome", "queued")
 		return nil
 	case <-ctx.Done():
+		sp.SetAttr("outcome", "cancelled")
 		return solveError(ctx.Err())
 	}
 }
@@ -161,7 +169,13 @@ func (srv *Server) runSolve(ctx context.Context, alg string, solver heuristics.S
 	}
 	srv.solves.Add(1)
 	srv.inFlight.Add(1)
-	plan, err := solver.Solve(ctx, sc)
+	// The solve span's context is what the solver's OnStats hook sees, so
+	// depth attributes (LP pivots, B&B nodes, steals) land on this span.
+	solveCtx, sp := obs.StartSpan(ctx, "solve")
+	sp.SetAttr("algorithm", alg)
+	plan, err := solver.Solve(solveCtx, sc)
+	sp.SetError(err)
+	sp.End()
 	srv.inFlight.Add(-1)
 	switch {
 	case err == nil:
@@ -261,7 +275,7 @@ func (srv *Server) solveDegraded(ctx context.Context, req wire.PlanRequest, s *s
 	// greedy split mode, the cheapest solver that still optimises. When the
 	// request already asks for exactly that, a separate fallback stage
 	// would re-run the identical solve, so it is omitted.
-	fallbackParams := heuristics.Params{Fast: true, OPTWorkers: params.OPTWorkers}
+	fallbackParams := heuristics.Params{Fast: true, OPTWorkers: params.OPTWorkers, OnStats: params.OnStats}
 	haveFallback := !(alg == "ISP" && params.Fast)
 	var fallbackKey plancache.Key
 	if haveFallback {

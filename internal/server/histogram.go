@@ -9,8 +9,11 @@ import (
 
 // durationBounds are the request-duration histogram bucket upper bounds in
 // seconds, fixed so the /metrics exposition is stable across builds. The
-// range spans a sub-millisecond cache hit to a ten-second exact solve.
+// range spans a 100µs warm cache hit to a ten-second exact solve; the
+// sub-millisecond buckets (100µs/250µs/500µs) resolve the hit-path
+// distribution that a 1ms floor lumped into a single bucket.
 var durationBounds = []float64{
+	0.0001, 0.00025, 0.0005,
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"net/http"
 
+	"netrecovery/internal/obs"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/wire"
 )
@@ -34,7 +35,14 @@ func (srv *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
 		srv.writeError(w, badRequest("invalid options digest (want 64 hex chars)"))
 		return
 	}
+	// The peek span lives in the owner-side trace; the root span above it
+	// adopted the requester's traceparent, so both sides of the fill share
+	// one trace ID.
+	_, sp := obs.StartSpan(r.Context(), "cache.peek")
+	sp.SetAttr("algorithm", key.Algorithm)
 	plan, age, ok := srv.cache.Peek(key)
+	sp.SetBool("found", ok)
+	sp.End()
 	if !ok {
 		srv.writeJSON(w, http.StatusOK, wire.PeerPlanResponse{Found: false})
 		return

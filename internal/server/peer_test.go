@@ -191,6 +191,9 @@ func TestRequestDurationHistogram(t *testing.T) {
 	metrics := scrapeMetrics(t, ts)
 	for _, want := range []string{
 		"# TYPE nrserved_request_duration_seconds histogram",
+		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="0.0001"} `,
+		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="0.00025"} `,
+		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="0.0005"} `,
 		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="0.001"} `,
 		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="10"} 1`,
 		`nrserved_request_duration_seconds_bucket{route="/v1/plan",class="plan",le="+Inf"} 1`,

@@ -48,6 +48,7 @@ import (
 	"netrecovery/internal/degrade"
 	"netrecovery/internal/faultinject"
 	"netrecovery/internal/heuristics"
+	"netrecovery/internal/obs"
 	"netrecovery/internal/plancache"
 	"netrecovery/internal/scenario"
 	"netrecovery/internal/sweep"
@@ -110,6 +111,15 @@ type Config struct {
 	// Retry tunes the transient-failure solve retry (zero MaxAttempts
 	// means 3 attempts with the default jittered backoff).
 	Retry degrade.RetryPolicy
+	// Tracer, when non-nil and enabled, traces every API request: a root
+	// span per request (adopting an incoming W3C traceparent header, which
+	// is how peer-fill traces stitch across the cluster), child spans at
+	// the admission queue, cache lookup, degradation stages, peer fill and
+	// solver execution, and a /debug/traces surface on the handler. A nil
+	// or disabled tracer costs one atomic load per span site.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives the server's structured log events.
+	Logger *obs.Logger
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -213,10 +223,12 @@ func (srv *Server) SolveCount() uint64 { return srv.solves.Load() }
 // its request-duration histogram (see routeHistogram); the session
 // sub-routes share the /v1/session histogram.
 func (srv *Server) Handler() http.Handler {
-	obs := make(map[string]func(http.HandlerFunc) http.HandlerFunc, len(srv.routeHists))
+	wrap := make(map[string]func(http.HandlerFunc) http.HandlerFunc, len(srv.routeHists))
 	for _, rh := range srv.routeHists {
 		hist := rh.hist
-		obs[rh.route] = func(fn http.HandlerFunc) http.HandlerFunc {
+		route := rh.route
+		wrap[route] = func(fn http.HandlerFunc) http.HandlerFunc {
+			fn = srv.traced(route, fn)
 			return func(w http.ResponseWriter, r *http.Request) {
 				start := time.Now()
 				fn(w, r)
@@ -225,21 +237,61 @@ func (srv *Server) Handler() http.Handler {
 		}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/plan", obs["/v1/plan"](srv.handlePlan))
-	mux.HandleFunc("/v1/plan/stream", obs["/v1/plan/stream"](srv.handlePlanStream))
-	mux.HandleFunc("/v1/sweep", obs["/v1/sweep"](srv.handleSweep))
-	mux.HandleFunc("/v1/ensemble", obs["/v1/ensemble"](srv.handleEnsemble))
-	mux.HandleFunc("/v1/ensemble/stream", obs["/v1/ensemble/stream"](srv.handleEnsembleStream))
-	sess := obs["/v1/session"]
+	mux.HandleFunc("/v1/plan", wrap["/v1/plan"](srv.handlePlan))
+	mux.HandleFunc("/v1/plan/stream", wrap["/v1/plan/stream"](srv.handlePlanStream))
+	mux.HandleFunc("/v1/sweep", wrap["/v1/sweep"](srv.handleSweep))
+	mux.HandleFunc("/v1/ensemble", wrap["/v1/ensemble"](srv.handleEnsemble))
+	mux.HandleFunc("/v1/ensemble/stream", wrap["/v1/ensemble/stream"](srv.handleEnsembleStream))
+	sess := wrap["/v1/session"]
 	mux.HandleFunc("POST /v1/session", sess(srv.handleSessionCreate))
 	mux.HandleFunc("GET /v1/session/{id}", sess(srv.handleSessionGet))
 	mux.HandleFunc("DELETE /v1/session/{id}", sess(srv.handleSessionDelete))
 	mux.HandleFunc("POST /v1/session/{id}/delta", sess(srv.handleSessionDelta))
 	mux.HandleFunc("GET /v1/session/{id}/stream", sess(srv.handleSessionStream))
-	mux.HandleFunc("GET /v1/peer/plan/{fp}", obs["/v1/peer/plan"](srv.handlePeerPlan))
-	mux.HandleFunc("/healthz", obs["/healthz"](srv.handleHealthz))
-	mux.HandleFunc("/metrics", obs["/metrics"](srv.handleMetrics))
+	mux.HandleFunc("GET /v1/peer/plan/{fp}", wrap["/v1/peer/plan"](srv.handlePeerPlan))
+	mux.HandleFunc("/healthz", wrap["/healthz"](srv.handleHealthz))
+	mux.HandleFunc("/metrics", wrap["/metrics"](srv.handleMetrics))
+	if tr := srv.cfg.Tracer; tr != nil {
+		th := tr.Handler("/debug/traces")
+		mux.Handle("GET /debug/traces", th)
+		mux.Handle("GET /debug/traces/{rest...}", th)
+	}
 	return mux
+}
+
+// tracedRoutes are the routes that get a root span per request. Infra
+// probes (/healthz, /metrics) are excluded so the trace ring holds real
+// work, not scrape noise.
+var tracedRoutes = map[string]bool{
+	"/v1/plan":            true,
+	"/v1/plan/stream":     true,
+	"/v1/sweep":           true,
+	"/v1/ensemble":        true,
+	"/v1/ensemble/stream": true,
+	"/v1/session":         true,
+	"/v1/peer/plan":       true,
+}
+
+// traced wraps an API handler with the root span of a new trace. An
+// incoming W3C traceparent header (sent by a peer's fill client) is
+// adopted, so the peer-side trace shares the requester's trace ID. When
+// the server has no enabled tracer the request path is untouched beyond
+// one atomic load.
+func (srv *Server) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
+	tr := srv.cfg.Tracer
+	if tr == nil || !tracedRoutes[route] {
+		return fn
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !tr.Enabled() {
+			fn(w, r)
+			return
+		}
+		ctx, sp := obs.StartRoot(r.Context(), tr, route, r.Header.Get("traceparent"))
+		sp.SetAttr("method", r.Method)
+		defer sp.End()
+		fn(w, r.WithContext(ctx))
+	}
 }
 
 // requestContext applies the per-request timeout.
@@ -295,6 +347,7 @@ func (srv *Server) solveRequest(ctx context.Context, req wire.PlanRequest, progr
 		OPTMaxNodes:  req.Options.OptMaxNodes,
 		OPTWorkers:   srv.resolveWorkers(req.Options.Workers),
 		Progress:     progress,
+		OnStats:      solveStatsAttrs,
 	}
 	solver, err := heuristics.New(alg, params)
 	if err != nil {
@@ -394,9 +447,53 @@ func solveError(err error) *httpError {
 	}
 }
 
+// solveStatsAttrs is the heuristics.StatsFunc the server installs on every
+// solve: it lands solver depth telemetry (simplex iterations,
+// refactorisations, warm starts; branch-and-bound nodes, rounds, steals,
+// incumbent timeline) as attributes on the enclosing "solve" span. The
+// solver calls it with its own Solve ctx, which runSolve arranged to carry
+// that span; with tracing disabled SpanFromContext is nil and every Set is
+// a no-op.
+func solveStatsAttrs(ctx context.Context, st heuristics.SolveStats) {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("solver", st.Solver)
+	if c := st.Core; c != nil {
+		sp.SetInt("isp_iterations", int64(c.Iterations))
+		sp.SetInt("isp_repairs", int64(c.NodeRepairs+c.EdgeRepairs))
+		sp.SetInt("lp_calls", int64(c.Routability.Calls))
+		sp.SetInt("lp_rebuilds", int64(c.Routability.Rebuilds))
+		sp.SetInt("lp_warm_starts", int64(c.Routability.WarmStarts))
+	}
+	if m := st.MILP; m != nil {
+		sp.SetInt("opt_nodes", int64(m.Nodes))
+		sp.SetInt("opt_rounds", int64(m.Rounds))
+		sp.SetInt("opt_steals", int64(m.Steals))
+		sp.SetInt("opt_incumbents", int64(len(m.Incumbents)))
+		sp.SetInt("lp_iterations", int64(m.LPIterations))
+		sp.SetInt("lp_refactorisations", int64(m.Refactorisations))
+		sp.SetInt("lp_warm_solves", int64(m.WarmSolves))
+		sp.SetInt("lp_cold_solves", int64(m.ColdSolves))
+		if n := len(m.Incumbents); n > 0 {
+			last := m.Incumbents[n-1]
+			sp.SetAttr("opt_best_objective", formatFloatAttr(last.Objective))
+			sp.SetAttr("opt_best_bound", formatFloatAttr(last.Bound))
+		}
+	}
+}
+
+func formatFloatAttr(f float64) string {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return "none"
+	}
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}
+
 // buildResponse converts a solve outcome into the wire response, attaching
-// the progressive timeline when requested.
-func (srv *Server) buildResponse(out *solveOutcome, opts wire.SolveOptions) (wire.PlanResponse, *httpError) {
+// the progressive timeline and (on request) the traced timing breakdown.
+func (srv *Server) buildResponse(ctx context.Context, out *solveOutcome, opts wire.SolveOptions) (wire.PlanResponse, *httpError) {
 	wp := wire.FromPlan(out.scenario, out.plan)
 	if opts.StageBudget > 0 {
 		staged, err := wp.WithStages(out.scenario, out.plan, opts.StageBudget)
@@ -405,7 +502,7 @@ func (srv *Server) buildResponse(out *solveOutcome, opts wire.SolveOptions) (wir
 		}
 		wp = staged
 	}
-	return wire.PlanResponse{
+	resp := wire.PlanResponse{
 		Plan: wp,
 		Cache: wire.CacheInfo{
 			Status:      out.status,
@@ -413,7 +510,38 @@ func (srv *Server) buildResponse(out *solveOutcome, opts wire.SolveOptions) (wir
 			AgeMS:       out.age.Milliseconds(),
 		},
 		Degradation: out.degradation,
-	}, nil
+	}
+	if opts.Timing {
+		resp.Timing = timingFromTrace(ctx)
+	}
+	return resp, nil
+}
+
+// timingFromTrace snapshots the request's trace (the spans finished so far
+// — i.e. everything but the still-open root) into the opt-in wire.Timing
+// block. Returns nil when the request is untraced.
+func timingFromTrace(ctx context.Context) *wire.Timing {
+	traceID, spans := obs.SnapshotTrace(ctx)
+	if traceID == "" || len(spans) == 0 {
+		return nil
+	}
+	t := &wire.Timing{TraceID: traceID, Spans: make([]wire.TimingSpan, 0, len(spans))}
+	for _, sp := range spans {
+		ts := wire.TimingSpan{
+			Name:       sp.Name,
+			StartUS:    sp.StartUS,
+			DurationUS: sp.DurationUS,
+			Error:      sp.Err,
+		}
+		if len(sp.Attrs) > 0 {
+			ts.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ts.Attrs[a.Key] = a.Value
+			}
+		}
+		t.Spans = append(t.Spans, ts)
+	}
+	return t
 }
 
 // handlePlan implements POST /v1/plan.
@@ -435,7 +563,7 @@ func (srv *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		srv.writeError(w, herr)
 		return
 	}
-	resp, herr := srv.buildResponse(out, req.Options)
+	resp, herr := srv.buildResponse(ctx, out, req.Options)
 	if herr != nil {
 		srv.writeError(w, herr)
 		return
@@ -522,7 +650,7 @@ func (srv *Server) handlePlanStream(w http.ResponseWriter, r *http.Request) {
 		emit("error", wire.Error{Error: herr.Error()})
 		return
 	}
-	resp, herr := srv.buildResponse(out, req.Options)
+	resp, herr := srv.buildResponse(ctx, out, req.Options)
 	if herr != nil {
 		srv.errorsTot.Add(1)
 		emit("error", wire.Error{Error: herr.Error()})

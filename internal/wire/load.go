@@ -65,4 +65,29 @@ type LoadReport struct {
 	Latency LoadLatency `json:"latency"`
 	Ops     LoadOps     `json:"ops"`
 	Cache   LoadCache   `json:"cache"`
+	// Timing attributes plan latency to pipeline phases from the servers'
+	// span breakdowns; present only when the run requested per-response
+	// timing (and the fleet has tracing enabled).
+	Timing *LoadTiming `json:"timing,omitempty"`
+}
+
+// LoadTiming aggregates the opt-in per-response span breakdowns across
+// the run's plan requests: where the tail actually went — queueing for a
+// solver slot, solving, or filling from a peer. A phase absent from a
+// response (e.g. no peer fill on a cache hit) contributes 0 to that
+// phase's distribution, so the percentiles are over ALL sampled plans
+// and comparable to the whole-request latency percentiles.
+type LoadTiming struct {
+	// Samples counts plan responses that carried a timing block.
+	Samples int `json:"samples"`
+	// QueueP50MS/QueueP99MS summarise admission-queue wait
+	// ("admission.wait" spans, summed per request).
+	QueueP50MS float64 `json:"queue_p50_ms"`
+	QueueP99MS float64 `json:"queue_p99_ms"`
+	// SolveP50MS/SolveP99MS summarise solver execution ("solve" spans).
+	SolveP50MS float64 `json:"solve_p50_ms"`
+	SolveP99MS float64 `json:"solve_p99_ms"`
+	// PeerFillP50MS/PeerFillP99MS summarise peer-fill RPCs ("peer.fill").
+	PeerFillP50MS float64 `json:"peer_fill_p50_ms"`
+	PeerFillP99MS float64 `json:"peer_fill_p99_ms"`
 }

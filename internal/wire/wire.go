@@ -256,6 +256,10 @@ type SolveOptions struct {
 	// default degradation deadline configured: the request either gets the
 	// exact answer it asked for or an error.
 	NoDegrade bool `json:"no_degrade,omitempty"`
+	// Timing asks the server to attach the request's span breakdown (see
+	// Timing) to the response. Answer-invariant: not part of the cache
+	// key, and a no-op on servers running with tracing disabled.
+	Timing bool `json:"timing,omitempty"`
 }
 
 // CacheInfo reports how the server obtained the plan.
@@ -300,6 +304,30 @@ type Degradation struct {
 	Stages []StageTiming `json:"stages"`
 }
 
+// TimingSpan is one finished span of the request's trace, surfaced in the
+// response when SolveOptions.Timing is set. Attrs is rendered as a JSON
+// object (encoding/json sorts the keys, keeping the encoding stable).
+type TimingSpan struct {
+	// Name is the span's operation name (e.g. "admission.wait",
+	// "cache.lookup", "peer.fill", "stage.primary", "solve").
+	Name string `json:"name"`
+	// StartUS/DurationUS place the span relative to the trace root start,
+	// in microseconds.
+	StartUS    int64             `json:"start_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Timing is the opt-in per-request latency breakdown: the finished spans
+// of the request's trace at response-build time (the root span is still
+// open and therefore absent). TraceID links the response to the server's
+// /debug/traces store.
+type Timing struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []TimingSpan `json:"spans"`
+}
+
 // PlanResponse is the response body of POST /v1/plan.
 type PlanResponse struct {
 	Plan  Plan      `json:"plan"`
@@ -307,6 +335,9 @@ type PlanResponse struct {
 	// Degradation is present only when the request ran through the
 	// deadline-budgeted fallback chain.
 	Degradation *Degradation `json:"degradation,omitempty"`
+	// Timing is present only when the request asked for it
+	// (options.timing) and the server has tracing enabled.
+	Timing *Timing `json:"timing,omitempty"`
 }
 
 // Delta kind names, the wire values of Delta.Kind.
